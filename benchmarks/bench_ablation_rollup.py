@@ -1,0 +1,72 @@
+"""Ablation: the rollup target-height strategy (Algorithm 4, line 1).
+
+The paper says "choose h within the height range of nodes in A" and
+reports that rolling everything to the maximum height "works reasonably
+well".  This ablation compares the three strategies the library offers
+(max / median / min) on the multi-height datasets: page I/O and the
+false hits each one produces.
+"""
+
+import pytest
+
+from repro.experiments.harness import Workbench, materialize, run_algorithm
+from repro.experiments.report import format_table
+from repro.join.mhcj import MultiHeightRollupJoin
+from repro.workloads import synthetic as syn
+
+from .common import DEFAULT_BUFFER_PAGES, SEED, large_size, save_result, small_size
+
+STRATEGIES = ["max", "median", "min"]
+DATASETS = ["MLLH", "MLLL", "MSSH"]
+ROWS = []
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_rollup_strategy(benchmark, dataset_name, strategy):
+    spec = syn.spec_by_name(dataset_name, large=large_size(), small=small_size())
+    dataset = syn.generate(spec, seed=SEED)
+    bench = Workbench.create(buffer_pages=DEFAULT_BUFFER_PAGES)
+    a_set = materialize(bench.bufmgr, dataset.a_codes, dataset.tree_height, "A")
+    d_set = materialize(bench.bufmgr, dataset.d_codes, dataset.tree_height, "D")
+
+    def run():
+        return run_algorithm(
+            MultiHeightRollupJoin(strategy=strategy), a_set, d_set
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.result_count == dataset.num_results  # always correct
+    benchmark.extra_info.update(
+        {"false_hits": report.false_hits, "partitions": report.partitions}
+    )
+    ROWS.append(
+        [dataset_name, strategy, report.partitions, report.false_hits,
+         report.total_pages]
+    )
+
+
+def test_max_strategy_minimizes_partitions():
+    by_key = {(row[0], row[1]): row for row in ROWS}
+    if len(by_key) < len(DATASETS) * len(STRATEGIES):
+        pytest.skip("sweep incomplete")
+    for dataset_name in DATASETS:
+        max_parts = by_key[(dataset_name, "max")][2]
+        min_parts = by_key[(dataset_name, "min")][2]
+        assert max_parts <= min_parts
+        # 'min' rolls nothing: it cannot produce false hits
+        assert by_key[(dataset_name, "min")][3] == 0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if ROWS:
+        save_result(
+            "ablation_rollup_strategy",
+            format_table(
+                ["Dataset", "strategy", "partitions", "false hits", "total io"],
+                ROWS,
+                title="Ablation: MHCJ+Rollup target-height strategy",
+            ),
+        )

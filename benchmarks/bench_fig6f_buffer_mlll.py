@@ -1,0 +1,100 @@
+"""Figure 6(f): impact of buffer size on the MLLL dataset.
+
+The multiple-height companion of Figure 6(e), with MHCJ+Rollup in
+place of SHCJ.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_lineup
+from repro.experiments.report import format_table
+from repro.workloads import synthetic as syn
+
+from .common import DEFAULT_PAGE_SIZE, SEED, large_size, save_result, small_size
+
+SWEEP = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0]
+ROWS = {}
+_DATA = {}
+
+DATASET = "MLLL"
+
+
+def get_dataset():
+    if "ds" not in _DATA:
+        spec = syn.spec_by_name(DATASET, large=large_size(), small=small_size())
+        _DATA["ds"] = syn.generate(spec, seed=SEED)
+    return _DATA["ds"]
+
+
+def pages_of_smaller(ds):
+    per_page = (DEFAULT_PAGE_SIZE - 8) // 8
+    return -(-min(len(ds.a_codes), len(ds.d_codes)) // per_page)
+
+
+@pytest.mark.parametrize("percent", SWEEP)
+def test_buffer_sweep_mlll(benchmark, percent):
+    ds = get_dataset()
+    buffer_pages = max(3, int(pages_of_smaller(ds) * percent / 100.0))
+
+    def run():
+        return run_lineup(
+            f"{DATASET}@{percent}%",
+            ds.a_codes,
+            ds.d_codes,
+            ds.tree_height,
+            buffer_pages=buffer_pages,
+            page_size=DEFAULT_PAGE_SIZE,
+            single_height=False,
+        )
+
+    lineup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert lineup.result_count == ds.num_results
+    ROWS[percent] = (buffer_pages, lineup)
+    benchmark.extra_info.update(
+        {"buffer_pages": buffer_pages, "MIN_RGN": lineup.min_rgn_io}
+    )
+
+
+def test_rollup_and_vpj_improve_with_memory():
+    """VPJ converts memory into fewer passes; rollup (a fixed-pass
+    Grace equijoin until a side fits) stays flat within noise."""
+    if len(ROWS) < len(SWEEP):
+        import pytest as _pytest
+
+        _pytest.skip("sweep incomplete")
+    small_p = ROWS[SWEEP[0]][1]
+    big_p = ROWS[SWEEP[-1]][1]
+    assert (
+        big_p.by_name("MHCJ+Rollup").total_io
+        <= small_p.by_name("MHCJ+Rollup").total_io * 1.02
+    )
+    assert big_p.by_name("VPJ").total_io < small_p.by_name("VPJ").total_io
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if not ROWS:
+        return
+    table = []
+    for percent in SWEEP:
+        if percent not in ROWS:
+            continue
+        buffer_pages, lineup = ROWS[percent]
+        table.append(
+            [
+                f"{percent}%",
+                buffer_pages,
+                lineup.min_rgn_io,
+                lineup.by_name("MHCJ+Rollup").total_io,
+                lineup.by_name("VPJ").total_io,
+            ]
+        )
+    save_result(
+        "fig6f_buffer_mlll",
+        format_table(
+            ["P", "buffer pages", "MIN_RGN io", "Rollup io", "VPJ io"],
+            table,
+            title="Figure 6(f): varying buffer size, MLLL",
+        ),
+    )

@@ -1,0 +1,111 @@
+"""Figure 6(g): scalability on single-height datasets.
+
+Dataset sizes grow as ``k * B`` for ``k = 1..8`` (paper: B = 50000; here
+``B`` scales with ``REPRO_BENCH_SCALE``).  The paper's finding: every
+algorithm scales linearly in the data size, and the partitioning
+algorithms stay consistently below MIN_RGN.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_lineup
+from repro.experiments.figures import render_series
+from repro.experiments.report import format_table
+from repro.workloads import synthetic as syn
+
+from .common import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
+    SEED,
+    save_result,
+    scale,
+)
+
+STEPS = list(range(1, 9))
+ROWS = {}
+
+
+def base_unit() -> int:
+    return max(500, int(6_000 * scale()))
+
+
+@pytest.mark.parametrize("k", STEPS)
+def test_scalability_single_height(benchmark, k):
+    size = k * base_unit()
+    spec = syn.SyntheticSpec(
+        name=f"S-{k}B",
+        a_size=size,
+        d_size=size,
+        a_heights=(6,),
+        d_heights=(2,),
+        match_fraction=syn.LOW_MATCH_FRACTION,
+    )
+    dataset = syn.generate(spec, seed=SEED)
+
+    def run():
+        return run_lineup(
+            spec.name,
+            dataset.a_codes,
+            dataset.d_codes,
+            dataset.tree_height,
+            buffer_pages=DEFAULT_BUFFER_PAGES,
+            page_size=DEFAULT_PAGE_SIZE,
+            single_height=True,
+        )
+
+    lineup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert lineup.result_count == dataset.num_results
+    ROWS[k] = lineup
+    benchmark.extra_info.update({"size": size, "MIN_RGN": lineup.min_rgn_io})
+
+
+def test_linear_scaling_shape():
+    if len(ROWS) < len(STEPS):
+        pytest.skip("sweep incomplete")
+    for name in ("SHCJ", "VPJ"):
+        one = ROWS[1].by_name(name).total_io
+        eight = ROWS[8].by_name(name).total_io
+        # linear in data size: 8x data within [4x, 16x] cost
+        assert 4 * one <= eight <= 16 * one, (name, one, eight)
+    # partitioning stays below the region-code minimum at every step
+    for k, lineup in ROWS.items():
+        assert lineup.by_name("SHCJ").total_io <= lineup.min_rgn_io * 1.05, k
+        assert lineup.by_name("VPJ").total_io <= lineup.min_rgn_io * 1.05, k
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if not ROWS:
+        return
+    table = [
+        [
+            f"{k}B",
+            k * base_unit(),
+            ROWS[k].min_rgn_io,
+            ROWS[k].by_name("SHCJ").total_io,
+            ROWS[k].by_name("VPJ").total_io,
+        ]
+        for k in STEPS
+        if k in ROWS
+    ]
+    labels = [row[0] for row in table]
+    chart = render_series(
+        labels,
+        {
+            "MIN_RGN": [row[2] for row in table],
+            "SHCJ": [row[3] for row in table],
+            "VPJ": [row[4] for row in table],
+        },
+        title="page I/O by dataset size",
+    )
+    save_result(
+        "fig6g_scalability_single",
+        format_table(
+            ["size", "|A|=|D|", "MIN_RGN io", "SHCJ io", "VPJ io"],
+            table,
+            title="Figure 6(g): scalability, single-height datasets",
+        )
+        + "\n\n"
+        + chart,
+    )

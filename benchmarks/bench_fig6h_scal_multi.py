@@ -1,0 +1,95 @@
+"""Figure 6(h): scalability on multiple-height datasets.
+
+The multi-height companion of Figure 6(g), using MHCJ+Rollup.
+"""
+
+import pytest
+
+from repro.experiments.harness import run_lineup
+from repro.experiments.report import format_table
+from repro.workloads import synthetic as syn
+
+from .common import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
+    SEED,
+    save_result,
+    scale,
+)
+
+STEPS = list(range(1, 9))
+ROWS = {}
+
+
+def base_unit() -> int:
+    return max(500, int(6_000 * scale()))
+
+
+@pytest.mark.parametrize("k", STEPS)
+def test_scalability_multi_height(benchmark, k):
+    size = k * base_unit()
+    spec = syn.SyntheticSpec(
+        name=f"M-{k}B",
+        a_size=size,
+        d_size=size,
+        a_heights=(8, 9, 10),
+        d_heights=tuple(range(1, 8)),
+        match_fraction=syn.LOW_MATCH_FRACTION,
+    )
+    dataset = syn.generate(spec, seed=SEED)
+
+    def run():
+        return run_lineup(
+            spec.name,
+            dataset.a_codes,
+            dataset.d_codes,
+            dataset.tree_height,
+            buffer_pages=DEFAULT_BUFFER_PAGES,
+            page_size=DEFAULT_PAGE_SIZE,
+            single_height=False,
+        )
+
+    lineup = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert lineup.result_count == dataset.num_results
+    ROWS[k] = lineup
+    benchmark.extra_info.update({"size": size, "MIN_RGN": lineup.min_rgn_io})
+
+
+def test_linear_scaling_shape():
+    if len(ROWS) < len(STEPS):
+        pytest.skip("sweep incomplete")
+    for name in ("MHCJ+Rollup", "VPJ"):
+        one = ROWS[1].by_name(name).total_io
+        eight = ROWS[8].by_name(name).total_io
+        assert 4 * one <= eight <= 16 * one, (name, one, eight)
+    for k, lineup in ROWS.items():
+        assert (
+            lineup.by_name("MHCJ+Rollup").total_io <= lineup.min_rgn_io * 1.10
+        ), k
+        assert lineup.by_name("VPJ").total_io <= lineup.min_rgn_io * 1.10, k
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if not ROWS:
+        return
+    table = [
+        [
+            f"{k}B",
+            k * base_unit(),
+            ROWS[k].min_rgn_io,
+            ROWS[k].by_name("MHCJ+Rollup").total_io,
+            ROWS[k].by_name("VPJ").total_io,
+        ]
+        for k in STEPS
+        if k in ROWS
+    ]
+    save_result(
+        "fig6h_scalability_multi",
+        format_table(
+            ["size", "|A|=|D|", "MIN_RGN io", "Rollup io", "VPJ io"],
+            table,
+            title="Figure 6(h): scalability, multiple-height datasets",
+        ),
+    )

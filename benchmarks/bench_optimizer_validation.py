@@ -1,0 +1,84 @@
+"""Validation of the cost-based optimizer (paper Section 6 future work).
+
+Over the 16 synthetic datasets, compare the optimizer's predicted page
+costs with measured costs: (a) the plan the optimizer picks must never
+be far from the measured-best plan ("regret"), and (b) predicted and
+measured totals of the chosen plan must agree within a small factor.
+"""
+
+import pytest
+
+from repro.experiments.harness import Workbench, materialize, run_algorithm
+from repro.experiments.report import format_table
+from repro.join.optimizer import CostBasedOptimizer
+from repro.workloads import synthetic as syn
+
+from .common import DEFAULT_BUFFER_PAGES, SEED, save_result, scale
+
+DATASETS = [
+    "SLLH", "SLSH", "SSLH", "SSSH", "SLLL", "SLSL", "SSLL", "SSSL",
+    "MLLH", "MLSH", "MSLH", "MSSH", "MLLL", "MLSL", "MSLL", "MSSL",
+]
+#: algorithms we measure as the "truth" pool for regret
+RIVALS = ["STACKTREE", "MHCJ+Rollup", "VPJ"]
+ROWS = []
+
+
+@pytest.mark.parametrize("name", DATASETS)
+def test_optimizer_on_dataset(benchmark, name):
+    spec = syn.spec_by_name(
+        name,
+        large=max(2000, int(20_000 * scale())),
+        small=max(100, int(200 * scale())),
+    )
+    dataset = syn.generate(spec, seed=SEED)
+    bench = Workbench.create(buffer_pages=DEFAULT_BUFFER_PAGES)
+    a_set = materialize(bench.bufmgr, dataset.a_codes, dataset.tree_height, "A")
+    d_set = materialize(bench.bufmgr, dataset.d_codes, dataset.tree_height, "D")
+    optimizer = CostBasedOptimizer()
+
+    def run():
+        algorithm, plan = optimizer.choose(a_set, d_set)
+        report = run_algorithm(algorithm, a_set, d_set)
+        return plan, report
+
+    plan, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.result_count == dataset.num_results
+
+    from repro.experiments.harness import make_algorithm
+
+    rival_costs = {}
+    for rival in RIVALS:
+        rival_costs[rival] = run_algorithm(
+            make_algorithm(rival), a_set, d_set
+        ).total_pages
+    best_rival = min(rival_costs.values())
+    regret = report.total_pages / max(1, best_rival)
+    predicted = plan.estimate.total
+    accuracy = predicted / max(1, report.total_pages)
+    ROWS.append(
+        [name, plan.algorithm_name, round(predicted), report.total_pages,
+         best_rival, f"{regret:.2f}x", f"{accuracy:.2f}"]
+    )
+    benchmark.extra_info.update(
+        {"chosen": plan.algorithm_name, "regret": round(regret, 2)}
+    )
+    # the chosen plan must never be badly worse than the measured best
+    assert regret <= 2.0, (name, plan.algorithm_name, regret)
+    # and the prediction must be the right order of magnitude
+    assert 0.2 <= accuracy <= 5.0, (name, predicted, report.total_pages)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if ROWS:
+        save_result(
+            "optimizer_validation",
+            format_table(
+                ["Dataset", "chosen", "predicted io", "measured io",
+                 "best rival io", "regret", "pred/meas"],
+                ROWS,
+                title="Cost-based optimizer: predicted vs measured",
+            ),
+        )

@@ -1,0 +1,105 @@
+"""Validation: path-pipeline join-order planning.
+
+A multi-step path query can run top-down or bottom-up; the pipeline
+picks the direction from estimated intermediate cardinalities.  This
+benchmark builds two adversarial documents — one where the *first* tag
+is the selective one, one where the *last* is — measures both
+directions, and checks the planner sides with the measured winner.
+"""
+
+import pytest
+
+from repro.core.binarize import binarize
+from repro.datatree.node import DataTree
+from repro.experiments.report import format_table
+from repro.join.pipeline import PathPipeline
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+from repro.storage.elementset import ElementSet
+
+from .common import SEED, save_result, scale
+
+ROWS = []
+
+
+def selective_head_doc(n: int) -> DataTree:
+    """One rare 'a' with the full chain; thousands of b/c decoys."""
+    tree = DataTree()
+    root = tree.add_root("root")
+    a = tree.add_child(root, "a")
+    b = tree.add_child(a, "b")
+    tree.add_child(b, "c")
+    for _ in range(n):
+        decoy_b = tree.add_child(root, "b")
+        tree.add_child(decoy_b, "c")
+    return tree
+
+
+def selective_tail_doc(n: int) -> DataTree:
+    """Thousands of a/b chains; only one carries the rare 'c'."""
+    tree = DataTree()
+    root = tree.add_root("root")
+    for index in range(n):
+        a = tree.add_child(root, "a")
+        b = tree.add_child(a, "b")
+        if index == 0:
+            tree.add_child(b, "c")
+    return tree
+
+
+def run_both(tree) -> dict:
+    encoding = binarize(tree)
+    disk = DiskManager(page_size=1024)
+    bufmgr = BufferManager(disk, 32)
+    sets = [
+        ElementSet.from_tree_tag(bufmgr, tree, tag, encoding.tree_height)
+        for tag in ("a", "b", "c")
+    ]
+    out = {}
+    for direction in ("top-down", "bottom-up"):
+        disk.stats.reset()
+        result = PathPipeline(bufmgr, direction=direction).execute(sets)
+        out[direction] = (result, disk.stats.snapshot().total)
+    disk.stats.reset()
+    planned = PathPipeline(bufmgr).execute(sets)
+    out["planned"] = (planned, disk.stats.snapshot().total)
+    return out
+
+
+@pytest.mark.parametrize(
+    "shape,builder",
+    [("selective-head", selective_head_doc), ("selective-tail", selective_tail_doc)],
+    ids=["selective-head", "selective-tail"],
+)
+def test_direction_choice(benchmark, shape, builder):
+    n = max(2000, int(20_000 * scale()))
+    tree = builder(n)
+
+    results = benchmark.pedantic(run_both, args=(tree,), rounds=1, iterations=1)
+    top_down, td_io = results["top-down"]
+    bottom_up, bu_io = results["bottom-up"]
+    planned, planned_io = results["planned"]
+    assert top_down.codes == bottom_up.codes == planned.codes
+
+    measured_best = "top-down" if td_io <= bu_io else "bottom-up"
+    ROWS.append([shape, td_io, bu_io, planned.direction, measured_best])
+    benchmark.extra_info.update(
+        {"planned": planned.direction, "measured_best": measured_best}
+    )
+    # the planner must take the measured winner on these adversarial shapes
+    assert planned.direction == measured_best, (shape, td_io, bu_io)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if ROWS:
+        save_result(
+            "pipeline_direction",
+            format_table(
+                ["document shape", "top-down io", "bottom-up io",
+                 "planned", "measured best"],
+                ROWS,
+                title="Path-pipeline join-order planning (//a//b//c)",
+            ),
+        )

@@ -1,0 +1,46 @@
+"""Table 2(a): statistics of the single-height synthetic datasets.
+
+Regenerates the eight S??? datasets and reports their result
+cardinalities, mirroring the paper's Table 2(a) (#results column).
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.workloads import synthetic as syn
+
+from .common import SEED, large_size, save_result, small_size
+
+ROWS = []
+
+
+@pytest.mark.parametrize(
+    "name", ["SLLH", "SLSH", "SSLH", "SSSH", "SLLL", "SLSL", "SSLL", "SSSL"]
+)
+def test_generate_single_height_dataset(benchmark, name):
+    spec = syn.spec_by_name(name, large=large_size(), small=small_size())
+    dataset = benchmark.pedantic(
+        syn.generate, args=(spec,), kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    assert len(dataset.a_codes) == spec.a_size
+    assert len(dataset.d_codes) == spec.d_size
+    # selectivity shape of Table 2(a): High >> Low for equal sizes
+    benchmark.extra_info["results"] = dataset.num_results
+    ROWS.append(
+        [name, spec.a_size, spec.d_size, dataset.num_results,
+         dataset.num_results / spec.d_size]
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if ROWS:
+        save_result(
+            "table2a_single_height_datasets",
+            format_table(
+                ["Dataset", "|A|", "|D|", "#results", "results/|D|"],
+                ROWS,
+                title="Table 2(a): single-height synthetic datasets",
+            ),
+        )

@@ -1,0 +1,46 @@
+"""Table 2(b): statistics of the multiple-height synthetic datasets.
+
+Regenerates the eight M??? datasets with the paper's H_A/H_D height
+counts and reports their cardinalities.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.workloads import synthetic as syn
+
+from .common import SEED, large_size, save_result, small_size
+
+ROWS = []
+
+
+@pytest.mark.parametrize(
+    "name", ["MLLH", "MLSH", "MSLH", "MSSH", "MLLL", "MLSL", "MSLL", "MSSL"]
+)
+def test_generate_multi_height_dataset(benchmark, name):
+    spec = syn.spec_by_name(name, large=large_size(), small=small_size())
+    dataset = benchmark.pedantic(
+        syn.generate, args=(spec,), kwargs={"seed": SEED}, rounds=1, iterations=1
+    )
+    want_ha, want_hd = syn._TABLE_2B_HEIGHTS[name]
+    assert len(spec.a_heights) == want_ha
+    assert len(spec.d_heights) == want_hd
+    benchmark.extra_info["results"] = dataset.num_results
+    ROWS.append(
+        [name, spec.a_size, len(spec.a_heights), spec.d_size,
+         len(spec.d_heights), dataset.num_results]
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if ROWS:
+        save_result(
+            "table2b_multi_height_datasets",
+            format_table(
+                ["Dataset", "|A|", "H_A", "|D|", "H_D", "#results"],
+                ROWS,
+                title="Table 2(b): multiple-height synthetic datasets",
+            ),
+        )

@@ -1,0 +1,92 @@
+"""Update costs through virtual nodes (paper Section 2.3.2).
+
+"Virtual nodes may serve as placeholders and thus be advantageous to
+update."  This benchmark quantifies the claim: insert storms against a
+DBLP-shaped document, measuring how many inserts hit the O(1) fast path
+(a free virtual slot) versus triggering local relabels or global
+growth, and the amortized relabelled-nodes-per-insert figure.
+"""
+
+import pytest
+
+from repro.core.binarize import binarize
+from repro.core.update import UpdatableEncoding
+from repro.experiments.report import format_table
+from repro.workloads import dblp
+
+from .common import SEED, save_result, scale
+
+ROWS = []
+
+
+def fresh_updatable(num_publications):
+    tree = dblp.generate_tree(num_publications=num_publications, seed=SEED)
+    return tree, UpdatableEncoding(binarize(tree))
+
+
+@pytest.mark.parametrize("pattern", ["append_publications", "grow_one_hotspot"])
+def test_insert_storm(benchmark, pattern):
+    import random
+
+    tree, updatable = fresh_updatable(max(500, int(2000 * scale())))
+    rng = random.Random(SEED)
+    inserts = 2000
+
+    def storm():
+        if pattern == "append_publications":
+            # realistic DBLP growth: new publications under the root
+            for _ in range(inserts):
+                pub = updatable.insert_child(tree.root, "article")
+                updatable.insert_child(pub, "title")
+                updatable.insert_child(pub, "author")
+        else:
+            # adversarial: every insert targets the same parent
+            hotspot = updatable.insert_child(tree.root, "hotspot")
+            for _ in range(inserts):
+                updatable.insert_child(hotspot, "entry")
+        return updatable.stats
+
+    stats = benchmark.pedantic(storm, rounds=1, iterations=1)
+    updatable.validate()
+    total_inserts = stats.inserts
+    amortized = stats.relabelled_nodes / max(1, total_inserts)
+    ROWS.append(
+        [pattern, total_inserts, stats.local_relabels,
+         stats.relabelled_nodes, stats.global_relabels,
+         f"{amortized:.3f}"]
+    )
+    benchmark.extra_info.update(
+        {
+            "relabels": stats.local_relabels,
+            "amortized_relabelled_per_insert": round(amortized, 3),
+        }
+    )
+    # the virtual-node claim: relabelling stays amortized O(1)-ish
+    assert amortized < 4.0, (pattern, amortized)
+
+
+def test_fast_path_dominates_realistic_growth():
+    tree, updatable = fresh_updatable(500)
+    for _ in range(1000):
+        pub = updatable.insert_child(tree.root, "article")
+        updatable.insert_child(pub, "author")
+    stats = updatable.stats
+    # local relabels happen only when the root's sibling level doubles:
+    # logarithmically often
+    assert stats.local_relabels <= 12
+    updatable.validate()
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if ROWS:
+        save_result(
+            "update_costs",
+            format_table(
+                ["pattern", "inserts", "local relabels", "relabelled nodes",
+                 "global growths", "relabelled/insert"],
+                ROWS,
+                title="Update cost through virtual nodes (Section 2.3.2)",
+            ),
+        )

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""How buffer memory changes the algorithm trade-off (Figure 6(e) story).
+
+Sweeps the buffer pool size over a large single-height dataset and
+shows the paper's observation: the region-code algorithms stop
+benefiting from extra memory once their external sorts stabilise,
+while the partitioning algorithms keep converting memory into fewer
+passes — until the smaller input fits entirely and the join collapses
+to a single scan of each side.
+"""
+
+from repro.experiments.harness import run_lineup
+from repro.experiments.report import format_table
+from repro.workloads import synthetic as syn
+
+SWEEP_PERCENT = [0.5, 1, 2, 5, 10, 25, 50, 100]
+PAGE_SIZE = 1024
+
+
+def main() -> None:
+    spec = syn.spec_by_name("SLLL", large=40_000, small=400)
+    dataset = syn.generate(spec, seed=5)
+    per_page = (PAGE_SIZE - 8) // 8
+    smaller_pages = -(-min(spec.a_size, spec.d_size) // per_page)
+    print(
+        f"dataset {spec.name}: |A|={spec.a_size:,} |D|={spec.d_size:,} "
+        f"({dataset.num_results:,} results); "
+        f"smaller set = {smaller_pages} pages\n"
+    )
+
+    rows = []
+    for percent in SWEEP_PERCENT:
+        buffer_pages = max(3, int(smaller_pages * percent / 100))
+        lineup = run_lineup(
+            f"P={percent}%",
+            dataset.a_codes,
+            dataset.d_codes,
+            dataset.tree_height,
+            buffer_pages=buffer_pages,
+            page_size=PAGE_SIZE,
+            single_height=True,
+        )
+        rows.append(
+            [
+                f"{percent}%",
+                buffer_pages,
+                lineup.min_rgn_io,
+                lineup.by_name("SHCJ").total_io,
+                lineup.by_name("VPJ").total_io,
+            ]
+        )
+
+    print(
+        format_table(
+            ["P (of smaller set)", "buffer pages", "MIN_RGN io",
+             "SHCJ io", "VPJ io"],
+            rows,
+            title="page I/O vs buffer size (cf. Figure 6(e))",
+        )
+    )
+    print(
+        "\nreading the table: MIN_RGN is dominated by its external sorts and\n"
+        "flattens early; SHCJ/VPJ keep improving and end at one scan of each\n"
+        "input once the smaller set fits in memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

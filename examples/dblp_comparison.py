@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Algorithm shoot-out on DBLP-like bibliography joins.
+
+Recreates the paper's Section 4.2 protocol at example scale: a
+DBLP-shaped document, ten containment joins D1-D10, and — starting from
+unsorted, unindexed element sets behind a small buffer pool — a
+comparison of every algorithm in the framework, including the on-the-fly
+sort/index cost the region-code algorithms must pay.
+
+Prints one table per join and a final summary of how often each
+algorithm won.
+"""
+
+from collections import Counter
+
+from repro.core.binarize import binarize
+from repro.datatree.paths import select_by_tag
+from repro.experiments.harness import (
+    Workbench,
+    make_algorithm,
+    materialize,
+    run_algorithm,
+)
+from repro.experiments.report import format_table
+from repro.workloads import dblp
+
+ALGORITHMS = ["INLJN", "STACKTREE", "ADB+", "MHCJ+Rollup", "VPJ"]
+BUFFER_PAGES = 24
+
+
+def main() -> None:
+    tree = dblp.generate_tree(num_publications=8000, seed=1)
+    encoding = binarize(tree)
+    print(
+        f"DBLP-like document: {len(tree):,} nodes "
+        f"({tree.tag_counts().get('article', 0):,} articles)\n"
+    )
+
+    wins: Counter = Counter()
+    for join in dblp.DBLP_JOINS:
+        a_codes = select_by_tag(tree, join.anc_tag)
+        d_codes = select_by_tag(tree, join.desc_tag)
+        bench = Workbench.create(buffer_pages=BUFFER_PAGES, page_size=1024)
+        a_set = materialize(bench.bufmgr, a_codes, encoding.tree_height, "A")
+        d_set = materialize(bench.bufmgr, d_codes, encoding.tree_height, "D")
+
+        rows = []
+        best = None
+        for name in ALGORITHMS:
+            report = run_algorithm(make_algorithm(name), a_set, d_set)
+            rows.append(
+                [
+                    name,
+                    report.result_count,
+                    report.prep_io.total,
+                    report.join_io.total,
+                    report.total_pages,
+                    f"{report.wall_seconds * 1e3:.1f} ms",
+                ]
+            )
+            if best is None or report.total_pages < best[1]:
+                best = (name, report.total_pages)
+        wins[best[0]] += 1
+
+        title = (
+            f"{join.name}: //{join.anc_tag} <| //{join.desc_tag}   "
+            f"(|A|={len(a_codes):,} |D|={len(d_codes):,}) — {join.description}"
+        )
+        print(
+            format_table(
+                ["algorithm", "#results", "prep io", "join io", "total io", "time"],
+                rows,
+                title=title,
+            )
+        )
+        print(f"  -> cheapest: {best[0]}\n")
+
+    print("wins by algorithm (lowest total page I/O):")
+    for name, count in wins.most_common():
+        print(f"  {name:<12} {count}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Encode once, persist, reopen, query — the storage lifecycle.
+
+A library a downstream user adopts needs persistence: this example
+encodes an XMark-like document, materialises its element sets, saves a
+disk image, then reopens the image in a *fresh* process state and runs
+containment joins against it (no XML, no re-encoding — pure storage
+engine work, CRC-verified pages).
+"""
+
+import os
+import tempfile
+
+from repro import BufferManager, DiskManager, ElementSet, JoinSink, binarize
+from repro.join.pipeline import PathPipeline
+from repro.join.stacktree import StackTreeDescJoin
+from repro.storage.persist import load_image, save_image
+from repro.workloads import xmark
+
+TAGS = ["item", "description", "parlist", "listitem", "text",
+        "open_auction", "bidder", "increase"]
+
+
+def build_and_save(path: str) -> None:
+    tree = xmark.generate_tree(scale=0.3, seed=21)
+    encoding = binarize(tree)
+    disk = DiskManager(page_size=1024)
+    bufmgr = BufferManager(disk, 64)
+    element_sets = {}
+    for tag in TAGS:
+        element_sets[tag] = ElementSet.from_tree_tag(
+            bufmgr, tree, tag, encoding.tree_height, name=tag
+        )
+    bufmgr.flush_all()
+    save_image(disk, path, element_sets)
+    size_kib = os.path.getsize(path) / 1024
+    print(
+        f"saved {len(element_sets)} element sets "
+        f"({sum(len(s) for s in element_sets.values()):,} elements, "
+        f"{disk.num_allocated} pages, {size_kib:.0f} KiB image)"
+    )
+
+
+def reopen_and_query(path: str) -> None:
+    image = load_image(path, buffer_pages=32)
+    print(f"\nreopened: {sorted(image.element_sets)}")
+
+    # single join straight off the image
+    items = image.element_sets["item"]
+    listitems = image.element_sets["listitem"]
+    sink = JoinSink("count")
+    report = StackTreeDescJoin().run(items, listitems, sink)
+    print(
+        f"//item <| //listitem: {sink.count:,} pairs "
+        f"({report.total_pages} page I/Os, sort charged: "
+        f"{report.prep_io.total})"
+    )
+
+    # a planned multi-step pipeline
+    steps = [image.element_sets[tag] for tag in
+             ("open_auction", "bidder", "increase")]
+    result = PathPipeline(image.bufmgr).execute(steps)
+    print(
+        f"//open_auction//bidder//increase: {len(result.codes):,} matches, "
+        f"direction={result.direction}, {result.total_io} page I/Os"
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "auctions.pbit")
+        build_and_save(path)
+        reopen_and_query(path)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""repro — a reproduction of *PBiTree Coding and Efficient Processing of
+Containment Joins* (Wang, Jiang, Lu, Yu — ICDE 2003).
+
+The package implements the paper's PBiTree coding scheme, a
+Minibase-style paged storage substrate with I/O accounting, and the
+complete containment-join framework: the adapted region-code
+algorithms (INLJN, MPMGJN, Stack-Tree, Anc_Des_B+) and the new
+partitioning algorithms (SHCJ, MHCJ, MHCJ+Rollup, VPJ).
+
+Quickstart::
+
+    from repro import (
+        parse_xml, binarize, DiskManager, BufferManager,
+        ElementSet, PBiTreeJoinFramework,
+    )
+
+    tree = parse_xml(open("doc.xml").read())
+    encoding = binarize(tree)
+    disk = DiskManager()
+    bufmgr = BufferManager(disk, num_pages=64)
+    sections = ElementSet.from_tree_tag(bufmgr, tree, "section", encoding.tree_height)
+    figures = ElementSet.from_tree_tag(bufmgr, tree, "figure", encoding.tree_height)
+    report, pairs = PBiTreeJoinFramework().join(sections, figures)
+"""
+
+from .core import pbitree
+from .core.binarize import binarize
+from .core.encoding import PBiTreeEncoding
+from .datatree.builder import random_tree, tree_from_spec
+from .datatree.node import DataTree
+from .datatree.paths import PathQuery, brute_force_join, select_by_tag
+from .datatree.xml_parser import parse_xml
+from .datatree.xpath import XPath
+from .join.ancdes_b import AncDesBPlusJoin
+from .join.base import JoinReport, JoinSink
+from .join.inljn import IndexNestedLoopJoin
+from .join.mhcj import MultiHeightJoin, MultiHeightRollupJoin
+from .join.mpmgjn import MPMGJoin
+from .join.nested_loop import BlockNestedLoopJoin
+from .join.planner import PBiTreeJoinFramework, SetProperties, choose_algorithm
+from .join.shcj import SingleHeightJoin
+from .join.stacktree import StackTreeAncJoin, StackTreeDescJoin
+from .core.update import UpdatableEncoding
+from .db import ContainmentDatabase
+from .join.optimizer import CostBasedOptimizer
+from .join.spatial import RTreeProbeJoin, SynchronizedRTreeJoin
+from .join.statistics import SetStatistics, estimate_join_cardinality
+from .join.vpj import VerticalPartitionJoin
+from .join.xrstack import XRStackJoin
+from .storage.buffer import BufferManager
+from .storage.disk import DiskManager
+from .storage.elementset import ElementSet, SortOrder
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "pbitree",
+    "binarize",
+    "PBiTreeEncoding",
+    "DataTree",
+    "random_tree",
+    "tree_from_spec",
+    "parse_xml",
+    "XPath",
+    "PathQuery",
+    "select_by_tag",
+    "brute_force_join",
+    "DiskManager",
+    "BufferManager",
+    "ElementSet",
+    "SortOrder",
+    "JoinReport",
+    "JoinSink",
+    "BlockNestedLoopJoin",
+    "IndexNestedLoopJoin",
+    "MPMGJoin",
+    "StackTreeDescJoin",
+    "StackTreeAncJoin",
+    "AncDesBPlusJoin",
+    "SingleHeightJoin",
+    "MultiHeightJoin",
+    "MultiHeightRollupJoin",
+    "VerticalPartitionJoin",
+    "XRStackJoin",
+    "PBiTreeJoinFramework",
+    "SetProperties",
+    "choose_algorithm",
+    "UpdatableEncoding",
+    "ContainmentDatabase",
+    "CostBasedOptimizer",
+    "RTreeProbeJoin",
+    "SynchronizedRTreeJoin",
+    "SetStatistics",
+    "estimate_join_cardinality",
+    "__version__",
+]

@@ -1,0 +1,202 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``encode FILE.xml`` — parse + binarize, print the code table;
+* ``query FILE.xml //a//b`` — evaluate a path query, print matches;
+* ``explain FILE.xml //a//b`` — print the cost-based plan ranking;
+* ``stats FILE.xml`` — document and coding-space statistics;
+* ``save FILE.xml IMAGE`` — encode and persist element sets to a
+  disk image;
+* ``image-query IMAGE //a//b`` — run a path query against a saved
+  image (no XML parsing, pure storage-engine work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core import pbitree
+from .core.binarize import binarize
+from .datatree.xml_parser import parse_xml
+from .db import ContainmentDatabase
+
+__all__ = ["main"]
+
+
+def _load(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_xml(handle.read())
+
+
+def cmd_encode(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    encoding = binarize(tree)
+    print(f"# {len(tree)} nodes, PBiTree height H = {encoding.tree_height}")
+    print(f"{'node':>6} {'code':>12} {'height':>6} {'level':>6} "
+          f"{'start':>12} {'end':>12}  tag")
+    limit = args.limit if args.limit > 0 else len(tree)
+    for node in list(tree.iter_preorder())[:limit]:
+        code = tree.codes[node]
+        start, end = pbitree.region_of(code)
+        print(
+            f"{node:>6} {code:>12} {pbitree.height_of(code):>6} "
+            f"{pbitree.level_of(code, encoding.tree_height):>6} "
+            f"{start:>12} {end:>12}  {tree.tags[node]}"
+        )
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    db = ContainmentDatabase(
+        buffer_pages=args.buffer_pages,
+        optimizer="cost" if args.cost_based else "rule",
+    )
+    doc = db.load_tree(_load(args.file), name=args.file)
+    result = db.query(doc, args.path)
+    for node in result:
+        print(f"node {node.id}: <{node.tag}> code={node.code}")
+    for index, report in enumerate(result.reports, 1):
+        print(
+            f"# step {index}: {report.algorithm}, "
+            f"{report.result_count} pairs, {report.total_pages} page I/Os",
+            file=sys.stderr,
+        )
+    print(f"# {len(result)} matches", file=sys.stderr)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    db = ContainmentDatabase(buffer_pages=args.buffer_pages)
+    doc = db.load_tree(_load(args.file), name=args.file)
+    print(db.explain(doc, args.path))
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    tree = _load(args.file)
+    encoding = binarize(tree)
+    print(f"nodes:            {len(tree)}")
+    print(f"document height:  {tree.height()}")
+    print(f"max fanout:       {tree.max_fanout()}")
+    print(f"PBiTree height H: {encoding.tree_height}")
+    print(f"coding space:     [1, {pbitree.max_code(encoding.tree_height)}]")
+    print(f"bits per code:    {encoding.bits_per_code}")
+    occupancy = len(tree) / pbitree.max_code(encoding.tree_height)
+    print(f"occupancy:        {occupancy:.2e} (the rest are virtual nodes)")
+    print("top tags:")
+    counts = sorted(
+        tree.tag_counts().items(), key=lambda item: -item[1]
+    )[:args.limit]
+    for tag, count in counts:
+        print(f"  {tag:<24} {count}")
+    return 0
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    from .core.binarize import binarize as _binarize
+    from .storage.buffer import BufferManager
+    from .storage.disk import DiskManager
+    from .storage.elementset import ElementSet
+    from .storage.persist import save_image
+
+    tree = _load(args.file)
+    encoding = _binarize(tree)
+    disk = DiskManager()
+    bufmgr = BufferManager(disk, 64)
+    wanted = (
+        [tag.strip() for tag in args.tags.split(",") if tag.strip()]
+        if args.tags
+        else sorted(
+            tag for tag in tree.tag_counts()
+            if not tag.startswith(("@", "#"))
+        )
+    )
+    element_sets = {}
+    for tag in wanted:
+        element_sets[tag] = ElementSet.from_tree_tag(
+            bufmgr, tree, tag, encoding.tree_height, name=tag
+        )
+    bufmgr.flush_all()
+    save_image(disk, args.image, element_sets)
+    print(
+        f"saved {len(element_sets)} element sets "
+        f"({disk.num_allocated} pages) to {args.image}"
+    )
+    return 0
+
+
+def cmd_image_query(args: argparse.Namespace) -> int:
+    from .datatree.paths import PathQuery
+    from .join.pipeline import PathPipeline
+    from .storage.persist import load_image
+
+    image = load_image(args.image, buffer_pages=args.buffer_pages)
+    query = PathQuery(args.path)
+    try:
+        steps = [image.element_sets[tag] for tag in query.steps]
+    except KeyError as exc:
+        print(f"error: element set {exc} not in the image "
+              f"(available: {', '.join(sorted(image.element_sets))})",
+              file=sys.stderr)
+        return 1
+    result = PathPipeline(image.bufmgr).execute(steps)
+    for code in result.codes:
+        print(code)
+    print(
+        f"# {len(result.codes)} matches, direction={result.direction}, "
+        f"{result.total_io} page I/Os",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PBiTree containment-join toolkit (ICDE 2003 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    enc = sub.add_parser("encode", help="print the PBiTree code table")
+    enc.add_argument("file")
+    enc.add_argument("--limit", type=int, default=50)
+    enc.set_defaults(func=cmd_encode)
+
+    qry = sub.add_parser("query", help="run a //a//b path query")
+    qry.add_argument("file")
+    qry.add_argument("path")
+    qry.add_argument("--buffer-pages", type=int, default=64)
+    qry.add_argument("--cost-based", action="store_true")
+    qry.set_defaults(func=cmd_query)
+
+    exp = sub.add_parser("explain", help="rank the candidate join plans")
+    exp.add_argument("file")
+    exp.add_argument("path")
+    exp.add_argument("--buffer-pages", type=int, default=64)
+    exp.set_defaults(func=cmd_explain)
+
+    sts = sub.add_parser("stats", help="document / coding statistics")
+    sts.add_argument("file")
+    sts.add_argument("--limit", type=int, default=10)
+    sts.set_defaults(func=cmd_stats)
+
+    sav = sub.add_parser("save", help="persist encoded element sets")
+    sav.add_argument("file")
+    sav.add_argument("image")
+    sav.add_argument("--tags", default="", help="comma-separated (default: all)")
+    sav.set_defaults(func=cmd_save)
+
+    imq = sub.add_parser("image-query", help="query a saved image")
+    imq.add_argument("image")
+    imq.add_argument("path")
+    imq.add_argument("--buffer-pages", type=int, default=64)
+    imq.set_defaults(func=cmd_image_query)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

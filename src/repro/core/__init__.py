@@ -1,0 +1,18 @@
+"""PBiTree coding core: the paper's primary contribution."""
+
+from . import pbitree
+from .binarize import binarize, levels_for_tree, placement_k
+from .encoding import EncodingError, PBiTreeEncoding
+from .update import CodeSpaceError, UpdatableEncoding, UpdateStats
+
+__all__ = [
+    "pbitree",
+    "binarize",
+    "levels_for_tree",
+    "placement_k",
+    "PBiTreeEncoding",
+    "EncodingError",
+    "UpdatableEncoding",
+    "UpdateStats",
+    "CodeSpaceError",
+]

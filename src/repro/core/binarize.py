@@ -1,0 +1,93 @@
+"""BinarizeTree (Algorithm 1): embed a data tree into a PBiTree.
+
+The binarization places all children of a node contiguously ``k`` levels
+below it, where ``k`` is the smallest integer with ``2**k >= n_children``
+(and at least 1 — a child must sit strictly below its parent; the
+paper's pseudo-code writes ``ceil(log2 n)`` which would be 0 for an only
+child, but its prose makes clear the child level must be *below* the
+parent's).  Child ``i`` of a node with top-down code ``(l, alpha)``
+receives top-down code ``(l + k, 2**k * alpha + i)``; codes follow from
+Lemma 2 once the total tree height ``H`` is known.
+
+The implementation is iterative (two passes), so arbitrarily deep data
+trees do not hit Python's recursion limit:
+
+1. a pass assigning PBiTree *levels* and finding the deepest level,
+   which fixes ``H``;
+2. a pass converting each node's ``(level, alpha)`` to its code via
+   :func:`repro.core.pbitree.g_code`.
+"""
+
+from __future__ import annotations
+
+from ..datatree.node import DataTree
+from .encoding import PBiTreeEncoding
+from .pbitree import g_code
+
+__all__ = ["binarize", "levels_for_tree", "placement_k"]
+
+
+def placement_k(num_children: int) -> int:
+    """Levels to descend when placing ``num_children`` children.
+
+    The smallest ``k >= 1`` with ``2**k >= num_children``.
+    """
+    if num_children < 1:
+        raise ValueError("placement_k needs at least one child")
+    return max(1, (num_children - 1).bit_length())
+
+
+def levels_for_tree(tree: DataTree) -> tuple[list[int], list[int], int]:
+    """First pass of binarization.
+
+    Returns ``(levels, alphas, tree_height)`` where ``levels[i]`` /
+    ``alphas[i]`` form the top-down code of node ``i`` and
+    ``tree_height`` is the height ``H`` of the enclosing PBiTree
+    (deepest level + 1).
+    """
+    if not len(tree):
+        raise ValueError("cannot binarize an empty tree")
+    levels = [0] * len(tree)
+    alphas = [0] * len(tree)
+    deepest = 0
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        kids = tree.children[node]
+        if not kids:
+            continue
+        k = placement_k(len(kids))
+        child_level = levels[node] + k
+        base_alpha = alphas[node] << k
+        if child_level > deepest:
+            deepest = child_level
+        for i, child in enumerate(kids):
+            levels[child] = child_level
+            alphas[child] = base_alpha + i
+            stack.append(child)
+    return levels, alphas, deepest + 1
+
+
+def binarize(
+    tree: DataTree,
+    min_height: int = 1,
+    validate: bool = False,
+) -> PBiTreeEncoding:
+    """Assign a PBiTree code to every node of ``tree``.
+
+    Writes the codes into ``tree.codes`` and returns a
+    :class:`PBiTreeEncoding` describing the embedding.  ``min_height``
+    can force a taller PBiTree than strictly necessary (the paper's
+    "durable" coding-space headroom for updates); ``validate`` runs an
+    O(n) structural check that the embedding function is injective and
+    ancestor-preserving — useful in tests, off by default.
+    """
+    levels, alphas, needed_height = levels_for_tree(tree)
+    tree_height = max(needed_height, min_height)
+    codes = tree.codes
+    for node in range(len(tree)):
+        codes[node] = g_code(alphas[node], levels[node], tree_height)
+    encoding = PBiTreeEncoding(tree_height=tree_height, tree=tree)
+    if validate:
+        encoding.validate()
+    return encoding

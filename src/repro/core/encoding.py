@@ -1,0 +1,122 @@
+"""Encoding metadata: the result of embedding a data tree in a PBiTree.
+
+A :class:`PBiTreeEncoding` ties together the encoded :class:`DataTree`
+and the height ``H`` of the enclosing PBiTree, and offers decode
+facilities (code -> node) plus the structural validation used in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..datatree.node import DataTree
+from . import pbitree
+
+__all__ = ["PBiTreeEncoding", "EncodingError"]
+
+
+class EncodingError(ValueError):
+    """Raised when an embedding violates the injective/ancestor-preserving contract."""
+
+
+class PBiTreeEncoding:
+    """An embedding of a :class:`DataTree` into a PBiTree of height ``H``.
+
+    The embedding function ``h`` of Section 2.2 is realised by
+    ``tree.codes``; this class adds the reverse direction and documents
+    the coding space.
+    """
+
+    def __init__(self, tree_height: int, tree: DataTree) -> None:
+        self.tree_height = tree_height
+        self.tree = tree
+        self._code_to_node: Optional[dict[int, int]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def coding_space(self) -> tuple[int, int]:
+        """Inclusive code range ``[1, 2**H - 1]`` (Section 2.3.3)."""
+        return 1, pbitree.max_code(self.tree_height)
+
+    @property
+    def bits_per_code(self) -> int:
+        """Bits needed to store one code: ``H``."""
+        return self.tree_height
+
+    def codes(self) -> Iterator[int]:
+        """All assigned codes, in node-id order."""
+        return iter(self.tree.codes)
+
+    # ------------------------------------------------------------------
+    def node_of(self, code: int) -> int:
+        """Node id carrying ``code`` (builds a reverse map on first use).
+
+        Raises ``KeyError`` for virtual nodes — codes in the coding
+        space with no corresponding data-tree node.
+        """
+        if self._code_to_node is None:
+            self._code_to_node = {
+                code: node for node, code in enumerate(self.tree.codes)
+            }
+        return self._code_to_node[code]
+
+    def is_virtual(self, code: int) -> bool:
+        """True if ``code`` is valid in the coding space but unoccupied."""
+        pbitree.validate_code(code, self.tree_height)
+        if self._code_to_node is None:
+            self.node_of(self.tree.codes[self.tree.root])  # build map
+        assert self._code_to_node is not None
+        return code not in self._code_to_node
+
+    def level_of_node(self, node_id: int) -> int:
+        """PBiTree level of a data-tree node."""
+        return pbitree.level_of(self.tree.codes[node_id], self.tree_height)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check the two conditions of the embedding function ``h``.
+
+        1. injectivity: distinct nodes get distinct codes;
+        2. order-embedding: ``h(u)`` is an ancestor of ``h(v)`` in the
+           PBiTree iff ``u`` is an ancestor of ``v`` in the data tree.
+
+        Condition 2 is verified in O(n) by checking, for every non-root
+        node, that the code of its *parent* is the nearest encoded
+        proper ancestor of its own code — which, together with
+        injectivity, implies the full iff.
+        """
+        tree = self.tree
+        seen: dict[int, int] = {}
+        for node, code in enumerate(tree.codes):
+            pbitree.validate_code(code, self.tree_height)
+            if code in seen:
+                raise EncodingError(
+                    f"nodes {seen[code]} and {node} share code {code}"
+                )
+            seen[code] = node
+        for node, parent in enumerate(tree.parents):
+            if parent < 0:
+                continue
+            if not pbitree.is_ancestor(tree.codes[parent], tree.codes[node]):
+                raise EncodingError(
+                    f"parent {parent} (code {tree.codes[parent]}) does not "
+                    f"dominate child {node} (code {tree.codes[node]})"
+                )
+            # No *other* encoded node may sit strictly between parent and
+            # child on the PBiTree path, otherwise "ancestor in PBiTree"
+            # would not imply "ancestor in data tree".
+            parent_height = pbitree.height_of(tree.codes[parent])
+            child_code = tree.codes[node]
+            for height in range(pbitree.height_of(child_code) + 1, parent_height):
+                between = pbitree.f_ancestor(child_code, height)
+                if between in seen:
+                    raise EncodingError(
+                        f"node {seen[between]} (code {between}) sits between "
+                        f"child {node} and its parent {parent} in the PBiTree"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"<PBiTreeEncoding H={self.tree_height} nodes={len(self.tree)} "
+            f"space=[1, {pbitree.max_code(self.tree_height)}]>"
+        )

@@ -1,0 +1,26 @@
+"""Tree-structured data model, XML parsing and path queries."""
+
+from .builder import random_tree, tree_from_spec
+from .node import DataTree, NodeView
+from .paths import PathQuery, brute_force_join, select_by_tag
+from .serialize import to_xml
+from .xml_parser import XMLSyntaxError, parse_xml
+from .xpath import Predicate, Step, XPath, XPathSyntaxError, is_parent_code
+
+__all__ = [
+    "DataTree",
+    "NodeView",
+    "random_tree",
+    "tree_from_spec",
+    "PathQuery",
+    "brute_force_join",
+    "select_by_tag",
+    "to_xml",
+    "parse_xml",
+    "XMLSyntaxError",
+    "XPath",
+    "XPathSyntaxError",
+    "Step",
+    "Predicate",
+    "is_parent_code",
+]

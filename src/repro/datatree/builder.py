@@ -1,0 +1,90 @@
+"""Convenience constructors for :class:`DataTree`.
+
+Used by tests, examples and the workload generators: build trees from
+nested literals, or generate random trees with controlled shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, Union
+
+from .node import DataTree
+
+__all__ = ["tree_from_spec", "random_tree", "Spec"]
+
+# A spec is a tag, or (tag, [child specs]), or (tag, text) when the
+# second element is a string.
+Spec = Union[str, tuple]
+
+
+def tree_from_spec(spec: Spec) -> DataTree:
+    """Build a tree from a nested literal.
+
+    Example::
+
+        tree_from_spec(("book", [
+            ("title", "Databases"),
+            ("chapter", [("section", [])]),
+        ]))
+    """
+    tree = DataTree()
+    _add_spec(tree, spec, parent=-1)
+    return tree
+
+
+def _add_spec(tree: DataTree, spec: Spec, parent: int) -> None:
+    tag, text, kids = _unpack_spec(spec)
+    if parent < 0:
+        node = tree.add_root(tag, text)
+    else:
+        node = tree.add_child(parent, tag, text)
+    for kid in kids:
+        _add_spec(tree, kid, node)
+
+
+def _unpack_spec(spec: Spec) -> tuple[str, Union[str, None], Sequence[Spec]]:
+    if isinstance(spec, str):
+        return spec, None, ()
+    if not isinstance(spec, tuple) or not spec or not isinstance(spec[0], str):
+        raise TypeError(f"bad tree spec: {spec!r}")
+    tag = spec[0]
+    if len(spec) == 1:
+        return tag, None, ()
+    if len(spec) == 2 and isinstance(spec[1], str):
+        return tag, spec[1], ()
+    if len(spec) == 2 and isinstance(spec[1], (list, tuple)):
+        return tag, None, spec[1]
+    if len(spec) == 3 and isinstance(spec[1], str):
+        return tag, spec[1], spec[2]
+    raise TypeError(f"bad tree spec: {spec!r}")
+
+
+def random_tree(
+    num_nodes: int,
+    max_fanout: int = 8,
+    seed: int | None = None,
+    tags: Sequence[str] = ("a", "b", "c", "d"),
+) -> DataTree:
+    """Generate a random tree with ``num_nodes`` nodes.
+
+    Each new node attaches to a uniformly random existing node whose
+    fanout is still below ``max_fanout``; tags are drawn uniformly from
+    ``tags``.  Deterministic for a given ``seed``.
+    """
+    if num_nodes < 1:
+        raise ValueError("a tree needs at least one node")
+    rng = random.Random(seed)
+    tree = DataTree()
+    tree.add_root(rng.choice(tags))
+    open_nodes = [0]
+    for _ in range(num_nodes - 1):
+        index = rng.randrange(len(open_nodes))
+        parent = open_nodes[index]
+        child = tree.add_child(parent, rng.choice(tags))
+        open_nodes.append(child)
+        if len(tree.children[parent]) >= max_fanout:
+            # swap-remove the saturated parent
+            open_nodes[index] = open_nodes[-1]
+            open_nodes.pop()
+    return tree

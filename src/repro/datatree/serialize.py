@@ -1,0 +1,60 @@
+"""Serialize a :class:`DataTree` back to XML text.
+
+The inverse of :mod:`repro.datatree.xml_parser` (attribute nodes tagged
+``@name`` become attributes again, ``#text`` leaves become character
+data), used by round-trip tests and by examples that want to show a
+generated workload as a document.
+"""
+
+from __future__ import annotations
+
+from .node import DataTree
+
+__all__ = ["to_xml"]
+
+_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _ESCAPES + [('"', "&quot;")]
+
+
+def _escape(text: str, table=_ESCAPES) -> str:
+    for raw, entity in table:
+        text = text.replace(raw, entity)
+    return text
+
+
+def to_xml(tree: DataTree, indent: str = "  ") -> str:
+    """Render the tree as a pretty-printed XML document."""
+    if not len(tree):
+        raise ValueError("empty tree")
+    lines: list[str] = []
+    _render(tree, tree.root, 0, indent, lines)
+    return "\n".join(lines) + "\n"
+
+
+def _render(
+    tree: DataTree, node: int, depth: int, indent: str, lines: list[str]
+) -> None:
+    tag = tree.tags[node]
+    pad = indent * depth
+    if tag == "#text":
+        lines.append(pad + _escape(tree.texts[node] or ""))
+        return
+    attrs = []
+    content: list[int] = []
+    for child in tree.children[node]:
+        child_tag = tree.tags[child]
+        if child_tag.startswith("@"):
+            value = _escape(tree.texts[child] or "", _ATTR_ESCAPES)
+            attrs.append(f'{child_tag[1:]}="{value}"')
+        else:
+            content.append(child)
+    open_tag = tag if not attrs else tag + " " + " ".join(attrs)
+    if not content and tree.texts[node] is None:
+        lines.append(f"{pad}<{open_tag}/>")
+        return
+    lines.append(f"{pad}<{open_tag}>")
+    if tree.texts[node] is not None:
+        lines.append(pad + indent + _escape(tree.texts[node]))
+    for child in content:
+        _render(tree, child, depth + 1, indent, lines)
+    lines.append(f"{pad}</{tag}>")

@@ -1,0 +1,356 @@
+"""High-level façade: documents, element sets, indexes and queries.
+
+:class:`ContainmentDatabase` is the adoption surface of this library —
+what an application uses instead of wiring disk, buffer pool, encoder,
+planner and join operators together by hand:
+
+* load XML text or a pre-built :class:`DataTree`;
+* run descendant-axis path queries (``//a//b//c``) as chains of
+  containment joins, planned rule-based (Table 1) or cost-based;
+* create persistent indexes (B+-tree / interval tree / R-tree) that the
+  planner then exploits;
+* apply updates (insert/delete elements) through the virtual-node
+  machinery, with element-set caches invalidated automatically.
+
+Example::
+
+    db = ContainmentDatabase(buffer_pages=64)
+    doc = db.load_xml(open("catalog.xml").read(), name="catalog")
+    for node in db.query(doc, "//item//price"):
+        print(node.tag, node.text)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from .core.binarize import binarize
+from .core.update import UpdatableEncoding
+from .datatree.node import DataTree, NodeView
+from .datatree.paths import PathQuery
+from .datatree.xml_parser import parse_xml
+from .index.bptree import BPlusTree
+from .index.interval_tree import IntervalTree
+from .index.rtree import RTree
+from .join.base import JoinReport
+from .join.inljn import build_interval_index, build_start_index
+from .join.optimizer import CostBasedOptimizer
+from .join.planner import PBiTreeJoinFramework, SetProperties
+from .join.spatial import build_point_rtree
+from .storage.buffer import BufferManager
+from .storage.disk import DiskManager
+from .storage.elementset import ElementSet
+
+__all__ = ["ContainmentDatabase", "Document", "QueryResult"]
+
+
+@dataclass
+class Document:
+    """A loaded, encoded document."""
+
+    name: str
+    tree: DataTree
+    updatable: UpdatableEncoding
+
+    @property
+    def tree_height(self) -> int:
+        return self.updatable.tree_height
+
+    def node(self, node_id: int) -> NodeView:
+        return self.tree.node(node_id)
+
+    def __repr__(self) -> str:
+        return f"<Document {self.name!r} nodes={len(self.tree)} H={self.tree_height}>"
+
+
+@dataclass
+class QueryResult:
+    """Matched elements plus the execution trace of each join step."""
+
+    nodes: list[NodeView]
+    reports: list[JoinReport] = field(default_factory=list)
+    planning_io: int = 0
+
+    def __iter__(self) -> Iterator[NodeView]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_io(self) -> int:
+        return self.planning_io + sum(
+            report.total_pages for report in self.reports
+        )
+
+
+class ContainmentDatabase:
+    """Documents + storage + query processing in one object."""
+
+    def __init__(
+        self,
+        page_size: int = 1024,
+        buffer_pages: int = 64,
+        policy: str = "lru",
+        optimizer: str = "rule",
+    ) -> None:
+        """``optimizer`` selects the default planning mode: ``"rule"``
+        (the paper's Table 1) or ``"cost"`` (the Section 6 cost-based
+        optimizer)."""
+        if optimizer not in ("rule", "cost"):
+            raise ValueError(f"unknown optimizer mode {optimizer!r}")
+        self.disk = DiskManager(page_size)
+        self.bufmgr = BufferManager(self.disk, buffer_pages, policy)
+        self.optimizer_mode = optimizer
+        self._framework = PBiTreeJoinFramework()
+        self._cost_optimizer = CostBasedOptimizer()
+        self._documents: dict[str, Document] = {}
+        self._sets: dict[tuple[str, str], ElementSet] = {}
+        self._start_indexes: dict[tuple[str, str], BPlusTree] = {}
+        self._interval_indexes: dict[tuple[str, str], IntervalTree] = {}
+        self._rtree_indexes: dict[tuple[str, str], RTree] = {}
+
+    # ------------------------------------------------------------------
+    # loading
+    # ------------------------------------------------------------------
+    def load_xml(self, text: str, name: str = "doc") -> Document:
+        """Parse, encode and register an XML document."""
+        return self.load_tree(parse_xml(text), name)
+
+    def load_tree(self, tree: DataTree, name: str = "doc") -> Document:
+        if name in self._documents:
+            raise ValueError(f"document {name!r} already loaded")
+        encoding = binarize(tree)
+        document = Document(
+            name=name, tree=tree, updatable=UpdatableEncoding(encoding)
+        )
+        self._documents[name] = document
+        return document
+
+    def document(self, name: str) -> Document:
+        return self._documents[name]
+
+    # ------------------------------------------------------------------
+    # element sets and indexes
+    # ------------------------------------------------------------------
+    def element_set(self, document: Document, tag: str) -> ElementSet:
+        """The on-disk element set for one tag (built once, cached)."""
+        key = (document.name, tag)
+        cached = self._sets.get(key)
+        if cached is None:
+            codes = [
+                document.tree.codes[node]
+                for node in document.tree.iter_by_tag(tag)
+                if document.updatable.is_alive(node)
+            ]
+            cached = ElementSet.from_codes(
+                self.bufmgr, codes, document.tree_height,
+                name=f"{document.name}//{tag}",
+            )
+            self._sets[key] = cached
+        return cached
+
+    def create_start_index(self, document: Document, tag: str) -> BPlusTree:
+        """B+-tree on region Start (serves INLJN-descendant and ADB+)."""
+        key = (document.name, tag)
+        if key not in self._start_indexes:
+            self._start_indexes[key] = build_start_index(
+                self.element_set(document, tag), self.bufmgr
+            )
+        return self._start_indexes[key]
+
+    def create_interval_index(self, document: Document, tag: str) -> IntervalTree:
+        """Interval tree over regions (serves INLJN-ancestor probes)."""
+        key = (document.name, tag)
+        if key not in self._interval_indexes:
+            self._interval_indexes[key] = build_interval_index(
+                self.element_set(document, tag), self.bufmgr
+            )
+        return self._interval_indexes[key]
+
+    def create_rtree_index(self, document: Document, tag: str) -> RTree:
+        """R-tree over (Start, End) points (serves the spatial joins)."""
+        key = (document.name, tag)
+        if key not in self._rtree_indexes:
+            self._rtree_indexes[key] = build_point_rtree(
+                self.element_set(document, tag), self.bufmgr
+            )
+        return self._rtree_indexes[key]
+
+    def _properties(self, document: Document, tag: str) -> SetProperties:
+        key = (document.name, tag)
+        elements = self.element_set(document, tag)
+        single = None
+        if elements.known_heights and len(elements.known_heights) == 1:
+            single = next(iter(elements.known_heights))
+        return SetProperties(
+            sorted=False,
+            start_index=self._start_indexes.get(key),
+            interval_index=self._interval_indexes.get(key),
+            single_height=single,
+        )
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        document: Document,
+        path: str,
+        direction: Optional[str] = None,
+    ) -> QueryResult:
+        """Evaluate a path query as a chain of containment joins.
+
+        Pure descendant-axis chains (``//a//b//c``) run through
+        :class:`PathPipeline`, which decides the join order (top-down
+        vs bottom-up) from estimated intermediate sizes unless
+        ``direction`` forces one.  Extended syntax — child axis
+        ``/a/b``, predicates ``//a[b]`` — is routed through the
+        :class:`~repro.datatree.xpath.XPath` evaluator (EA-joins via
+        the occupancy-set parent filter).
+        """
+        from .join.pipeline import PathPipeline
+
+        if self._is_extended_path(path):
+            return self._query_extended(document, path)
+        query = PathQuery(path)
+        steps = [self.element_set(document, tag) for tag in query.steps]
+        if len(steps) == 1:
+            codes = sorted(steps[0].scan())
+            nodes = self._decode(document, codes)
+            return QueryResult(nodes=nodes)
+
+        tags = dict(zip((id(s) for s in steps), query.steps))
+
+        def factory(ancestors: ElementSet, descendants: ElementSet):
+            return self._plan(
+                document,
+                ancestors,
+                tags.get(id(ancestors)),
+                descendants,
+                tags.get(id(descendants)),
+            )
+
+        pipeline = PathPipeline(
+            self.bufmgr, algorithm_factory=factory, direction=direction
+        )
+        result = pipeline.execute(steps)
+        return QueryResult(
+            nodes=self._decode(document, result.codes),
+            reports=result.reports,
+            planning_io=result.planning_io,
+        )
+
+    @staticmethod
+    def _is_extended_path(path: str) -> bool:
+        """True for syntax PathQuery cannot handle (child axis, [..], *)."""
+        import re
+
+        return re.fullmatch(r"(//[-\w.]+)+", path) is None
+
+    def _query_extended(self, document: Document, path: str) -> QueryResult:
+        from .datatree.xpath import XPath
+
+        reports: list[JoinReport] = []
+
+        def join(a_codes, d_codes):
+            from .join.base import JoinSink
+
+            a_set = ElementSet.from_codes(
+                self.bufmgr, a_codes, document.tree_height, "xq.A"
+            )
+            d_set = ElementSet.from_codes(
+                self.bufmgr, d_codes, document.tree_height, "xq.D"
+            )
+            sink = JoinSink("collect")
+            algorithm = self._plan(document, a_set, None, d_set, None)
+            reports.append(algorithm.run(a_set, d_set, sink))
+            a_set.destroy()
+            d_set.destroy()
+            return sink.pairs
+
+        xpath = XPath(path)
+        codes = xpath.evaluate_with_joins(
+            document.tree, join, alive=document.updatable.is_alive
+        )
+        return QueryResult(nodes=self._decode(document, codes), reports=reports)
+
+    def _decode(self, document: Document, codes) -> list[NodeView]:
+        out = []
+        for code in codes:
+            node = document.updatable.node_of(code)
+            if node is not None:
+                out.append(document.tree.node(node))
+        return out
+
+    def _plan(self, document, ancestors, anc_tag, descendants, desc_tag):
+        if self.optimizer_mode == "cost":
+            algorithm, _plan = self._cost_optimizer.choose(ancestors, descendants)
+            return algorithm
+        a_props = (
+            self._properties(document, anc_tag)
+            if anc_tag is not None
+            else SetProperties()
+        )
+        d_props = (
+            self._properties(document, desc_tag)
+            if desc_tag is not None
+            else SetProperties()
+        )
+        return self._framework.plan(ancestors, descendants, a_props, d_props)
+
+    def explain(self, document: Document, path: str) -> str:
+        """Ranked cost-based plans for every step of a path query."""
+        query = PathQuery(path)
+        chunks = []
+        for anc_tag, desc_tag in zip(query.steps, query.steps[1:]):
+            ancestors = self.element_set(document, anc_tag)
+            descendants = self.element_set(document, desc_tag)
+            plans = self._cost_optimizer.explain(ancestors, descendants)
+            chunks.append(
+                f"step //{anc_tag} <| //{desc_tag}:\n"
+                + CostBasedOptimizer.format_explain(plans)
+            )
+        return "\n\n".join(chunks)
+
+    # ------------------------------------------------------------------
+    # updates
+    # ------------------------------------------------------------------
+    def insert_element(
+        self,
+        document: Document,
+        parent: int,
+        tag: str,
+        text: Optional[str] = None,
+    ) -> int:
+        """Insert an element; invalidates cached sets/indexes of the doc."""
+        node = document.updatable.insert_child(parent, tag, text)
+        self._invalidate(document)
+        return node
+
+    def delete_element(self, document: Document, node: int) -> int:
+        removed = document.updatable.delete_subtree(node)
+        if removed:
+            self._invalidate(document)
+        return removed
+
+    def _invalidate(self, document: Document) -> None:
+        for key in [k for k in self._sets if k[0] == document.name]:
+            self._sets.pop(key).destroy()
+        for registry in (
+            self._start_indexes, self._interval_indexes, self._rtree_indexes
+        ):
+            for key in [k for k in registry if k[0] == document.name]:
+                del registry[key]
+
+    # ------------------------------------------------------------------
+    @property
+    def io_stats(self):
+        return self.disk.stats.snapshot()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ContainmentDatabase docs={len(self._documents)} "
+            f"sets={len(self._sets)} buffer={self.bufmgr.num_pages}p>"
+        )

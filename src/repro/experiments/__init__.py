@@ -1,0 +1,26 @@
+"""Experiment harness reproducing the paper's evaluation protocol."""
+
+from .harness import (
+    AlgorithmResult,
+    LineupResult,
+    Workbench,
+    make_algorithm,
+    make_lineup,
+    materialize,
+    run_algorithm,
+    run_lineup,
+)
+from .report import format_ratio, format_table
+
+__all__ = [
+    "Workbench",
+    "materialize",
+    "run_algorithm",
+    "run_lineup",
+    "make_algorithm",
+    "make_lineup",
+    "AlgorithmResult",
+    "LineupResult",
+    "format_table",
+    "format_ratio",
+]

@@ -1,0 +1,225 @@
+"""Experiment harness: run algorithm line-ups over datasets, cold.
+
+The paper's experiments (Section 4) always start from element sets that
+are on disk, unsorted and unindexed, behind a deliberately small buffer
+pool; any sorting or index building an algorithm needs is charged to
+it.  This module reproduces that protocol:
+
+* :func:`materialize` writes code lists into element sets and *cools*
+  the buffer pool (flush + evict) so the first access of every page is
+  a real read;
+* :func:`run_algorithm` executes one operator cold and returns its
+  :class:`JoinReport`;
+* :func:`run_lineup` runs the standard line-up — INLJN, STACKTREE,
+  ADB+ (the region-code side, summarised as ``MIN_RGN``), and the
+  partitioning algorithms — over one dataset and returns a
+  :class:`LineupResult` with the per-algorithm costs and the paper's
+  improvement/speedup ratios.
+
+Cost metric: total page I/O (prep + join).  ``MIN_RGN`` is the minimum
+over the three region-code algorithms, exactly as in Table 2(e).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..join.ancdes_b import AncDesBPlusJoin
+from ..join.base import JoinAlgorithm, JoinReport, JoinSink
+from ..join.inljn import IndexNestedLoopJoin
+from ..join.mhcj import MultiHeightRollupJoin
+from ..join.shcj import SingleHeightJoin
+from ..join.stacktree import StackTreeDescJoin
+from ..join.vpj import VerticalPartitionJoin
+from ..storage.buffer import BufferManager
+from ..storage.disk import DiskManager
+from ..storage.elementset import ElementSet
+
+__all__ = [
+    "REGION_ALGORITHMS",
+    "materialize",
+    "run_algorithm",
+    "AlgorithmResult",
+    "LineupResult",
+    "run_lineup",
+    "make_lineup",
+]
+
+#: factory list for the region-code side of every comparison
+REGION_ALGORITHMS = ("INLJN", "STACKTREE", "ADB+")
+
+
+def make_algorithm(name: str) -> JoinAlgorithm:
+    """Instantiate an algorithm by its paper name."""
+    factories = {
+        "INLJN": IndexNestedLoopJoin,
+        "STACKTREE": StackTreeDescJoin,
+        "ADB+": AncDesBPlusJoin,
+        "SHCJ": SingleHeightJoin,
+        "MHCJ+Rollup": MultiHeightRollupJoin,
+        "VPJ": VerticalPartitionJoin,
+    }
+    try:
+        return factories[name]()
+    except KeyError:
+        raise ValueError(f"unknown algorithm {name!r}") from None
+
+
+def make_lineup(single_height: bool) -> list[str]:
+    """The algorithms Figure 6(a)/(b) compare for a dataset class."""
+    partitioned = "SHCJ" if single_height else "MHCJ+Rollup"
+    return list(REGION_ALGORITHMS) + [partitioned, "VPJ"]
+
+
+@dataclass
+class Workbench:
+    """A disk + buffer pool pair sized like the paper's testbed."""
+
+    disk: DiskManager
+    bufmgr: BufferManager
+
+    @classmethod
+    def create(
+        cls, buffer_pages: int = 50, page_size: int = 1024, policy: str = "lru"
+    ) -> "Workbench":
+        disk = DiskManager(page_size)
+        return cls(disk, BufferManager(disk, buffer_pages, policy))
+
+
+def materialize(
+    bufmgr: BufferManager,
+    codes: Sequence[int],
+    tree_height: int,
+    name: str,
+) -> ElementSet:
+    """Write codes into a cold element set (flushed and evicted)."""
+    elements = ElementSet.from_codes(bufmgr, codes, tree_height, name=name)
+    bufmgr.flush_all()
+    bufmgr.evict_all()
+    return elements
+
+
+def run_algorithm(
+    algorithm: JoinAlgorithm,
+    ancestors: ElementSet,
+    descendants: ElementSet,
+    sink: Optional[JoinSink] = None,
+) -> JoinReport:
+    """Run one operator against cold inputs.
+
+    Pass a collecting :class:`JoinSink` to keep the result pairs;
+    the default sink only counts (the benchmark setting).
+    """
+    bufmgr = ancestors.bufmgr
+    bufmgr.flush_all()
+    bufmgr.evict_all()
+    bufmgr.disk.stats.reset()
+    return algorithm.run(ancestors, descendants, sink or JoinSink("count"))
+
+
+@dataclass
+class AlgorithmResult:
+    name: str
+    report: JoinReport
+
+    @property
+    def total_io(self) -> int:
+        return self.report.total_pages
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.report.wall_seconds
+
+
+@dataclass
+class LineupResult:
+    """All algorithms over one dataset, plus the paper's derived ratios."""
+
+    dataset: str
+    results: list[AlgorithmResult] = field(default_factory=list)
+    result_count: int = 0
+
+    def by_name(self, name: str) -> AlgorithmResult:
+        for result in self.results:
+            if result.name == name:
+                return result
+        raise KeyError(name)
+
+    @property
+    def min_rgn_io(self) -> int:
+        """MIN_RGN: the best region-code algorithm's total I/O."""
+        return min(
+            result.total_io
+            for result in self.results
+            if result.name in REGION_ALGORITHMS
+        )
+
+    @property
+    def min_rgn_seconds(self) -> float:
+        return min(
+            result.wall_seconds
+            for result in self.results
+            if result.name in REGION_ALGORITHMS
+        )
+
+    def improvement_ratio(self, name: str) -> float:
+        """``(T_MIN_RGN - T_alg) / T_MIN_RGN`` on the I/O cost metric."""
+        min_rgn = self.min_rgn_io
+        if min_rgn == 0:
+            return 0.0
+        return (min_rgn - self.by_name(name).total_io) / min_rgn
+
+    def speedup(self, name: str) -> float:
+        alg = self.by_name(name).total_io
+        if alg == 0:
+            return float("inf")
+        return self.min_rgn_io / alg
+
+
+def run_lineup(
+    dataset_name: str,
+    a_codes: Sequence[int],
+    d_codes: Sequence[int],
+    tree_height: int,
+    buffer_pages: int = 50,
+    page_size: int = 1024,
+    algorithms: Optional[Sequence[str]] = None,
+    single_height: Optional[bool] = None,
+    collect: bool = False,
+) -> LineupResult:
+    """Run the standard line-up over one dataset, each algorithm cold."""
+    if algorithms is None:
+        if single_height is None:
+            raise ValueError("pass algorithms or single_height")
+        algorithms = make_lineup(single_height)
+
+    bench = Workbench.create(buffer_pages, page_size)
+    ancestors = materialize(bench.bufmgr, a_codes, tree_height, f"{dataset_name}.A")
+    descendants = materialize(bench.bufmgr, d_codes, tree_height, f"{dataset_name}.D")
+
+    lineup = LineupResult(dataset=dataset_name)
+    counts = set()
+    for name in algorithms:
+        algorithm = make_algorithm(name)
+        sink = JoinSink("collect") if collect else None
+        report = run_algorithm(algorithm, ancestors, descendants, sink)
+        lineup.results.append(AlgorithmResult(name=name, report=report))
+        counts.add(report.result_count)
+    if len(counts) != 1:
+        raise AssertionError(
+            f"algorithms disagree on {dataset_name}: "
+            + ", ".join(
+                f"{r.name}={r.report.result_count}" for r in lineup.results
+            )
+        )
+    lineup.result_count = counts.pop()
+    return lineup
+
+
+def timed(fn, *args, **kwargs):
+    """Small helper: (wall seconds, result)."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return time.perf_counter() - start, result

@@ -1,0 +1,8 @@
+"""Disk-based indexes: B+-tree and static interval tree."""
+
+from .bptree import BPlusTree
+from .interval_tree import IntervalTree
+from .rtree import Rect, RTree
+from .xrtree import XRTree
+
+__all__ = ["BPlusTree", "IntervalTree", "RTree", "Rect", "XRTree"]

@@ -1,0 +1,326 @@
+"""Disk-based B+-tree over unsigned 64-bit keys.
+
+Used by INLJN (probing the descendant set with ancestor regions) and by
+Anc_Des_B+ (skipping non-participating elements), mirroring Minibase's
+B+-tree module.  Keys are region ``Start`` values (duplicates allowed —
+PBiTree starts collide on leftmost chains); values are PBiTree codes.
+
+Node layout (one page per node)::
+
+    byte  0      u8   node type: 0 = leaf, 1 = internal
+    bytes 1..2   u16  entry count
+    bytes 4..7   u32  leaf: next-leaf page id (0xFFFFFFFF = none)
+                      internal: page id of the leftmost child
+    bytes 8..    leaf:     (key u64, value u64) pairs
+                 internal: (separator key u64, right child u32 + pad u32)
+
+Supports bulk loading from sorted input (what on-the-fly index building
+uses: sort, then build bottom-up at ~1 write per page) and ordinary
+top-down insertion with node splits.
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator
+
+from ..storage.buffer import BufferManager
+
+__all__ = ["BPlusTree"]
+
+_LEAF, _INTERNAL = 0, 1
+_NO_PAGE = 0xFFFFFFFF
+_HEADER = struct.Struct("<BxHI")     # type, pad, count, link/child0
+_LEAF_ENTRY = struct.Struct("<QQ")   # key, value
+_INT_ENTRY = struct.Struct("<QII")   # key, child, pad
+_HEADER_SIZE = 8
+
+
+class _Node:
+    """Decoded image of one B+-tree page."""
+
+    __slots__ = ("page_id", "is_leaf", "keys", "values", "children", "next_leaf")
+
+    def __init__(self, page_id: int, is_leaf: bool) -> None:
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.keys: list[int] = []
+        self.values: list[int] = []      # leaf payloads
+        self.children: list[int] = []    # internal: len(keys) + 1 page ids
+        self.next_leaf: int | None = None
+
+
+class BPlusTree:
+    """A B+-tree whose nodes live on buffer-managed pages."""
+
+    def __init__(self, bufmgr: BufferManager, name: str = "") -> None:
+        self.bufmgr = bufmgr
+        self.name = name
+        page_size = bufmgr.disk.page_size
+        self.leaf_capacity = (page_size - _HEADER_SIZE) // _LEAF_ENTRY.size
+        self.internal_capacity = (page_size - _HEADER_SIZE) // _INT_ENTRY.size
+        if self.leaf_capacity < 2 or self.internal_capacity < 2:
+            raise ValueError("page size too small for a B+-tree node")
+        self.root_page: int | None = None
+        self.height = 0
+        self.num_entries = 0
+        self.num_nodes = 0
+
+    # ------------------------------------------------------------------
+    # node (de)serialisation
+    # ------------------------------------------------------------------
+    def _read_node(self, page_id: int) -> _Node:
+        frame = self.bufmgr.pin(page_id)
+        try:
+            data = frame.data
+            node_type, count, link = _HEADER.unpack_from(data, 0)
+            node = _Node(page_id, node_type == _LEAF)
+            offset = _HEADER_SIZE
+            if node.is_leaf:
+                node.next_leaf = None if link == _NO_PAGE else link
+                for _ in range(count):
+                    key, value = _LEAF_ENTRY.unpack_from(data, offset)
+                    node.keys.append(key)
+                    node.values.append(value)
+                    offset += _LEAF_ENTRY.size
+            else:
+                node.children.append(link)
+                for _ in range(count):
+                    key, child, _pad = _INT_ENTRY.unpack_from(data, offset)
+                    node.keys.append(key)
+                    node.children.append(child)
+                    offset += _INT_ENTRY.size
+            return node
+        finally:
+            self.bufmgr.unpin(page_id)
+
+    def _write_node(self, node: _Node) -> None:
+        frame = self.bufmgr.pin(node.page_id)
+        try:
+            data = frame.data
+            if node.is_leaf:
+                link = _NO_PAGE if node.next_leaf is None else node.next_leaf
+                _HEADER.pack_into(data, 0, _LEAF, len(node.keys), link)
+                offset = _HEADER_SIZE
+                for key, value in zip(node.keys, node.values):
+                    _LEAF_ENTRY.pack_into(data, offset, key, value)
+                    offset += _LEAF_ENTRY.size
+            else:
+                _HEADER.pack_into(data, 0, _INTERNAL, len(node.keys), node.children[0])
+                offset = _HEADER_SIZE
+                for key, child in zip(node.keys, node.children[1:]):
+                    _INT_ENTRY.pack_into(data, offset, key, child, 0)
+                    offset += _INT_ENTRY.size
+        finally:
+            self.bufmgr.unpin(node.page_id, dirty=True)
+
+    def _new_node(self, is_leaf: bool) -> _Node:
+        frame = self.bufmgr.new_page()
+        self.bufmgr.unpin(frame.page_id, dirty=True)
+        self.num_nodes += 1
+        return _Node(frame.page_id, is_leaf)
+
+    # ------------------------------------------------------------------
+    # bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        bufmgr: BufferManager,
+        entries: Iterable[tuple[int, int]],
+        name: str = "",
+        fill_factor: float = 1.0,
+    ) -> "BPlusTree":
+        """Build a tree bottom-up from (key, value) pairs sorted by key."""
+        if not 0.1 <= fill_factor <= 1.0:
+            raise ValueError("fill factor must be in [0.1, 1.0]")
+        tree = cls(bufmgr, name)
+        per_leaf = max(2, int(tree.leaf_capacity * fill_factor))
+        leaves: list[tuple[int, int]] = []  # (first key, page id)
+
+        node: _Node | None = None
+        last_key: int | None = None
+        for key, value in entries:
+            if last_key is not None and key < last_key:
+                raise ValueError("bulk_load input must be sorted by key")
+            last_key = key
+            if node is None or len(node.keys) >= per_leaf:
+                fresh = tree._new_node(is_leaf=True)
+                if node is not None:
+                    node.next_leaf = fresh.page_id
+                    tree._write_node(node)
+                node = fresh
+                leaves.append((key, node.page_id))
+            node.keys.append(key)
+            node.values.append(value)
+            tree.num_entries += 1
+        if node is not None:
+            tree._write_node(node)
+
+        if not leaves:
+            return tree
+        tree.height = 1
+        level = leaves
+        per_internal = max(2, int(tree.internal_capacity * fill_factor))
+        while len(level) > 1:
+            level = tree._build_internal_level(level, per_internal)
+            tree.height += 1
+        tree.root_page = level[0][1]
+        return tree
+
+    def _build_internal_level(
+        self, children: list[tuple[int, int]], per_node: int
+    ) -> list[tuple[int, int]]:
+        """Group ``(first_key, page_id)`` children under internal nodes."""
+        parents: list[tuple[int, int]] = []
+        for start in range(0, len(children), per_node + 1):
+            group = children[start:start + per_node + 1]
+            node = self._new_node(is_leaf=False)
+            node.children = [page_id for _key, page_id in group]
+            node.keys = [key for key, _page_id in group[1:]]
+            self._write_node(node)
+            parents.append((group[0][0], node.page_id))
+        return parents
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: int) -> None:
+        """Insert one entry (duplicates allowed)."""
+        if self.root_page is None:
+            root = self._new_node(is_leaf=True)
+            root.keys.append(key)
+            root.values.append(value)
+            self._write_node(root)
+            self.root_page = root.page_id
+            self.height = 1
+            self.num_entries = 1
+            return
+        split = self._insert_into(self.root_page, key, value)
+        self.num_entries += 1
+        if split is not None:
+            sep_key, right_page = split
+            new_root = self._new_node(is_leaf=False)
+            new_root.children = [self.root_page, right_page]
+            new_root.keys = [sep_key]
+            self._write_node(new_root)
+            self.root_page = new_root.page_id
+            self.height += 1
+
+    def _insert_into(
+        self, page_id: int, key: int, value: int
+    ) -> tuple[int, int] | None:
+        """Insert under ``page_id``; return (separator, new right page) on split."""
+        node = self._read_node(page_id)
+        if node.is_leaf:
+            pos = bisect_right(node.keys, key)
+            node.keys.insert(pos, key)
+            node.values.insert(pos, value)
+            if len(node.keys) <= self.leaf_capacity:
+                self._write_node(node)
+                return None
+            return self._split_leaf(node)
+        slot = bisect_right(node.keys, key)
+        split = self._insert_into(node.children[slot], key, value)
+        if split is None:
+            return None
+        sep_key, right_page = split
+        node.keys.insert(slot, sep_key)
+        node.children.insert(slot + 1, right_page)
+        if len(node.keys) <= self.internal_capacity:
+            self._write_node(node)
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> tuple[int, int]:
+        mid = len(node.keys) // 2
+        right = self._new_node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        right.next_leaf = node.next_leaf
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        node.next_leaf = right.page_id
+        self._write_node(right)
+        self._write_node(node)
+        return right.keys[0], right.page_id
+
+    def _split_internal(self, node: _Node) -> tuple[int, int]:
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = self._new_node(is_leaf=False)
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self._write_node(right)
+        self._write_node(node)
+        return sep_key, right.page_id
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _descend_to_leaf(self, key: int) -> _Node | None:
+        """Leftmost leaf that may contain ``key``.
+
+        Descends with ``bisect_left``: duplicate keys may straddle a
+        node boundary (the separator equals the key), and a range scan
+        must start at the *first* duplicate — the forward leaf chain
+        picks up the rest.
+        """
+        if self.root_page is None:
+            return None
+        node = self._read_node(self.root_page)
+        while not node.is_leaf:
+            slot = bisect_left(node.keys, key)
+            node = self._read_node(node.children[slot])
+        return node
+
+    def search(self, key: int) -> list[int]:
+        """All values stored under exactly ``key``."""
+        return [value for _key, value in self.range_scan(key, key)]
+
+    def range_scan(
+        self,
+        lo: int,
+        hi: int,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ) -> Iterator[tuple[int, int]]:
+        """Yield (key, value) pairs with ``lo <= key <= hi`` (bounds optional)."""
+        node = self._descend_to_leaf(lo)
+        if node is None:
+            return
+        pos = (bisect_left if include_lo else bisect_right)(node.keys, lo)
+        while True:
+            while pos < len(node.keys):
+                key = node.keys[pos]
+                if key > hi or (key == hi and not include_hi):
+                    return
+                yield key, node.values[pos]
+                pos += 1
+            if node.next_leaf is None:
+                return
+            node = self._read_node(node.next_leaf)
+            pos = 0
+
+    def first_geq(self, key: int) -> tuple[int, int] | None:
+        """The smallest entry with key >= ``key`` (the ADB+ skip probe)."""
+        for entry in self.range_scan(key, hi=(1 << 64) - 1):
+            return entry
+        return None
+
+    def scan_all(self) -> Iterator[tuple[int, int]]:
+        """Full in-order scan."""
+        if self.num_entries:
+            yield from self.range_scan(0, (1 << 64) - 1)
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+    def __repr__(self) -> str:
+        return (
+            f"<BPlusTree {self.name!r} entries={self.num_entries} "
+            f"height={self.height} nodes={self.num_nodes}>"
+        )

@@ -1,0 +1,383 @@
+"""Disk-based R-tree over 2-D points/rectangles.
+
+Grust [5] and McHugh/Widom [16] (paper Section 5) view a region code
+``(Start, End)`` as a point in two-dimensional space: ``a`` contains
+``d`` iff ``d``'s point lies inside the quadrant query rectangle
+``[a.Start, a.End] x [a.Start, a.End]`` below the diagonal — so a
+containment join becomes a spatial join.  This module provides the
+R-tree those approaches need:
+
+* STR (sort-tile-recursive) bulk loading;
+* ordinary top-down insertion with quadratic-split nodes;
+* rectangle window queries.
+
+Nodes live on buffer-managed pages (one node per page) so probe costs
+surface in the I/O counters like every other access method here.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Iterator, Sequence
+
+from ..storage.buffer import BufferManager
+
+__all__ = ["Rect", "RTree"]
+
+_HEADER = struct.Struct("<BxH")  # type (0 leaf, 1 internal), count
+_ENTRY = struct.Struct("<qqqqQ")  # xmin, ymin, xmax, ymax, child/payload
+_HEADER_SIZE = 4
+_LEAF, _INTERNAL = 0, 1
+
+
+class Rect:
+    """An axis-aligned rectangle (inclusive bounds)."""
+
+    __slots__ = ("xmin", "ymin", "xmax", "ymax")
+
+    def __init__(self, xmin: int, ymin: int, xmax: int, ymax: int) -> None:
+        if xmin > xmax or ymin > ymax:
+            raise ValueError(f"degenerate rect {(xmin, ymin, xmax, ymax)}")
+        self.xmin = xmin
+        self.ymin = ymin
+        self.xmax = xmax
+        self.ymax = ymax
+
+    @classmethod
+    def point(cls, x: int, y: int) -> "Rect":
+        return cls(x, y, x, y)
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and other.xmax <= self.xmax
+            and other.ymax <= self.ymax
+        )
+
+    def enlarged(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def area(self) -> int:
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def enlargement(self, other: "Rect") -> int:
+        return self.enlarged(other).area() - self.area()
+
+    def center(self) -> tuple[float, float]:
+        return (self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        return self.xmin, self.ymin, self.xmax, self.ymax
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Rect) and self.as_tuple() == other.as_tuple()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
+    def __repr__(self) -> str:
+        return f"Rect{self.as_tuple()}"
+
+
+class _Node:
+    __slots__ = ("page_id", "is_leaf", "rects", "children")
+
+    def __init__(self, page_id: int, is_leaf: bool) -> None:
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.rects: list[Rect] = []
+        self.children: list[int] = []  # payloads (leaf) or page ids
+
+    def mbr(self) -> Rect:
+        out = self.rects[0]
+        for rect in self.rects[1:]:
+            out = out.enlarged(rect)
+        return out
+
+
+class RTree:
+    """An R-tree whose nodes occupy one buffer page each."""
+
+    def __init__(self, bufmgr: BufferManager, name: str = "") -> None:
+        self.bufmgr = bufmgr
+        self.name = name
+        self.capacity = (bufmgr.disk.page_size - _HEADER_SIZE) // _ENTRY.size
+        if self.capacity < 4:
+            raise ValueError("page size too small for an R-tree node")
+        self.min_fill = max(2, self.capacity // 3)
+        self.root_page: int | None = None
+        self.height = 0
+        self.num_entries = 0
+        self.num_nodes = 0
+
+    # ------------------------------------------------------------------
+    # node I/O
+    # ------------------------------------------------------------------
+    def _read_node(self, page_id: int) -> _Node:
+        frame = self.bufmgr.pin(page_id)
+        try:
+            node_type, count = _HEADER.unpack_from(frame.data, 0)
+            node = _Node(page_id, node_type == _LEAF)
+            offset = _HEADER_SIZE
+            for _ in range(count):
+                xmin, ymin, xmax, ymax, child = _ENTRY.unpack_from(
+                    frame.data, offset
+                )
+                node.rects.append(Rect(xmin, ymin, xmax, ymax))
+                node.children.append(child)
+                offset += _ENTRY.size
+            return node
+        finally:
+            self.bufmgr.unpin(page_id)
+
+    def _write_node(self, node: _Node) -> None:
+        frame = self.bufmgr.pin(node.page_id)
+        try:
+            _HEADER.pack_into(
+                frame.data, 0, _LEAF if node.is_leaf else _INTERNAL,
+                len(node.rects),
+            )
+            offset = _HEADER_SIZE
+            for rect, child in zip(node.rects, node.children):
+                _ENTRY.pack_into(
+                    frame.data, offset,
+                    rect.xmin, rect.ymin, rect.xmax, rect.ymax, child,
+                )
+                offset += _ENTRY.size
+        finally:
+            self.bufmgr.unpin(node.page_id, dirty=True)
+
+    def _new_node(self, is_leaf: bool) -> _Node:
+        frame = self.bufmgr.new_page()
+        self.bufmgr.unpin(frame.page_id, dirty=True)
+        self.num_nodes += 1
+        return _Node(frame.page_id, is_leaf)
+
+    # ------------------------------------------------------------------
+    # STR bulk loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def bulk_load(
+        cls,
+        bufmgr: BufferManager,
+        entries: Sequence[tuple[Rect, int]],
+        name: str = "",
+        fill_factor: float = 1.0,
+    ) -> "RTree":
+        """Sort-Tile-Recursive packing of ``(rect, payload)`` entries."""
+        tree = cls(bufmgr, name)
+        if not entries:
+            return tree
+        per_node = max(2, int(tree.capacity * fill_factor))
+        level: list[tuple[Rect, int]] = []
+        for rects, children in _str_tiles(entries, per_node):
+            node = tree._new_node(is_leaf=True)
+            node.rects = rects
+            node.children = children
+            tree._write_node(node)
+            level.append((node.mbr(), node.page_id))
+        tree.num_entries = len(entries)
+        tree.height = 1
+        while len(level) > 1:
+            next_level = []
+            for rects, children in _str_tiles(level, per_node):
+                node = tree._new_node(is_leaf=False)
+                node.rects = rects
+                node.children = children
+                tree._write_node(node)
+                next_level.append((node.mbr(), node.page_id))
+            level = next_level
+            tree.height += 1
+        tree.root_page = level[0][1]
+        return tree
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, rect: Rect, payload: int) -> None:
+        if self.root_page is None:
+            root = self._new_node(is_leaf=True)
+            root.rects.append(rect)
+            root.children.append(payload)
+            self._write_node(root)
+            self.root_page = root.page_id
+            self.height = 1
+            self.num_entries = 1
+            return
+        split = self._insert_into(self.root_page, rect, payload, self.height)
+        self.num_entries += 1
+        if split is not None:
+            left_mbr, right_mbr, right_page = split
+            new_root = self._new_node(is_leaf=False)
+            new_root.rects = [left_mbr, right_mbr]
+            new_root.children = [self.root_page, right_page]
+            self._write_node(new_root)
+            self.root_page = new_root.page_id
+            self.height += 1
+
+    def _insert_into(
+        self, page_id: int, rect: Rect, payload: int, level: int
+    ) -> tuple[Rect, Rect, int] | None:
+        node = self._read_node(page_id)
+        if node.is_leaf:
+            node.rects.append(rect)
+            node.children.append(payload)
+        else:
+            slot = self._choose_subtree(node, rect)
+            split = self._insert_into(
+                node.children[slot], rect, payload, level - 1
+            )
+            if split is None:
+                node.rects[slot] = node.rects[slot].enlarged(rect)
+                self._write_node(node)
+                return None
+            left_mbr, right_mbr, right_page = split
+            node.rects[slot] = left_mbr
+            node.rects.append(right_mbr)
+            node.children.append(right_page)
+        if len(node.rects) <= self.capacity:
+            self._write_node(node)
+            return None
+        return self._split(node)
+
+    @staticmethod
+    def _choose_subtree(node: _Node, rect: Rect) -> int:
+        """Least-enlargement heuristic (Guttman)."""
+        best_slot = 0
+        best_key = None
+        for slot, candidate in enumerate(node.rects):
+            key = (candidate.enlargement(rect), candidate.area())
+            if best_key is None or key < best_key:
+                best_key = key
+                best_slot = slot
+        return best_slot
+
+    def _split(self, node: _Node) -> tuple[Rect, Rect, int]:
+        """Quadratic split: seed with the most wasteful pair."""
+        entries = list(zip(node.rects, node.children))
+        seed_a, seed_b = _quadratic_seeds(node.rects)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = entries[seed_a][0]
+        mbr_b = entries[seed_b][0]
+        rest = [
+            entry for index, entry in enumerate(entries)
+            if index not in (seed_a, seed_b)
+        ]
+        for rect, child in rest:
+            # honour the minimum fill if one group is starving
+            remaining = len(rest) - (len(group_a) + len(group_b) - 2)
+            if len(group_a) + remaining <= self.min_fill:
+                choose_a = True
+            elif len(group_b) + remaining <= self.min_fill:
+                choose_a = False
+            else:
+                choose_a = mbr_a.enlargement(rect) <= mbr_b.enlargement(rect)
+            if choose_a:
+                group_a.append((rect, child))
+                mbr_a = mbr_a.enlarged(rect)
+            else:
+                group_b.append((rect, child))
+                mbr_b = mbr_b.enlarged(rect)
+
+        node.rects = [rect for rect, _child in group_a]
+        node.children = [child for _rect, child in group_a]
+        self._write_node(node)
+        sibling = self._new_node(node.is_leaf)
+        sibling.rects = [rect for rect, _child in group_b]
+        sibling.children = [child for _rect, child in group_b]
+        self._write_node(sibling)
+        return mbr_a, mbr_b, sibling.page_id
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def search(self, window: Rect) -> Iterator[tuple[Rect, int]]:
+        """Yield every entry whose rectangle intersects ``window``."""
+        if self.root_page is None:
+            return
+        stack = [self.root_page]
+        while stack:
+            node = self._read_node(stack.pop())
+            for rect, child in zip(node.rects, node.children):
+                if not window.intersects(rect):
+                    continue
+                if node.is_leaf:
+                    yield rect, child
+                else:
+                    stack.append(child)
+
+    def search_contained(self, window: Rect) -> Iterator[tuple[Rect, int]]:
+        """Yield entries fully inside ``window`` (the containment probe)."""
+        for rect, payload in self.search(window):
+            if window.contains_rect(rect):
+                yield rect, payload
+
+    def scan_all(self) -> Iterator[tuple[Rect, int]]:
+        if self.root_page is not None:
+            huge = Rect(-(2**62), -(2**62), 2**62, 2**62)
+            yield from self.search(huge)
+
+    def __len__(self) -> int:
+        return self.num_entries
+
+    def __repr__(self) -> str:
+        return (
+            f"<RTree {self.name!r} entries={self.num_entries} "
+            f"height={self.height} nodes={self.num_nodes}>"
+        )
+
+
+def _quadratic_seeds(rects: Sequence[Rect]) -> tuple[int, int]:
+    """The pair of rectangles wasting the most area together (Guttman)."""
+    best = (0, 1)
+    best_waste = None
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            waste = (
+                rects[i].enlarged(rects[j]).area()
+                - rects[i].area()
+                - rects[j].area()
+            )
+            if best_waste is None or waste > best_waste:
+                best_waste = waste
+                best = (i, j)
+    return best
+
+
+def _str_tiles(
+    entries: Sequence[tuple[Rect, int]], per_node: int
+) -> Iterator[tuple[list[Rect], list[int]]]:
+    """Sort-Tile-Recursive grouping of one level into node-sized runs."""
+    num_nodes = max(1, -(-len(entries) // per_node))
+    num_slices = max(1, int(math.ceil(math.sqrt(num_nodes))))
+    by_x = sorted(entries, key=lambda entry: entry[0].center()[0])
+    slice_size = -(-len(by_x) // num_slices)
+    for start in range(0, len(by_x), slice_size):
+        column = sorted(
+            by_x[start:start + slice_size],
+            key=lambda entry: entry[0].center()[1],
+        )
+        for node_start in range(0, len(column), per_node):
+            chunk = column[node_start:node_start + per_node]
+            yield (
+                [rect for rect, _payload in chunk],
+                [payload for _rect, payload in chunk],
+            )

@@ -1,0 +1,66 @@
+"""Containment-join algorithms: the paper's processing framework."""
+
+from .ancdes_b import AncDesBPlusJoin
+from .base import JoinAlgorithm, JoinReport, JoinSink
+from .inljn import (
+    IndexNestedLoopJoin,
+    build_interval_index,
+    build_start_index,
+    build_xr_index,
+)
+from .pipeline import PathPipeline, PipelineResult, plan_direction
+from .proximity import common_ancestor_join, sibling_pairs, window_join
+from .mhcj import MultiHeightJoin, MultiHeightRollupJoin, choose_rollup_height
+from .mpmgjn import MPMGJoin
+from .nested_loop import BlockNestedLoopJoin
+from .planner import PBiTreeJoinFramework, SetProperties, choose_algorithm
+from .shcj import SingleHeightJoin, single_height_of
+from .stacktree import StackTreeAncJoin, StackTreeDescJoin
+from .costmodel import CostEstimate, CostInputs, CostModel
+from .optimizer import CostBasedOptimizer, Plan
+from .spatial import RTreeProbeJoin, SynchronizedRTreeJoin, build_point_rtree
+from .statistics import SetStatistics, estimate_join_cardinality
+from .vpj import VerticalPartitionJoin, memory_containment_join
+from .xrstack import XRStackJoin
+
+__all__ = [
+    "JoinAlgorithm",
+    "JoinReport",
+    "JoinSink",
+    "BlockNestedLoopJoin",
+    "IndexNestedLoopJoin",
+    "build_start_index",
+    "build_interval_index",
+    "build_xr_index",
+    "PathPipeline",
+    "PipelineResult",
+    "plan_direction",
+    "common_ancestor_join",
+    "window_join",
+    "sibling_pairs",
+    "XRStackJoin",
+    "MPMGJoin",
+    "StackTreeDescJoin",
+    "StackTreeAncJoin",
+    "AncDesBPlusJoin",
+    "SingleHeightJoin",
+    "single_height_of",
+    "MultiHeightJoin",
+    "MultiHeightRollupJoin",
+    "choose_rollup_height",
+    "VerticalPartitionJoin",
+    "memory_containment_join",
+    "PBiTreeJoinFramework",
+    "SetProperties",
+    "choose_algorithm",
+    "RTreeProbeJoin",
+    "SynchronizedRTreeJoin",
+    "build_point_rtree",
+    "SetStatistics",
+    "estimate_join_cardinality",
+    "CostModel",
+    "CostInputs",
+    "CostEstimate",
+    "CostBasedOptimizer",
+    "Plan",
+]

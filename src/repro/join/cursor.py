@@ -1,0 +1,75 @@
+"""Positioned cursor over an element set, with mark/restore.
+
+MPMGJN re-scans segments of the inner (descendant) list, so a plain
+generator is not enough: the cursor exposes ``save()``/``restore()``
+over (page index, slot) positions.  Restoring to a page that has been
+evicted re-reads it through the buffer pool — which is precisely how the
+re-scanning cost of MPMGJN becomes visible in the I/O counters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..storage.elementset import ElementSet
+
+__all__ = ["SetCursor"]
+
+
+class SetCursor:
+    """Forward cursor over the codes of an element set."""
+
+    __slots__ = ("elements", "_page_index", "_slot", "_page", "current")
+
+    def __init__(self, elements: ElementSet) -> None:
+        self.elements = elements
+        self._page_index = 0
+        self._slot = -1
+        self._page: Optional[list[int]] = None
+        #: code under the cursor, or None when exhausted
+        self.current: Optional[int] = None
+        self.advance()
+
+    def _load_page(self) -> None:
+        heap = self.elements.heap
+        if self._page_index < heap.num_pages:
+            self._page = [
+                record[0] for record in heap.read_page(self._page_index)
+            ]
+        else:
+            self._page = None
+
+    def advance(self) -> Optional[int]:
+        """Move to the next code; returns it (or None at end)."""
+        if self._page is None and self._page_index == 0 and self._slot == -1:
+            self._load_page()  # first touch
+        self._slot += 1
+        while self._page is not None and self._slot >= len(self._page):
+            self._page_index += 1
+            self._slot = 0
+            self._load_page()
+        if self._page is None:
+            self.current = None
+        else:
+            self.current = self._page[self._slot]
+        return self.current
+
+    def save(self) -> tuple[int, int]:
+        """Snapshot the current position."""
+        return self._page_index, self._slot
+
+    def restore(self, position: tuple[int, int]) -> None:
+        """Rewind to a saved position (re-reads the page if needed)."""
+        page_index, slot = position
+        if page_index != self._page_index or self._page is None:
+            self._page_index = page_index
+            self._load_page()
+        self._slot = slot
+        if self._page is not None and 0 <= slot < len(self._page):
+            self.current = self._page[slot]
+        else:
+            self.current = None
+
+    @property
+    def exhausted(self) -> bool:
+        return self.current is None

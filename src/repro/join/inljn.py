@@ -1,0 +1,164 @@
+"""INLJN: index nested loop containment join (Section 3.1).
+
+Iterates over the *smaller* set (the paper's heuristic, minimising
+random index probes) and probes an index on the larger set:
+
+* ancestor set smaller → probe a **B+-tree on D's region Start**: all
+  descendants of ``a`` have ``Start`` within ``a``'s region, so one
+  range scan per ancestor, each candidate verified in O(1) with
+  Lemma 1 (ties on ``Start`` make the ancestor itself land in the
+  range; verification removes it).
+* descendant set smaller → probe a **disk-based interval tree on A's
+  regions** with ``d.Start`` (a stabbing query), the structure the
+  paper proposes for this direction because a B+-tree on compound keys
+  degenerates.
+
+When the required index does not exist, it is built on the fly (the
+"naive" setting of Section 4): external sort + B+-tree bulk load, or
+interval-tree bulk build.  That preparation I/O is reported separately
+in the join report.
+"""
+
+from __future__ import annotations
+
+from ..core import pbitree
+from ..index.bptree import BPlusTree
+from ..index.interval_tree import IntervalTree
+from ..sort.external_sort import external_sort
+from ..storage.buffer import BufferManager
+from ..storage.elementset import ElementSet
+from .base import JoinAlgorithm, JoinReport, JoinSink
+
+__all__ = [
+    "IndexNestedLoopJoin",
+    "build_start_index",
+    "build_interval_index",
+    "build_xr_index",
+]
+
+
+def build_start_index(
+    elements: ElementSet, bufmgr: BufferManager, name: str = ""
+) -> BPlusTree:
+    """B+-tree on region ``Start`` (value = code), built by sort + bulk load."""
+    sorted_heap = external_sort(
+        elements.heap,
+        key=lambda record: pbitree.doc_order_key(record[0]),
+    )
+    entries = (
+        (pbitree.start_of(record[0]), record[0]) for record in sorted_heap.scan()
+    )
+    index = BPlusTree.bulk_load(bufmgr, entries, name=name or f"{elements.name}.start")
+    sorted_heap.destroy()
+    return index
+
+
+def build_interval_index(
+    elements: ElementSet, bufmgr: BufferManager, name: str = ""
+) -> IntervalTree:
+    """Interval tree over the regions of an element set."""
+    intervals = []
+    for code in elements.scan():
+        start, end = pbitree.region_of(code)
+        intervals.append((start, end, code))
+    return IntervalTree.build(
+        bufmgr, intervals, name=name or f"{elements.name}.intervals"
+    )
+
+
+def build_xr_index(elements: ElementSet, bufmgr: BufferManager, name: str = ""):
+    """XR-tree over an element set (the [8] alternative stab structure)."""
+    from ..index.xrtree import XRTree
+
+    return XRTree.build(
+        bufmgr, list(elements.scan()), name=name or f"{elements.name}.xr"
+    )
+
+
+class IndexNestedLoopJoin(JoinAlgorithm):
+    """Index nested loop join with the smaller set as the outer relation."""
+
+    name = "INLJN"
+
+    def __init__(
+        self,
+        d_index: BPlusTree | None = None,
+        a_index=None,
+        force_outer: str | None = None,
+        ancestor_probe: str = "interval",
+    ) -> None:
+        """Pre-built indexes may be supplied; otherwise they are built on
+        the fly during ``_prepare`` (and torn down afterwards).
+
+        ``a_index`` is any object with a ``stab(point)`` method yielding
+        ``(start, end, code)`` — an :class:`IntervalTree` or an
+        :class:`~repro.index.xrtree.XRTree`; ``ancestor_probe``
+        ("interval" or "xr") picks what to build on the fly.
+        ``force_outer`` pins the outer relation to ``'A'`` or ``'D'``
+        instead of using the smaller-set heuristic (for the ablation
+        benchmarks).
+        """
+        if ancestor_probe not in ("interval", "xr"):
+            raise ValueError(f"unknown ancestor probe {ancestor_probe!r}")
+        self.d_index = d_index
+        self.a_index = a_index
+        self.force_outer = force_outer
+        self.ancestor_probe = ancestor_probe
+        self._built_index = None
+
+    def _outer_side(self, ancestors: ElementSet, descendants: ElementSet) -> str:
+        if self.force_outer in ("A", "D"):
+            return self.force_outer
+        return "A" if ancestors.num_pages <= descendants.num_pages else "D"
+
+    def _prepare(self, ancestors, descendants, bufmgr):
+        outer = self._outer_side(ancestors, descendants)
+        if outer == "A" and self.d_index is None:
+            self._built_index = build_start_index(descendants, bufmgr)
+        elif outer == "D" and self.a_index is None:
+            if self.ancestor_probe == "xr":
+                self._built_index = build_xr_index(ancestors, bufmgr)
+            else:
+                self._built_index = build_interval_index(ancestors, bufmgr)
+        return ancestors, descendants, outer
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        ancestors, descendants, outer = prepared
+        if outer == "A":
+            index = self.d_index or self._built_index
+            self._probe_descendant_index(ancestors, index, sink)
+        else:
+            index = self.a_index or self._built_index
+            self._probe_ancestor_index(descendants, index, sink)
+        return JoinReport(algorithm=self.name, result_count=sink.count)
+
+    @staticmethod
+    def _probe_descendant_index(
+        ancestors: ElementSet, index: BPlusTree, sink: JoinSink
+    ) -> None:
+        emit = sink.emit
+        is_ancestor = pbitree.is_ancestor
+        region_of = pbitree.region_of
+        for a_code in ancestors.scan():
+            start, end = region_of(a_code)
+            for _key, d_code in index.range_scan(start, end):
+                if is_ancestor(a_code, d_code):
+                    emit(a_code, d_code)
+
+    @staticmethod
+    def _probe_ancestor_index(
+        descendants: ElementSet, index, sink: JoinSink
+    ) -> None:
+        """``index`` is any stab-capable structure (interval or XR tree)."""
+        emit = sink.emit
+        is_ancestor = pbitree.is_ancestor
+        start_of = pbitree.start_of
+        for d_code in descendants.scan():
+            point = start_of(d_code)
+            for _s, _e, a_code in index.stab(point):
+                if is_ancestor(a_code, d_code):
+                    emit(a_code, d_code)
+
+    def _cleanup(self, prepared, ancestors, descendants) -> None:
+        # index pages of an on-the-fly index are scratch space
+        self._built_index = None

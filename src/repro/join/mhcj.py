@@ -1,0 +1,282 @@
+"""MHCJ and MHCJ+Rollup (Algorithms 3 and 4).
+
+**MHCJ** horizontally partitions the ancestor set by node height and
+runs one SHCJ per partition against the full descendant set:
+``A <| D  =  U_i (A_i <| D)`` with the unions disjoint, so results are
+simply appended.  Cost grows with the number of height partitions
+(each re-scans ``D``): roughly ``5||A|| + 3k·||D||``.
+
+**MHCJ+Rollup** collapses partitions first: every ancestor below a
+target height ``h`` is *rolled up* to its (possibly virtual) ancestor
+at ``h`` using the ``F`` function, carrying its original code along.
+The rolled set has (far) fewer heights — with the default ``max``
+strategy, exactly one, so a single SHCJ suffices at
+``3(||A|| + ||D||)`` I/O.  Matches produced through a rolled node are
+*candidates*: the original code is verified with Lemma 1 in the output
+pipeline, and failures are counted as **false hits** (Table 2(f)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ..core import pbitree
+from ..storage.buffer import BufferManager
+from ..storage.elementset import ElementSet
+from ..storage.heapfile import HeapFile
+from ..storage.record import CODE, PAIR
+from .base import JoinAlgorithm, JoinReport, JoinSink
+from .hash_join import grace_hash_join, in_memory_hash_join
+
+__all__ = ["MultiHeightJoin", "MultiHeightRollupJoin", "choose_rollup_height"]
+
+
+def choose_rollup_height(heights: Sequence[int], strategy: str = "max") -> int:
+    """Pick the rollup target height (line 1 of Algorithm 4).
+
+    ``max`` (paper's recommended simple strategy: everything rolls into
+    one partition), ``min`` (no node rolls — degenerates to plain
+    MHCJ), or ``median``.
+    """
+    if not heights:
+        raise ValueError("empty ancestor set has no heights")
+    ordered = sorted(heights)
+    if strategy == "max":
+        return ordered[-1]
+    if strategy == "min":
+        return ordered[0]
+    if strategy == "median":
+        return ordered[len(ordered) // 2]
+    raise ValueError(f"unknown rollup strategy {strategy!r}")
+
+
+def _join_height_class(
+    a_pages: Iterable[Sequence[tuple[int, ...]]],
+    a_num_pages: int,
+    descendants: ElementSet,
+    height: int,
+    sink: JoinSink,
+    bufmgr: BufferManager,
+    report: JoinReport,
+) -> None:
+    """SHCJ body over (effective, original) ancestor pair records.
+
+    ``effective`` is the (possibly rolled) code at ``height``; matches
+    through rolled records are verified against the original code and
+    misses are counted in ``report.false_hits``.
+    """
+    shift = height + 1
+    anc_bit = 1 << height
+    height_of = pbitree.height_of
+    is_ancestor = pbitree.is_ancestor
+    emit = sink.emit
+
+    def build_key(record: tuple[int, ...]) -> Optional[int]:
+        return record[0]
+
+    def probe_key(record: tuple[int, ...]) -> Optional[int]:
+        code = record[0]
+        if height_of(code) >= height:
+            return None
+        return ((code >> shift) << shift) | anc_bit
+
+    def emit_pair(a_record, d_record) -> None:
+        effective, original = a_record
+        d_code = d_record[0]
+        if effective == original:
+            emit(original, d_code)
+        elif is_ancestor(original, d_code):
+            emit(original, d_code)
+        else:
+            report.false_hits += 1
+
+    if a_num_pages <= bufmgr.num_pages - 2:
+        in_memory_hash_join(
+            a_pages, descendants.heap.scan_pages(), build_key, probe_key, emit_pair
+        )
+    elif descendants.num_pages <= bufmgr.num_pages - 2:
+        in_memory_hash_join(
+            descendants.heap.scan_pages(),
+            a_pages,
+            probe_key,
+            build_key,
+            lambda d_record, a_record: emit_pair(a_record, d_record),
+        )
+    else:
+        grace_hash_join(
+            bufmgr,
+            a_pages,
+            descendants.heap.scan_pages(),
+            PAIR,
+            CODE,
+            build_key,
+            probe_key,
+            emit_pair,
+            name=f"mhcj.h{height}",
+            build_pages_hint=a_num_pages,
+        )
+
+
+def _partition_by_height(
+    records,
+    bufmgr: BufferManager,
+    name: str,
+    effective_height,
+) -> dict[int, list[HeapFile]]:
+    """Write ``(effective, original)`` pairs into one bucket per height.
+
+    ``effective_height(code) -> (height, effective_code)`` decides the
+    bucket.  At most ``b - 1`` bucket writers stay open at once; an
+    evicted bucket continues in a fresh heap file chained to the same
+    height (so arbitrarily many heights work with any pool size).
+    """
+    partitions: dict[int, list[HeapFile]] = {}
+    writers: dict[int, object] = {}
+    max_writers = max(1, bufmgr.num_pages - 1)
+
+    def writer_for(height: int):
+        writer = writers.get(height)
+        if writer is None:
+            if len(writers) >= max_writers:
+                victim_height, victim = next(iter(writers.items()))
+                victim.close()
+                del writers[victim_height]
+            files = partitions.setdefault(height, [])
+            if files:
+                writer = files[-1].open_writer(resume=True)
+            else:
+                heap = HeapFile(bufmgr, PAIR, name=f"{name}.h{height}")
+                files.append(heap)
+                writer = heap.open_writer()
+            writers[height] = writer
+        return writer
+
+    for codes in records:
+        for code in codes:
+            height, effective = effective_height(code)
+            writer_for(height).append((effective, code))
+    for writer in writers.values():
+        writer.close()
+    return partitions
+
+
+def _join_partitions(
+    partitions: dict[int, list[HeapFile]],
+    descendants: ElementSet,
+    sink: JoinSink,
+    bufmgr: BufferManager,
+    report: JoinReport,
+) -> None:
+    try:
+        for height in sorted(partitions, reverse=True):
+            files = partitions[height]
+
+            def pages():
+                for heap in files:
+                    yield from heap.scan_pages()
+
+            _join_height_class(
+                pages(),
+                sum(heap.num_pages for heap in files),
+                descendants,
+                height,
+                sink,
+                bufmgr,
+                report,
+            )
+    finally:
+        for files in partitions.values():
+            for heap in files:
+                heap.destroy()
+
+
+class MultiHeightJoin(JoinAlgorithm):
+    """MHCJ: one height-partitioning pass, then SHCJ per partition."""
+
+    name = "MHCJ"
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        ancestors, descendants = prepared
+        report = JoinReport(algorithm=self.name, result_count=0)
+        height_of = pbitree.height_of
+        partitions = _partition_by_height(
+            ancestors.scan_pages(),
+            bufmgr,
+            "mhcj.A",
+            lambda code: (height_of(code), code),
+        )
+        report.partitions = len(partitions)
+        _join_partitions(partitions, descendants, sink, bufmgr, report)
+        return report
+
+
+class MultiHeightRollupJoin(JoinAlgorithm):
+    """MHCJ+Rollup: roll ancestors up to a target height, then join + filter."""
+
+    name = "MHCJ+Rollup"
+
+    def __init__(self, strategy: str = "max", target_height: Optional[int] = None):
+        self.strategy = strategy
+        self.target_height = target_height
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        ancestors, descendants = prepared
+        report = JoinReport(algorithm=self.name, result_count=0)
+        height_of = pbitree.height_of
+        f_ancestor = pbitree.f_ancestor
+
+        if not len(ancestors) or not len(descendants):
+            return report
+
+        # Pass 1: discover heights and pick the target.
+        heights = ancestors.heights()
+        target = self.target_height
+        if target is None:
+            target = choose_rollup_height(sorted(heights), self.strategy)
+        report.notes = f"rolled to height {target}"
+
+        if target >= max(heights):
+            # Everything rolls into one height class: stream the rolled
+            # pair records straight into the equijoin — no intermediate
+            # file, which is what makes the 3(||A|| + ||D||) cost hold.
+            report.partitions = 1
+            pair_capacity = ancestors.heap.capacity // 2 or 1
+
+            def rolled_pages():
+                for codes in ancestors.scan_pages():
+                    yield [
+                        (
+                            f_ancestor(code, target)
+                            if height_of(code) < target
+                            else code,
+                            code,
+                        )
+                        for code in codes
+                    ]
+
+            pair_pages = -(-len(ancestors) // pair_capacity)
+            _join_height_class(
+                rolled_pages(),
+                pair_pages,
+                descendants,
+                target,
+                sink,
+                bufmgr,
+                report,
+            )
+            return report
+
+        # General case: write rolled pair records, partitioned by
+        # effective height (nodes above the target keep their own height).
+        def effective_height(code: int) -> tuple[int, int]:
+            height = height_of(code)
+            if height < target:
+                return target, f_ancestor(code, target)
+            return height, code
+
+        partitions = _partition_by_height(
+            ancestors.scan_pages(), bufmgr, "rollup.A", effective_height
+        )
+        report.partitions = len(partitions)
+        _join_partitions(partitions, descendants, sink, bufmgr, report)
+        return report

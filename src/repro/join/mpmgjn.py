@@ -1,0 +1,80 @@
+"""MPMGJN: multiple-predicate merge join (Zhang et al., adapted).
+
+Both inputs sorted in document order (region ``Start`` ascending,
+ancestors before descendants on ties).  The merge scans the ancestor
+list once and may re-scan segments of the descendant list — the
+behaviour stack-tree joins were invented to avoid, kept here as the
+sort-merge representative of Section 3.1.
+
+When an input is not already sorted it is sorted on the fly by
+external merge sort (preparation I/O reported separately).
+"""
+
+from __future__ import annotations
+
+from ..core import pbitree
+from ..sort.external_sort import external_sort_set
+from ..storage.buffer import BufferManager
+from ..storage.elementset import ElementSet, SortOrder
+from .base import JoinAlgorithm, JoinReport, JoinSink
+from .cursor import SetCursor
+
+__all__ = ["MPMGJoin", "ensure_sorted"]
+
+
+def ensure_sorted(
+    elements: ElementSet, bufmgr: BufferManager
+) -> tuple[ElementSet, bool]:
+    """Return a document-order-sorted version of the set.
+
+    The second element of the result tells whether a temporary sorted
+    copy was created (and should be destroyed by the caller).
+    """
+    if elements.sorted_by == SortOrder.START:
+        return elements, False
+    return external_sort_set(elements), True
+
+
+class MPMGJoin(JoinAlgorithm):
+    """Multiple Predicate Merge Join over document-ordered inputs."""
+
+    name = "MPMGJN"
+
+    def _prepare(self, ancestors, descendants, bufmgr):
+        sorted_a, temp_a = ensure_sorted(ancestors, bufmgr)
+        sorted_d, temp_d = ensure_sorted(descendants, bufmgr)
+        return sorted_a, temp_a, sorted_d, temp_d
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        sorted_a, _temp_a, sorted_d, _temp_d = prepared
+        emit = sink.emit
+        is_ancestor = pbitree.is_ancestor
+        start_of = pbitree.start_of
+        end_of = pbitree.end_of
+
+        d_cursor = SetCursor(sorted_d)
+        for a_code in sorted_a.scan():
+            a_start = start_of(a_code)
+            a_end = end_of(a_code)
+            # skip descendants that start strictly before this ancestor:
+            # later ancestors start no earlier, so these can never match
+            while d_cursor.current is not None and start_of(d_cursor.current) < a_start:
+                d_cursor.advance()
+            mark = d_cursor.save()
+            while d_cursor.current is not None:
+                d_code = d_cursor.current
+                if start_of(d_code) > a_end:
+                    break
+                if is_ancestor(a_code, d_code):
+                    emit(a_code, d_code)
+                d_cursor.advance()
+            # rewind: the next ancestor may contain the same segment
+            d_cursor.restore(mark)
+        return JoinReport(algorithm=self.name, result_count=sink.count)
+
+    def _cleanup(self, prepared, ancestors, descendants) -> None:
+        sorted_a, temp_a, sorted_d, temp_d = prepared
+        if temp_a:
+            sorted_a.destroy()
+        if temp_d:
+            sorted_d.destroy()

@@ -1,0 +1,101 @@
+"""Block nested loop containment join — the naive baseline.
+
+Not one of the paper's contributions, but the reference point for "no
+sort, no index" processing before the partitioning algorithms: load a
+block of the smaller set, scan the other set once per block.  Within a
+block the smaller set is organised so each probe is sub-linear:
+
+* when the *ancestor* set is blocked, the block is grouped by height so
+  a descendant probes one hash set per distinct height (the same trick
+  SHCJ exploits);
+* when the *descendant* set is blocked, the block is sorted by code so
+  an ancestor finds its descendants with two binary searches (a node's
+  descendants occupy a contiguous code range — its region).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+
+from ..core import pbitree
+from ..storage.buffer import BufferManager
+from ..storage.elementset import ElementSet
+from .base import JoinAlgorithm, JoinReport, JoinSink
+
+__all__ = ["BlockNestedLoopJoin"]
+
+
+class BlockNestedLoopJoin(JoinAlgorithm):
+    """Block nested loop join; blocks of ``b - 2`` pages of the smaller set."""
+
+    name = "BNL"
+
+    def __init__(self, block_pages: int | None = None) -> None:
+        self.block_pages = block_pages
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        ancestors, descendants = prepared
+        block_pages = self.block_pages or max(1, bufmgr.num_pages - 2)
+        if ancestors.num_pages <= descendants.num_pages:
+            blocks = self._blocks(ancestors, block_pages)
+            for block in blocks:
+                self._probe_with_descendants(block, descendants, sink)
+        else:
+            for block in self._blocks(descendants, block_pages):
+                self._probe_with_ancestors(block, ancestors, sink)
+        return JoinReport(algorithm=self.name, result_count=sink.count)
+
+    @staticmethod
+    def _blocks(elements: ElementSet, block_pages: int):
+        """Yield code lists of ``block_pages`` pages at a time."""
+        block: list[int] = []
+        pages = 0
+        for codes in elements.scan_pages():
+            block.extend(codes)
+            pages += 1
+            if pages >= block_pages:
+                yield block
+                block = []
+                pages = 0
+        if block:
+            yield block
+
+    @staticmethod
+    def _probe_with_descendants(
+        a_block: list[int], descendants: ElementSet, sink: JoinSink
+    ) -> None:
+        """A-block in memory, grouped by height; stream D."""
+        by_height: dict[int, set[int]] = {}
+        for code in a_block:
+            by_height.setdefault(pbitree.height_of(code), set()).add(code)
+        heights = sorted(by_height)
+        emit = sink.emit
+        f_ancestor = pbitree.f_ancestor
+        height_of = pbitree.height_of
+        for d_codes in descendants.scan_pages():
+            for d_code in d_codes:
+                d_height = height_of(d_code)
+                for height in heights:
+                    if height <= d_height:
+                        continue
+                    anc = f_ancestor(d_code, height)
+                    if anc in by_height[height]:
+                        emit(anc, d_code)
+
+    @staticmethod
+    def _probe_with_ancestors(
+        d_block: list[int], ancestors: ElementSet, sink: JoinSink
+    ) -> None:
+        """D-block in memory, sorted by code; stream A."""
+        d_block = sorted(d_block)
+        emit = sink.emit
+        is_ancestor = pbitree.is_ancestor
+        region_of = pbitree.region_of
+        for a_codes in ancestors.scan_pages():
+            for a_code in a_codes:
+                start, end = region_of(a_code)
+                lo = bisect_left(d_block, start)
+                hi = bisect_right(d_block, end)
+                for d_code in d_block[lo:hi]:
+                    if is_ancestor(a_code, d_code):
+                        emit(a_code, d_code)

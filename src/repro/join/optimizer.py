@@ -1,0 +1,143 @@
+"""Cost-based containment-join optimizer (paper Section 6 future work).
+
+Where :mod:`repro.join.planner` realises the paper's rule-based Table 1,
+this optimizer estimates the page-I/O cost of *every* applicable
+algorithm from set statistics (:mod:`repro.join.statistics`) and the
+analytic cost model (:mod:`repro.join.costmodel`), then instantiates
+the cheapest.  ``explain()`` returns the whole ranked plan list, the
+way a database's EXPLAIN would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..storage.elementset import ElementSet, SortOrder
+from .ancdes_b import AncDesBPlusJoin
+from .base import JoinAlgorithm
+from .costmodel import CostEstimate, CostInputs, CostModel
+from .inljn import IndexNestedLoopJoin
+from .mhcj import MultiHeightJoin, MultiHeightRollupJoin
+from .mpmgjn import MPMGJoin
+from .nested_loop import BlockNestedLoopJoin
+from .shcj import SingleHeightJoin
+from .stacktree import StackTreeDescJoin
+from .statistics import SetStatistics, estimate_join_cardinality
+from .vpj import VerticalPartitionJoin
+
+__all__ = ["CostBasedOptimizer", "Plan"]
+
+_FACTORIES = {
+    "STACKTREE": StackTreeDescJoin,
+    "MPMGJN": MPMGJoin,
+    "INLJN": IndexNestedLoopJoin,
+    "ADB+": AncDesBPlusJoin,
+    "SHCJ": SingleHeightJoin,
+    "MHCJ": MultiHeightJoin,
+    "MHCJ+Rollup": MultiHeightRollupJoin,
+    "VPJ": VerticalPartitionJoin,
+    "BNL": BlockNestedLoopJoin,
+}
+
+
+@dataclass
+class Plan:
+    """One candidate plan: estimate + instantiable algorithm."""
+
+    estimate: CostEstimate
+    expected_results: float
+
+    @property
+    def algorithm_name(self) -> str:
+        return self.estimate.algorithm
+
+    def instantiate(self) -> JoinAlgorithm:
+        factory = _FACTORIES[self.algorithm_name]
+        return factory()
+
+
+class CostBasedOptimizer:
+    """Pick the cheapest containment-join algorithm by estimated I/O."""
+
+    def __init__(
+        self,
+        random_penalty: float = 1.0,
+        buffer_pages: Optional[int] = None,
+    ) -> None:
+        self.model = CostModel(random_penalty=random_penalty)
+        self.buffer_pages = buffer_pages
+
+    # ------------------------------------------------------------------
+    def gather_inputs(
+        self,
+        ancestors: ElementSet,
+        descendants: ElementSet,
+        a_stats: Optional[SetStatistics] = None,
+        d_stats: Optional[SetStatistics] = None,
+    ) -> CostInputs:
+        """Collect statistics (one scan per side unless supplied)."""
+        a_stats = a_stats or SetStatistics.from_set(ancestors)
+        d_stats = d_stats or SetStatistics.from_set(descendants)
+        return CostInputs(
+            a_pages=ancestors.num_pages,
+            d_pages=descendants.num_pages,
+            buffer_pages=self.buffer_pages or ancestors.bufmgr.num_pages,
+            a_stats=a_stats,
+            d_stats=d_stats,
+            a_sorted=ancestors.sorted_by == SortOrder.START,
+            d_sorted=descendants.sorted_by == SortOrder.START,
+        )
+
+    def explain(
+        self,
+        ancestors: ElementSet,
+        descendants: ElementSet,
+        a_stats: Optional[SetStatistics] = None,
+        d_stats: Optional[SetStatistics] = None,
+    ) -> list[Plan]:
+        """All candidate plans, cheapest first."""
+        inputs = self.gather_inputs(ancestors, descendants, a_stats, d_stats)
+        expected = estimate_join_cardinality(inputs.a_stats, inputs.d_stats)
+        plans = [
+            Plan(estimate=estimate, expected_results=expected)
+            for estimate in self.model.all_estimates(inputs)
+        ]
+        plans.sort(key=lambda plan: plan.estimate.weighted(self.model.random_penalty))
+        return plans
+
+    def choose(
+        self,
+        ancestors: ElementSet,
+        descendants: ElementSet,
+        a_stats: Optional[SetStatistics] = None,
+        d_stats: Optional[SetStatistics] = None,
+    ) -> tuple[JoinAlgorithm, Plan]:
+        """The cheapest plan, instantiated."""
+        plans = self.explain(ancestors, descendants, a_stats, d_stats)
+        best = plans[0]
+        algorithm = best.instantiate()
+        if best.algorithm_name == "SHCJ":
+            heights = ancestors.known_heights
+            if heights and len(heights) == 1:
+                algorithm = SingleHeightJoin(height=next(iter(heights)))
+        return algorithm, best
+
+    @staticmethod
+    def format_explain(plans: list[Plan]) -> str:
+        """Human-readable EXPLAIN output."""
+        lines = [
+            f"{'plan':<14} {'prep':>9} {'join':>9} {'total':>9}",
+            "-" * 44,
+        ]
+        for plan in plans:
+            est = plan.estimate
+            lines.append(
+                f"{est.algorithm:<14} {est.prep_pages:>9.0f} "
+                f"{est.join_pages:>9.0f} {est.total:>9.0f}"
+            )
+        if plans:
+            lines.append(
+                f"expected result cardinality ~ {plans[0].expected_results:.0f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""Path-query pipelines: ordering a chain of containment joins.
+
+A descendant-axis path ``//t1//t2//...//tn`` decomposes into ``n - 1``
+containment joins ([12], which the paper adopts for its real-world
+workloads).  The joins can be evaluated in different orders:
+
+* **top-down** (left to right): join (t1, t2), keep the matched t2
+  elements, join them with t3, ...;
+* **bottom-up** (right to left): join (t_{n-1}, t_n), keep the matched
+  *ancestors* t_{n-1}, join (t_{n-2}, those), ...; one final top-down
+  sweep recovers the surviving t_n elements.
+
+Both are semijoin programs with the same answer; their costs differ by
+the intermediate cardinalities, which :mod:`repro.join.statistics` can
+estimate before running anything.  :class:`PathPipeline` plans the
+direction from the estimates and executes the chain, reporting each
+step.
+
+This also exercises the property the paper highlights about stack-tree
+joins producing output "in either A or D sorted order, which is
+favorable for further containment joins": intermediate results here are
+materialised in code order, so downstream merge-based algorithms can
+consume them without re-sorting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..storage.buffer import BufferManager
+from ..storage.elementset import ElementSet
+from .base import JoinAlgorithm, JoinReport, JoinSink
+from .planner import choose_algorithm
+from .statistics import SetStatistics, estimate_join_cardinality
+
+__all__ = ["PathPipeline", "PipelineResult", "plan_direction"]
+
+AlgorithmFactory = Callable[[ElementSet, ElementSet], JoinAlgorithm]
+
+
+@dataclass
+class PipelineResult:
+    """Final matches plus the per-step execution trace."""
+
+    codes: list[int]
+    direction: str
+    reports: list[JoinReport] = field(default_factory=list)
+    estimated_cost: float = 0.0
+    #: pages read while collecting statistics for direction planning
+    planning_io: int = 0
+
+    @property
+    def total_io(self) -> int:
+        return self.planning_io + sum(
+            report.total_pages for report in self.reports
+        )
+
+
+def plan_direction(step_stats: Sequence[SetStatistics]) -> tuple[str, float, float]:
+    """Choose top-down vs bottom-up from estimated intermediate sizes.
+
+    Returns ``(direction, top_down_cost, bottom_up_cost)`` where the
+    costs are the sums of estimated *input* cardinalities each join in
+    the chain would see (a proxy for pages touched).
+    """
+    if len(step_stats) < 2:
+        return "top-down", 0.0, 0.0
+
+    top_down = 0.0
+    current = step_stats[0]
+    for nxt in step_stats[1:]:
+        top_down += current.count + nxt.count
+        survivors = min(
+            float(nxt.count), estimate_join_cardinality(current, nxt)
+        )
+        current = _shrunk(nxt, survivors)
+
+    bottom_up = 0.0
+    current = step_stats[-1]
+    for prev in reversed(step_stats[:-1]):
+        bottom_up += current.count + prev.count
+        matched_pairs = estimate_join_cardinality(prev, current)
+        survivors = min(float(prev.count), matched_pairs)
+        current = _shrunk(prev, survivors)
+    # bottom-up needs the final recovery sweep over the last tag
+    bottom_up += step_stats[-1].count
+
+    direction = "top-down" if top_down <= bottom_up else "bottom-up"
+    return direction, top_down, bottom_up
+
+
+def _shrunk(stats: SetStatistics, survivors: float) -> SetStatistics:
+    """Scale a statistics object to an estimated survivor count."""
+    if stats.count == 0:
+        return stats
+    ratio = max(0.0, min(1.0, survivors / stats.count))
+    scaled = SetStatistics(
+        count=int(round(stats.count * ratio)),
+        min_code=stats.min_code,
+        max_code=stats.max_code,
+        tree_height=stats.tree_height,
+    )
+    scaled.height_counts = {
+        height: max(1, int(round(count * ratio)))
+        for height, count in stats.height_counts.items()
+    }
+    scaled.position_counts = {
+        key: max(1, int(round(count * ratio)))
+        for key, count in stats.position_counts.items()
+    }
+    return scaled
+
+
+class PathPipeline:
+    """Plan and execute a chain of containment joins over element sets."""
+
+    def __init__(
+        self,
+        bufmgr: BufferManager,
+        algorithm_factory: Optional[AlgorithmFactory] = None,
+        direction: Optional[str] = None,
+    ) -> None:
+        """``algorithm_factory(ancestors, descendants)`` supplies the
+        operator per step (defaults to the Table 1 planner);
+        ``direction`` forces ``"top-down"``/``"bottom-up"`` instead of
+        cost-based planning."""
+        if direction not in (None, "top-down", "bottom-up"):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.bufmgr = bufmgr
+        self.algorithm_factory = algorithm_factory or (
+            lambda a_set, d_set: choose_algorithm(a_set, d_set)
+        )
+        self.forced_direction = direction
+
+    # ------------------------------------------------------------------
+    def execute(self, steps: Sequence[ElementSet]) -> PipelineResult:
+        """Run the chain; ``steps`` are the per-tag element sets in path
+        order (outermost first).  Returns the final-step codes that have
+        the whole ancestor chain."""
+        if not steps:
+            raise ValueError("empty path")
+        if len(steps) == 1:
+            return PipelineResult(
+                codes=sorted(steps[0].scan()), direction="top-down"
+            )
+
+        planning_io = 0
+        if self.forced_direction is not None:
+            direction = self.forced_direction
+            td_cost = bu_cost = 0.0
+        else:
+            io_stats = self.bufmgr.disk.stats
+            before = io_stats.snapshot()
+            stats = [SetStatistics.from_set(step) for step in steps]
+            planning_io = io_stats.delta(before).total
+            direction, td_cost, bu_cost = plan_direction(stats)
+        estimated = td_cost if direction == "top-down" else bu_cost
+
+        if direction == "top-down":
+            codes, reports = self._run_top_down(steps)
+        else:
+            codes, reports = self._run_bottom_up(steps)
+        return PipelineResult(
+            codes=codes,
+            direction=direction,
+            reports=reports,
+            estimated_cost=estimated,
+            planning_io=planning_io,
+        )
+
+    # ------------------------------------------------------------------
+    def _join_step(
+        self, ancestors: ElementSet, descendants: ElementSet
+    ) -> tuple[JoinReport, JoinSink]:
+        sink = JoinSink("collect")
+        algorithm = self.algorithm_factory(ancestors, descendants)
+        report = algorithm.run(ancestors, descendants, sink)
+        return report, sink
+
+    def _materialize(self, codes, tree_height: int, name: str) -> ElementSet:
+        return ElementSet.from_codes(
+            self.bufmgr, sorted(codes), tree_height, name=name, sorted_by="code"
+        )
+
+    def _run_top_down(self, steps: Sequence[ElementSet]):
+        reports = []
+        current = steps[0]
+        temporary = False
+        for index, descendants in enumerate(steps[1:], 1):
+            report, sink = self._join_step(current, descendants)
+            reports.append(report)
+            matched = {d for _a, d in sink.pairs}
+            if temporary:
+                current.destroy()
+            current = self._materialize(
+                matched, descendants.tree_height, f"pipe.td.{index}"
+            )
+            temporary = True
+        codes = sorted(current.scan())
+        if temporary:
+            current.destroy()
+        return codes, reports
+
+    def _run_bottom_up(self, steps: Sequence[ElementSet]):
+        reports = []
+        # phase 1: shrink ancestor sets right-to-left
+        survivors: list[ElementSet] = list(steps)
+        temporary = [False] * len(steps)
+        for index in range(len(steps) - 2, -1, -1):
+            report, sink = self._join_step(survivors[index], survivors[index + 1])
+            reports.append(report)
+            matched = {a for a, _d in sink.pairs}
+            survivors[index] = self._materialize(
+                matched, steps[index].tree_height, f"pipe.bu.{index}"
+            )
+            temporary[index] = True
+        # phase 2: recover the final-step elements with a top-down sweep
+        # through the shrunken sets (for a 2-step path phase 1 already
+        # produced the only join needed, so this is a single join)
+        if len(steps) == 2:
+            report, sink = self._join_step(survivors[0], steps[-1])
+            reports.append(report)
+            codes = sorted({d for _a, d in sink.pairs})
+        else:
+            current = survivors[0]
+            current_temp = False
+            for index in range(1, len(steps)):
+                step_report, step_sink = self._join_step(
+                    current, survivors[index]
+                )
+                reports.append(step_report)
+                matched = {d for _a, d in step_sink.pairs}
+                if current_temp:
+                    current.destroy()
+                current = self._materialize(
+                    matched, steps[index].tree_height, f"pipe.bu.down.{index}"
+                )
+                current_temp = True
+            codes = sorted(current.scan())
+            if current_temp:
+                current.destroy()
+        for index, is_temp in enumerate(temporary):
+            if is_temp:
+                survivors[index].destroy()
+        return codes, reports

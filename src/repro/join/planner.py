@@ -1,0 +1,133 @@
+"""Algorithm selection framework (Table 1 / Section 3.5).
+
+Given the physical properties of the two input element sets — sorted?
+indexed? — pick the containment-join algorithm the paper's framework
+prescribes:
+
+====================  =======  ============================
+indexed               sorted   algorithm
+====================  =======  ============================
+yes                   no       INLJN
+no                    yes      Stack-Tree
+yes                   yes      Anc_Des_B+
+no                    no       MHCJ+Rollup or VPJ
+====================  =======  ============================
+
+For the neither-sorted-nor-indexed cell the planner chooses between the
+two partitioning algorithms with a simple cost model: both cost about
+``3(||A|| + ||D||)``; rollup is preferred when the ancestor set spans a
+single height (it degenerates to SHCJ with no false hits) or when one
+input fits in memory, VPJ when the data is large on both sides (its
+recursive partitioning bounds memory exactly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..index.bptree import BPlusTree
+from ..index.interval_tree import IntervalTree
+from ..storage.elementset import ElementSet, SortOrder
+from .ancdes_b import AncDesBPlusJoin
+from .base import JoinAlgorithm
+from .inljn import IndexNestedLoopJoin
+from .mhcj import MultiHeightRollupJoin
+from .shcj import SingleHeightJoin
+from .stacktree import StackTreeDescJoin
+from .vpj import VerticalPartitionJoin
+
+__all__ = ["SetProperties", "choose_algorithm", "PBiTreeJoinFramework"]
+
+
+@dataclass
+class SetProperties:
+    """Physical properties the planner consults for one input."""
+
+    sorted: bool = False
+    start_index: Optional[BPlusTree] = None
+    interval_index: Optional[IntervalTree] = None
+    single_height: Optional[int] = None
+
+    @property
+    def indexed(self) -> bool:
+        return self.start_index is not None or self.interval_index is not None
+
+
+def choose_algorithm(
+    ancestors: ElementSet,
+    descendants: ElementSet,
+    a_props: Optional[SetProperties] = None,
+    d_props: Optional[SetProperties] = None,
+    buffer_pages: Optional[int] = None,
+) -> JoinAlgorithm:
+    """Instantiate the algorithm Table 1 prescribes for these inputs."""
+    a_props = a_props or _infer(ancestors)
+    d_props = d_props or _infer(descendants)
+    both_sorted = a_props.sorted and d_props.sorted
+    both_indexed = a_props.indexed and d_props.indexed
+
+    if both_sorted and both_indexed:
+        return AncDesBPlusJoin(
+            a_index=a_props.start_index, d_index=d_props.start_index
+        )
+    if both_sorted:
+        return StackTreeDescJoin()
+    if both_indexed or a_props.indexed or d_props.indexed:
+        return IndexNestedLoopJoin(
+            d_index=d_props.start_index, a_index=a_props.interval_index
+        )
+    # neither sorted nor indexed: the paper's new territory
+    if a_props.single_height is not None:
+        return SingleHeightJoin(height=a_props.single_height)
+    budget = buffer_pages or ancestors.bufmgr.num_pages
+    if min(ancestors.num_pages, descendants.num_pages) <= max(1, budget - 2):
+        return MultiHeightRollupJoin()
+    return VerticalPartitionJoin()
+
+
+def _infer(elements: ElementSet) -> SetProperties:
+    single_height = None
+    if elements.known_heights is not None and len(elements.known_heights) == 1:
+        single_height = next(iter(elements.known_heights))
+    return SetProperties(
+        sorted=elements.sorted_by == SortOrder.START,
+        single_height=single_height,
+    )
+
+
+class PBiTreeJoinFramework:
+    """Convenience façade: plan and run a containment join in one call.
+
+    >>> framework = PBiTreeJoinFramework()
+    >>> report, pairs = framework.join(ancestor_set, descendant_set)
+    """
+
+    def __init__(self, buffer_pages: Optional[int] = None) -> None:
+        self.buffer_pages = buffer_pages
+
+    def plan(
+        self,
+        ancestors: ElementSet,
+        descendants: ElementSet,
+        a_props: Optional[SetProperties] = None,
+        d_props: Optional[SetProperties] = None,
+    ) -> JoinAlgorithm:
+        return choose_algorithm(
+            ancestors, descendants, a_props, d_props, self.buffer_pages
+        )
+
+    def join(
+        self,
+        ancestors: ElementSet,
+        descendants: ElementSet,
+        a_props: Optional[SetProperties] = None,
+        d_props: Optional[SetProperties] = None,
+        collect: bool = True,
+    ):
+        from .base import JoinSink
+
+        algorithm = self.plan(ancestors, descendants, a_props, d_props)
+        sink = JoinSink("collect" if collect else "count")
+        report = algorithm.run(ancestors, descendants, sink)
+        return report, sink.pairs

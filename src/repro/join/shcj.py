@@ -1,0 +1,123 @@
+"""SHCJ: single-height containment join (Algorithm 2).
+
+When every node of the ancestor set sits at one PBiTree height ``h``,
+the containment join ``A <| D`` *is* the equijoin
+``A JOIN D ON A.code = F(D.code, h)`` — Lemma 1.  The join key of the
+descendant side is computed on the fly with shifts, so SHCJ inherits
+the whole mature equijoin machinery: an in-memory hash join at
+``||A|| + ||D||`` I/O when either side fits in the buffer pool, a Grace
+hash join at ``3(||A|| + ||D||)`` otherwise.
+
+A descendant at height >= ``h`` cannot have an ancestor at ``h``; its
+``F`` value would be a non-ancestor node, so such records are filtered
+by the key function (returns ``None``) rather than verified later —
+SHCJ produces **no false hits**.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import pbitree
+from ..storage.buffer import BufferManager
+from ..storage.elementset import ElementSet
+from ..storage.record import CODE
+from .base import JoinAlgorithm, JoinReport, JoinSink
+from .hash_join import grace_hash_join, in_memory_hash_join
+
+__all__ = ["SingleHeightJoin", "single_height_of"]
+
+
+def single_height_of(elements: ElementSet) -> Optional[int]:
+    """The unique height of the set's nodes, or None if mixed/empty.
+
+    Costs one scan — callers that already know the height pass it to
+    :class:`SingleHeightJoin` directly.
+    """
+    heights = elements.heights()
+    if len(heights) == 1:
+        return heights.pop()
+    return None
+
+
+class SingleHeightJoin(JoinAlgorithm):
+    """SHCJ — containment join as a hash equijoin on ``F(d, h)``."""
+
+    name = "SHCJ"
+
+    def __init__(self, height: Optional[int] = None) -> None:
+        """``height`` is the (single) height of the ancestor set; when
+        omitted it is discovered with one extra scan of ``A``."""
+        self.height = height
+
+    def _prepare(self, ancestors, descendants, bufmgr):
+        height = self.height
+        if height is None:
+            heights = ancestors.heights()
+            if len(heights) != 1:
+                raise ValueError(
+                    f"SHCJ requires a single-height ancestor set, "
+                    f"found heights {sorted(heights)} — use MHCJ"
+                )
+            height = heights.pop()
+        return ancestors, descendants, height
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        ancestors, descendants, height = prepared
+        report = JoinReport(algorithm=self.name, result_count=0)
+
+        shift = height + 1
+        anc_bit = 1 << height
+        height_of = pbitree.height_of
+
+        def probe_key(record: tuple[int, ...]) -> Optional[int]:
+            code = record[0]
+            if height_of(code) >= height:
+                return None
+            return ((code >> shift) << shift) | anc_bit  # F(code, height)
+
+        def build_key(record: tuple[int, ...]) -> Optional[int]:
+            return record[0]
+
+        emit = sink.emit
+
+        def emit_pair(a_record, d_record) -> None:
+            emit(a_record[0], d_record[0])
+
+        # The build side is A (conventionally the smaller); if either
+        # side fits in the pool an in-memory join avoids partitioning.
+        if ancestors.num_pages <= bufmgr.num_pages - 2:
+            in_memory_hash_join(
+                ancestors.heap.scan_pages(),
+                descendants.heap.scan_pages(),
+                build_key,
+                probe_key,
+                emit_pair,
+            )
+            report.notes = "in-memory (A fits)"
+        elif descendants.num_pages <= bufmgr.num_pages - 2:
+            # build over D's F-keys, probe with A
+            in_memory_hash_join(
+                descendants.heap.scan_pages(),
+                ancestors.heap.scan_pages(),
+                probe_key,
+                build_key,
+                lambda d_record, a_record: emit(a_record[0], d_record[0]),
+            )
+            report.notes = "in-memory (D fits)"
+        else:
+            partitions = grace_hash_join(
+                bufmgr,
+                ancestors.heap.scan_pages(),
+                descendants.heap.scan_pages(),
+                CODE,
+                CODE,
+                build_key,
+                probe_key,
+                emit_pair,
+                name="shcj",
+                build_pages_hint=ancestors.num_pages,
+            )
+            report.partitions = partitions
+            report.notes = "grace"
+        return report

@@ -1,0 +1,146 @@
+"""Stack-Tree containment joins (Al-Khalifa et al., adapted to PBiTree).
+
+Both inputs in document order.  An in-memory stack holds the current
+chain of nested ancestors, which removes MPMGJN's re-scanning: each
+input element is read exactly once, giving the optimal
+``O(||A|| + ||D||)`` I/O.
+
+Two variants, as in the original paper:
+
+* :class:`StackTreeDescJoin` emits results in **descendant** order the
+  moment a descendant arrives;
+* :class:`StackTreeAncJoin` emits results in **ancestor** order by
+  attaching inherit/self lists to stack entries and flushing them when
+  the bottom of the stack retires.
+
+PBiTree adaptation: ``Start``/``End`` are computed on the fly from the
+codes (Lemma 3) and the document-order tie (equal starts on a leftmost
+chain) is broken by height so ancestors are consumed first.
+"""
+
+from __future__ import annotations
+
+from ..core import pbitree
+from ..storage.buffer import BufferManager
+from .base import JoinAlgorithm, JoinReport, JoinSink
+from .cursor import SetCursor
+from .mpmgjn import ensure_sorted
+
+__all__ = ["StackTreeDescJoin", "StackTreeAncJoin"]
+
+
+class _StackTreeBase(JoinAlgorithm):
+    def _prepare(self, ancestors, descendants, bufmgr):
+        sorted_a, temp_a = ensure_sorted(ancestors, bufmgr)
+        sorted_d, temp_d = ensure_sorted(descendants, bufmgr)
+        return sorted_a, temp_a, sorted_d, temp_d
+
+    def _cleanup(self, prepared, ancestors, descendants) -> None:
+        sorted_a, temp_a, sorted_d, temp_d = prepared
+        if temp_a:
+            sorted_a.destroy()
+        if temp_d:
+            sorted_d.destroy()
+
+
+class StackTreeDescJoin(_StackTreeBase):
+    """Stack-Tree-Desc: output sorted by descendant."""
+
+    name = "STACKTREE"
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        sorted_a, _ta, sorted_d, _td = prepared
+        emit = sink.emit
+        doc_key = pbitree.doc_order_key
+        end_of = pbitree.end_of
+        start_of = pbitree.start_of
+
+        a_cursor = SetCursor(sorted_a)
+        d_cursor = SetCursor(sorted_d)
+        stack: list[tuple[int, int]] = []  # (end, code), top = innermost
+
+        while d_cursor.current is not None:
+            a_code = a_cursor.current
+            d_code = d_cursor.current
+            if a_code is not None and doc_key(a_code) <= doc_key(d_code):
+                a_start = start_of(a_code)
+                while stack and stack[-1][0] < a_start:
+                    stack.pop()
+                stack.append((end_of(a_code), a_code))
+                a_cursor.advance()
+            else:
+                d_start = start_of(d_code)
+                while stack and stack[-1][0] < d_start:
+                    stack.pop()
+                for _end, s_code in stack:
+                    if s_code != d_code:
+                        emit(s_code, d_code)
+                d_cursor.advance()
+        return JoinReport(algorithm=self.name, result_count=sink.count)
+
+
+class _AncStackEntry:
+    """Stack entry of Stack-Tree-Anc with self and inherit lists."""
+
+    __slots__ = ("code", "end", "self_list", "inherit_list")
+
+    def __init__(self, code: int, end: int) -> None:
+        self.code = code
+        self.end = end
+        self.self_list: list[int] = []
+        self.inherit_list: list[tuple[int, int]] = []
+
+
+class StackTreeAncJoin(_StackTreeBase):
+    """Stack-Tree-Anc: output sorted by ancestor.
+
+    A result pair cannot be emitted when its descendant arrives,
+    because an *earlier* ancestor (lower on the stack) must have all
+    its pairs emitted first.  Each stack entry accumulates its own
+    pairs (``self_list``); when an entry is popped, its lists migrate
+    to the entry below (``inherit_list``), and only when the stack
+    empties is everything flushed — in ancestor document order.
+    """
+
+    name = "STACKTREE-ANC"
+
+    def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
+        sorted_a, _ta, sorted_d, _td = prepared
+        doc_key = pbitree.doc_order_key
+        end_of = pbitree.end_of
+        start_of = pbitree.start_of
+
+        a_cursor = SetCursor(sorted_a)
+        d_cursor = SetCursor(sorted_d)
+        stack: list[_AncStackEntry] = []
+
+        def pop_entry() -> None:
+            entry = stack.pop()
+            pairs = [(entry.code, d) for d in entry.self_list]
+            pairs.extend(entry.inherit_list)
+            if stack:
+                stack[-1].inherit_list.extend(pairs)
+            else:
+                for a_code, d_code in pairs:
+                    sink.emit(a_code, d_code)
+
+        while d_cursor.current is not None:
+            a_code = a_cursor.current
+            d_code = d_cursor.current
+            if a_code is not None and doc_key(a_code) <= doc_key(d_code):
+                a_start = start_of(a_code)
+                while stack and stack[-1].end < a_start:
+                    pop_entry()
+                stack.append(_AncStackEntry(a_code, end_of(a_code)))
+                a_cursor.advance()
+            else:
+                d_start = start_of(d_code)
+                while stack and stack[-1].end < d_start:
+                    pop_entry()
+                for entry in stack:
+                    if entry.code != d_code:
+                        entry.self_list.append(d_code)
+                d_cursor.advance()
+        while stack:
+            pop_entry()
+        return JoinReport(algorithm=self.name, result_count=sink.count)

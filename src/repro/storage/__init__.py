@@ -1,0 +1,37 @@
+"""Minibase-style paged storage substrate with I/O accounting."""
+
+from .buffer import BufferManager, BufferPoolFullError
+from .disk import (
+    DEFAULT_PAGE_SIZE,
+    DiskManager,
+    PageCorruptionError,
+    PageNotAllocatedError,
+)
+from .persist import ImageFormatError, LoadedImage, load_image, save_image
+from .elementset import ElementSet, SortOrder
+from .heapfile import HeapFile, HeapFileWriter
+from .record import CODE, PAIR, TRIPLE, RecordCodec
+from .stats import IOSnapshot, IOStats
+
+__all__ = [
+    "BufferManager",
+    "BufferPoolFullError",
+    "DiskManager",
+    "DEFAULT_PAGE_SIZE",
+    "PageNotAllocatedError",
+    "PageCorruptionError",
+    "save_image",
+    "load_image",
+    "LoadedImage",
+    "ImageFormatError",
+    "ElementSet",
+    "SortOrder",
+    "HeapFile",
+    "HeapFileWriter",
+    "RecordCodec",
+    "CODE",
+    "PAIR",
+    "TRIPLE",
+    "IOStats",
+    "IOSnapshot",
+]

@@ -1,0 +1,186 @@
+"""Buffer pool: pin/unpin interface with LRU or clock replacement.
+
+Models Minibase's buffer manager.  All operators access pages through
+``pin``/``unpin``; a pin either hits the pool (no I/O) or faults the
+page in from the :class:`DiskManager` (one read, plus one write if a
+dirty victim is evicted).  The pool size ``num_pages`` is the ``b``
+parameter in the paper's cost formulas.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from .disk import DiskManager
+
+__all__ = ["BufferManager", "BufferPoolFullError", "Frame"]
+
+
+class BufferPoolFullError(RuntimeError):
+    """Raised when every frame is pinned and a new page must be brought in."""
+
+
+class Frame:
+    """One buffer frame: a mutable page image plus pin/dirty state."""
+
+    __slots__ = ("page_id", "data", "pin_count", "dirty", "referenced")
+
+    def __init__(self, page_id: int, data: bytearray) -> None:
+        self.page_id = page_id
+        self.data = data
+        self.pin_count = 1
+        self.dirty = False
+        self.referenced = True
+
+
+class BufferManager:
+    """A fixed-size pool of page frames over a :class:`DiskManager`."""
+
+    def __init__(
+        self,
+        disk: DiskManager,
+        num_pages: int,
+        policy: str = "lru",
+    ) -> None:
+        if num_pages < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        if policy not in ("lru", "clock"):
+            raise ValueError(f"unknown replacement policy {policy!r}")
+        self.disk = disk
+        self.num_pages = num_pages
+        self.policy = policy
+        # OrderedDict gives us LRU ordering for free; for clock we keep
+        # a separate hand index over a stable list of page ids.
+        self._frames: "OrderedDict[int, Frame]" = OrderedDict()
+        self._clock_hand = 0
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # public interface
+    # ------------------------------------------------------------------
+    def pin(self, page_id: int) -> Frame:
+        """Bring ``page_id`` into the pool (if absent) and pin it."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            frame.pin_count += 1
+            frame.referenced = True
+            self.hits += 1
+            if self.policy == "lru":
+                self._frames.move_to_end(page_id)
+            return frame
+        self.misses += 1
+        self._make_room()
+        data = bytearray(self.disk.read(page_id))
+        frame = Frame(page_id, data)
+        self._frames[page_id] = frame
+        return frame
+
+    def unpin(self, page_id: int, dirty: bool = False) -> None:
+        """Release one pin; mark the frame dirty if the caller wrote it."""
+        frame = self._frames.get(page_id)
+        if frame is None or frame.pin_count <= 0:
+            raise ValueError(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    def new_page(self) -> Frame:
+        """Allocate a fresh page on disk and pin it (zero-filled, dirty).
+
+        The initial contents are produced in the buffer, so no read I/O
+        is charged; the write is charged on eviction or flush.
+        """
+        page_id = self.disk.allocate()
+        self._make_room()
+        frame = Frame(page_id, bytearray(self.disk.page_size))
+        frame.dirty = True
+        self._frames[page_id] = frame
+        return frame
+
+    def flush_page(self, page_id: int) -> None:
+        """Write the frame back if dirty (keeps it resident and pinned-state)."""
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.dirty:
+            self.disk.write(page_id, bytes(frame.data))
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write back every dirty frame."""
+        for page_id in list(self._frames):
+            self.flush_page(page_id)
+
+    def evict_all(self) -> None:
+        """Flush and drop every unpinned frame (used between operators)."""
+        for page_id in list(self._frames):
+            frame = self._frames[page_id]
+            if frame.pin_count == 0:
+                self.flush_page(page_id)
+                del self._frames[page_id]
+        self._clock_hand = 0
+
+    def discard_page(self, page_id: int) -> None:
+        """Drop a frame without write-back (for pages being deallocated)."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            if frame.pin_count > 0:
+                raise ValueError(f"page {page_id} is pinned")
+            del self._frames[page_id]
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pinned(self) -> int:
+        return sum(1 for frame in self._frames.values() if frame.pin_count > 0)
+
+    @property
+    def num_resident(self) -> int:
+        return len(self._frames)
+
+    def is_resident(self, page_id: int) -> bool:
+        return page_id in self._frames
+
+    # ------------------------------------------------------------------
+    # replacement
+    # ------------------------------------------------------------------
+    def _make_room(self) -> None:
+        if len(self._frames) < self.num_pages:
+            return
+        victim = self._choose_victim()
+        frame = self._frames[victim]
+        if frame.dirty:
+            self.disk.write(victim, bytes(frame.data))
+        del self._frames[victim]
+
+    def _choose_victim(self) -> int:
+        if self.policy == "lru":
+            for page_id, frame in self._frames.items():
+                if frame.pin_count == 0:
+                    return page_id
+            raise BufferPoolFullError(
+                f"all {self.num_pages} frames are pinned"
+            )
+        return self._choose_victim_clock()
+
+    def _choose_victim_clock(self) -> int:
+        page_ids = list(self._frames)
+        if not page_ids:
+            raise BufferPoolFullError("empty pool cannot evict")
+        # Two sweeps: the first clears reference bits, the second takes
+        # the first unpinned frame.
+        for _ in range(2 * len(page_ids)):
+            self._clock_hand %= len(page_ids)
+            page_id = page_ids[self._clock_hand]
+            frame = self._frames[page_id]
+            self._clock_hand += 1
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            return page_id
+        # All unpinned frames had their bits cleared in sweep one; pick
+        # the first unpinned one now.
+        for page_id, frame in self._frames.items():
+            if frame.pin_count == 0:
+                return page_id
+        raise BufferPoolFullError(f"all {self.num_pages} frames are pinned")

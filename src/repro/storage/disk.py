@@ -1,0 +1,111 @@
+"""Simulated disk: fixed-size pages, every transfer counted.
+
+Stands in for Minibase's raw-disk storage manager.  Pages live in a
+dict; what matters for the reproduction is not persistence but that
+*every* page read and write is observable through :class:`IOStats`,
+because the paper compares algorithms by disk I/O.  Optional page
+checksums detect torn/corrupted pages on read (see
+:mod:`repro.storage.persist` for on-disk images).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from .stats import IOStats
+
+__all__ = [
+    "DiskManager",
+    "DEFAULT_PAGE_SIZE",
+    "PageNotAllocatedError",
+    "PageCorruptionError",
+]
+
+DEFAULT_PAGE_SIZE = 1024
+
+
+class PageNotAllocatedError(KeyError):
+    """Raised when reading/writing/freeing a page that was never allocated."""
+
+
+class PageCorruptionError(RuntimeError):
+    """Raised when a checksummed page fails verification on read."""
+
+
+class DiskManager:
+    """A page-addressed simulated disk with I/O accounting."""
+
+    def __init__(
+        self, page_size: int = DEFAULT_PAGE_SIZE, checksums: bool = False
+    ) -> None:
+        if page_size < 64:
+            raise ValueError("page size must be at least 64 bytes")
+        self.page_size = page_size
+        self.checksums = checksums
+        self.stats = IOStats()
+        self._pages: dict[int, bytes] = {}
+        self._checksums: dict[int, int] = {}
+        self._next_page_id = 0
+
+    # ------------------------------------------------------------------
+    def allocate(self, count: int = 1) -> int:
+        """Allocate ``count`` contiguous pages; return the first page id."""
+        if count < 1:
+            raise ValueError("must allocate at least one page")
+        first = self._next_page_id
+        zero = bytes(self.page_size)
+        zero_crc = zlib.crc32(zero) if self.checksums else 0
+        for page_id in range(first, first + count):
+            self._pages[page_id] = zero
+            if self.checksums:
+                self._checksums[page_id] = zero_crc
+            self.stats.record_allocation()
+        self._next_page_id = first + count
+        return first
+
+    def deallocate(self, page_id: int) -> None:
+        """Free one page (no I/O is charged, matching Minibase)."""
+        if page_id not in self._pages:
+            raise PageNotAllocatedError(page_id)
+        del self._pages[page_id]
+        self._checksums.pop(page_id, None)
+
+    def read(self, page_id: int) -> bytes:
+        """Read one page, charging one (possibly random) page read.
+
+        With checksums enabled, the page is verified against the CRC
+        recorded at write time; mismatch raises
+        :class:`PageCorruptionError` instead of silently returning
+        corrupt data.
+        """
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise PageNotAllocatedError(page_id) from None
+        if self.checksums and zlib.crc32(data) != self._checksums.get(page_id):
+            raise PageCorruptionError(
+                f"page {page_id} failed checksum verification"
+            )
+        self.stats.record_read(page_id)
+        return data
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write one page, charging one page write."""
+        if page_id not in self._pages:
+            raise PageNotAllocatedError(page_id)
+        if len(data) != self.page_size:
+            raise ValueError(
+                f"page data must be exactly {self.page_size} bytes, got {len(data)}"
+            )
+        self._pages[page_id] = bytes(data)
+        if self.checksums:
+            self._checksums[page_id] = zlib.crc32(self._pages[page_id])
+        self.stats.record_write(page_id)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_allocated(self) -> int:
+        return len(self._pages)
+
+    def is_allocated(self, page_id: int) -> bool:
+        return page_id in self._pages

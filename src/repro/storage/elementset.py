@@ -1,0 +1,162 @@
+"""Element sets: the inputs and outputs of containment joins.
+
+An :class:`ElementSet` is a heap file of PBiTree codes plus the
+metadata the planner needs (Table 1): whether the set is sorted (in
+region-``Start`` order) and whether an index exists on it.  Helper
+constructors build sets from raw code lists or from an encoded data
+tree by tag.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..core import pbitree
+from .buffer import BufferManager
+from .heapfile import HeapFile
+from .record import CODE
+
+__all__ = ["ElementSet", "SortOrder"]
+
+
+class SortOrder:
+    """Sort-order tags for element sets."""
+
+    NONE = None
+    #: document order: ascending region ``Start``, ties broken by
+    #: descending ``End`` so ancestors precede descendants (what the
+    #: merge-based algorithms require).
+    START = "start"
+    #: ascending raw code value.
+    CODE = "code"
+
+
+class ElementSet:
+    """A set of elements identified by PBiTree codes, stored on pages."""
+
+    def __init__(
+        self,
+        heap: HeapFile,
+        tree_height: int,
+        name: str = "",
+        sorted_by: Optional[str] = SortOrder.NONE,
+        known_heights: Optional[frozenset[int]] = None,
+    ) -> None:
+        self.heap = heap
+        self.tree_height = tree_height
+        self.name = name or heap.name
+        self.sorted_by = sorted_by
+        #: node heights present, when recorded at load time (catalog
+        #: statistics — saves algorithms a discovery scan)
+        self.known_heights = known_heights
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_codes(
+        cls,
+        bufmgr: BufferManager,
+        codes: Iterable[int],
+        tree_height: int,
+        name: str = "",
+        sorted_by: Optional[str] = SortOrder.NONE,
+    ) -> "ElementSet":
+        from .record import MAX_CODE_BITS
+
+        if tree_height > MAX_CODE_BITS:
+            raise ValueError(
+                f"PBiTree height {tree_height} exceeds the {MAX_CODE_BITS}-bit "
+                "storage code space (Section 2.3.3: pathologically deep trees "
+                "need a wider record format)"
+            )
+        heights: set[int] = set()
+
+        def records():
+            for code in codes:
+                heights.add(pbitree.height_of(code))
+                yield (code,)
+
+        heap = HeapFile.from_records(bufmgr, CODE, records(), name=name)
+        return cls(
+            heap,
+            tree_height,
+            name=name,
+            sorted_by=sorted_by,
+            known_heights=frozenset(heights),
+        )
+
+    @classmethod
+    def from_tree_tag(
+        cls,
+        bufmgr: BufferManager,
+        tree,
+        tag: str,
+        tree_height: int,
+        name: str = "",
+    ) -> "ElementSet":
+        """Element set of all nodes with ``tag`` in an encoded data tree.
+
+        Codes come out in document order, which is *not* start order in
+        general, so the set is marked unsorted — the starting condition
+        the paper's new algorithms target.
+        """
+        codes = (tree.codes[node] for node in tree.iter_by_tag(tag))
+        return cls.from_codes(
+            bufmgr, codes, tree_height, name=name or f"//{tag}"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def bufmgr(self) -> BufferManager:
+        return self.heap.bufmgr
+
+    @property
+    def num_pages(self) -> int:
+        return self.heap.num_pages
+
+    def __len__(self) -> int:
+        return self.heap.num_records
+
+    def scan(self) -> Iterator[int]:
+        """Yield codes in file order (sequential page reads)."""
+        for record in self.heap.scan():
+            yield record[0]
+
+    def scan_pages(self) -> Iterator[list[int]]:
+        """Yield the code list of each page."""
+        for records in self.heap.scan_pages():
+            yield [record[0] for record in records]
+
+    def to_list(self) -> list[int]:
+        return list(self.scan())
+
+    # ------------------------------------------------------------------
+    def heights(self) -> set[int]:
+        """Distinct node heights present (catalog statistic, or one scan)."""
+        if self.known_heights is not None:
+            return set(self.known_heights)
+        return {pbitree.height_of(code) for code in self.scan()}
+
+    def sorted_copy(self, order: str = SortOrder.START) -> "ElementSet":
+        """In-memory sorted copy — tests/examples only.
+
+        Real operators use :mod:`repro.sort.external_sort`, which charges
+        the I/O the paper's analysis assigns to on-the-fly sorting.
+        """
+        key = pbitree.doc_order_key if order == SortOrder.START else None
+        codes = sorted(self.scan(), key=key)
+        return ElementSet.from_codes(
+            self.bufmgr,
+            codes,
+            self.tree_height,
+            name=f"{self.name}[sorted:{order}]",
+            sorted_by=order,
+        )
+
+    def destroy(self) -> None:
+        self.heap.destroy()
+
+    def __repr__(self) -> str:
+        return (
+            f"<ElementSet {self.name!r} n={len(self)} pages={self.num_pages} "
+            f"H={self.tree_height} sorted={self.sorted_by}>"
+        )

@@ -1,0 +1,187 @@
+"""Heap files: unordered sequences of fixed-size records on pages.
+
+A :class:`HeapFile` is the storage representation of every element set,
+sort run and partition in this system.  Pages are chained (and, when
+written in one go, disk-contiguous so scans count as sequential reads).
+All access goes through the buffer manager, one pinned page at a time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from . import page as page_layout
+from .buffer import BufferManager
+from .record import RecordCodec
+
+__all__ = ["HeapFile", "HeapFileWriter"]
+
+
+class HeapFile:
+    """A chain of record pages holding fixed-size records."""
+
+    def __init__(
+        self,
+        bufmgr: BufferManager,
+        codec: RecordCodec,
+        name: str = "",
+    ) -> None:
+        self.bufmgr = bufmgr
+        self.codec = codec
+        self.name = name
+        self.page_ids: list[int] = []
+        self.num_records = 0
+        self.capacity = page_layout.page_capacity(
+            bufmgr.disk.page_size, codec.record_size
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        bufmgr: BufferManager,
+        codec: RecordCodec,
+        records: Iterable[Sequence[int]],
+        name: str = "",
+    ) -> "HeapFile":
+        """Materialise ``records`` into a new heap file (charged as writes)."""
+        heap = cls(bufmgr, codec, name)
+        writer = heap.open_writer()
+        for record in records:
+            writer.append(record)
+        writer.close()
+        return heap
+
+    def open_writer(self, resume: bool = False) -> "HeapFileWriter":
+        """An appender holding one pinned output page.
+
+        With ``resume=True`` the writer continues filling the last page
+        of the file if it has room (partition scatter re-opens bucket
+        writers evicted under buffer pressure this way, so a bucket
+        never fragments into per-eviction files).
+        """
+        return HeapFileWriter(self, resume=resume)
+
+    def append_all(self, records: Iterable[Sequence[int]]) -> None:
+        writer = self.open_writer()
+        for record in records:
+            writer.append(record)
+        writer.close()
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def num_pages(self) -> int:
+        return len(self.page_ids)
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    def scan(self) -> Iterator[tuple[int, ...]]:
+        """Yield every record in file order (one pinned page at a time)."""
+        for records in self.scan_pages():
+            yield from records
+
+    def scan_pages(self) -> Iterator[list[tuple[int, ...]]]:
+        """Yield the decoded record list of each page in order."""
+        bufmgr = self.bufmgr
+        codec = self.codec
+        for page_id in self.page_ids:
+            frame = bufmgr.pin(page_id)
+            try:
+                yield page_layout.read_records(frame.data, codec)
+            finally:
+                bufmgr.unpin(page_id)
+
+    def read_page(self, index: int) -> list[tuple[int, ...]]:
+        """Decode one page by position in the file."""
+        page_id = self.page_ids[index]
+        frame = self.bufmgr.pin(page_id)
+        try:
+            return page_layout.read_records(frame.data, self.codec)
+        finally:
+            self.bufmgr.unpin(page_id)
+
+    # ------------------------------------------------------------------
+    def destroy(self) -> None:
+        """Drop all pages (no I/O charged for deallocation)."""
+        for page_id in self.page_ids:
+            if self.bufmgr.is_resident(page_id):
+                frame = self.bufmgr._frames[page_id]
+                frame.dirty = False  # content is garbage now
+                self.bufmgr.discard_page(page_id)
+            self.bufmgr.disk.deallocate(page_id)
+        self.page_ids.clear()
+        self.num_records = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<HeapFile {self.name!r} records={self.num_records} "
+            f"pages={self.num_pages}>"
+        )
+
+
+class HeapFileWriter:
+    """Appender that keeps exactly one output page pinned."""
+
+    def __init__(self, heap: HeapFile, resume: bool = False) -> None:
+        self.heap = heap
+        self._frame = None
+        self._count = 0
+        self._offset = page_layout.PAGE_HEADER_SIZE
+        self._closed = False
+        if resume and heap.page_ids:
+            page_id = heap.page_ids[-1]
+            frame = heap.bufmgr.pin(page_id)
+            count = page_layout.get_record_count(frame.data)
+            if count < heap.capacity:
+                self._frame = frame
+                self._count = count
+                self._offset = (
+                    page_layout.PAGE_HEADER_SIZE + count * heap.codec.record_size
+                )
+            else:
+                heap.bufmgr.unpin(page_id)
+
+    def append(self, record: Sequence[int]) -> None:
+        if self._closed:
+            raise ValueError("writer is closed")
+        heap = self.heap
+        if self._frame is None or self._count >= heap.capacity:
+            self._finish_page()
+            self._frame = heap.bufmgr.new_page()
+            if heap.page_ids:
+                # link previous page to this one for self-description
+                prev = heap.page_ids[-1]
+                if heap.bufmgr.is_resident(prev):
+                    prev_frame = heap.bufmgr.pin(prev)
+                    page_layout.set_next_page(prev_frame.data, self._frame.page_id)
+                    heap.bufmgr.unpin(prev, dirty=True)
+            heap.page_ids.append(self._frame.page_id)
+            self._count = 0
+            self._offset = page_layout.PAGE_HEADER_SIZE
+        heap.codec.pack_into(self._frame.data, self._offset, record)
+        self._offset += heap.codec.record_size
+        self._count += 1
+        heap.num_records += 1
+
+    def _finish_page(self) -> None:
+        if self._frame is not None:
+            page_layout.set_record_count(self._frame.data, self._count)
+            page_layout.set_next_page(self._frame.data, None)
+            self.heap.bufmgr.unpin(self._frame.page_id, dirty=True)
+            self._frame = None
+
+    def close(self) -> None:
+        if not self._closed:
+            self._finish_page()
+            self._closed = True
+
+    def __enter__(self) -> "HeapFileWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

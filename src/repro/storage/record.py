@@ -1,0 +1,54 @@
+"""Fixed-size record codecs.
+
+Element sets store one PBiTree code per record (8 bytes).  Partitioning
+and rollup intermediates store code pairs (16 bytes).  Codecs wrap
+``struct.Struct`` with page-payload helpers; all values are little-
+endian unsigned 64-bit, which bounds the supported PBiTree height at 63
+(plenty: the paper notes real data trees binarize within a constant
+number of levels).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["RecordCodec", "CODE", "PAIR", "TRIPLE", "MAX_CODE_BITS"]
+
+MAX_CODE_BITS = 63
+
+
+class RecordCodec:
+    """Pack/unpack fixed-size tuples of unsigned 64-bit ints."""
+
+    def __init__(self, arity: int) -> None:
+        if arity < 1:
+            raise ValueError("records need at least one field")
+        self.arity = arity
+        self._struct = struct.Struct("<" + "Q" * arity)
+        self.record_size = self._struct.size
+
+    def pack(self, record: Sequence[int]) -> bytes:
+        return self._struct.pack(*record)
+
+    def unpack(self, data: bytes, offset: int = 0) -> tuple[int, ...]:
+        return self._struct.unpack_from(data, offset)
+
+    def pack_into(self, buffer: bytearray, offset: int, record: Sequence[int]) -> None:
+        self._struct.pack_into(buffer, offset, *record)
+
+    def iter_unpack(self, payload: bytes | bytearray, count: int) -> Iterator[tuple[int, ...]]:
+        """Decode the first ``count`` records from a page payload."""
+        view = memoryview(payload)[: count * self.record_size]
+        return self._struct.iter_unpack(view)
+
+    def pack_many(self, records: Iterable[Sequence[int]]) -> bytes:
+        return b"".join(self._struct.pack(*record) for record in records)
+
+
+#: One PBiTree code per record — element sets.
+CODE = RecordCodec(1)
+#: A code pair — rolled records, vertical-partition tuples, result pairs.
+PAIR = RecordCodec(2)
+#: Three fields — e.g. (key, code, aux) index entries.
+TRIPLE = RecordCodec(3)

@@ -1,0 +1,6 @@
+"""Workload generators: synthetic Table-2 datasets, DBLP-like, XMark-like."""
+
+from . import dblp, synthetic, textdoc, xmark
+from .dblp import JoinSpec
+
+__all__ = ["synthetic", "dblp", "xmark", "textdoc", "JoinSpec"]

@@ -1,0 +1,169 @@
+"""DBLP-like workload (Section 4.2, Table 2(d), Figure 6(d)).
+
+The paper runs ten containment joins (D1-D10) extracted from real
+queries over the DBLP bibliography.  The raw DBLP dump is not available
+offline, so this module generates a synthetic bibliography whose tree
+has the DBLP DTD shape — a flat ``dblp`` root with hundreds of
+thousands of publication elements (``article``, ``inproceedings``,
+``proceedings``, ``www``, ``phdthesis``) each carrying the familiar
+field children — and defines ten joins that mirror the cardinality
+*shapes* of Table 2(d):
+
+* a huge single-height ancestor set (every publication of one type),
+* descendant sets ranging from a handful (``note`` under ``article``)
+  to the full author list,
+* most joins with ``#results == |D|`` (each field belongs to exactly
+  one publication), plus joins where the descendant tag also occurs
+  under non-matching publication types (``#results < |D|``, like the
+  paper's D5/D6/D10).
+
+Citations (``cite`` wrapping ``label``) add depth so descendant sets
+span multiple heights after binarization, as the paper's ``H_D`` column
+shows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datatree.node import DataTree
+
+__all__ = ["generate_tree", "DBLP_JOINS", "JoinSpec", "default_join_specs"]
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """One containment join over a tagged tree: ``//anc_tag <| //desc_tag``."""
+
+    name: str
+    anc_tag: str
+    desc_tag: str
+    description: str = ""
+
+
+#: the ten DBLP joins, mirroring Table 2(d)'s shapes
+DBLP_JOINS = [
+    JoinSpec("D1", "article", "month", "rare field of a huge set"),
+    JoinSpec("D2", "article", "note", "very rare field"),
+    JoinSpec("D3", "article", "publnote", "rarest field"),
+    JoinSpec("D4", "article", "author", "full author list of articles"),
+    JoinSpec("D5", "inproceedings", "ee", "ee also under articles -> misses"),
+    JoinSpec("D6", "inproceedings", "url", "url mostly under www -> misses"),
+    JoinSpec("D7", "inproceedings", "booktitle", "1:1 field"),
+    JoinSpec("D8", "phdthesis", "school", "tiny ancestor set"),
+    JoinSpec("D9", "inproceedings", "title", "title under every type"),
+    JoinSpec("D10", "cite", "label", "nested citations, multi-height A"),
+]
+
+
+def default_join_specs() -> list[JoinSpec]:
+    return list(DBLP_JOINS)
+
+
+def generate_tree(num_publications: int = 20_000, seed: int = 0) -> DataTree:
+    """Generate a DBLP-shaped :class:`DataTree`.
+
+    The default 20k publications yield a tree of roughly 150k-200k
+    nodes — about 1/6 of the real DBLP-2002 the paper used, with the
+    same breadth-dominated shape.
+    """
+    rng = random.Random(seed)
+    tree = DataTree()
+    root = tree.add_root("dblp")
+
+    type_weights = [
+        ("article", 0.45),
+        ("inproceedings", 0.38),
+        ("proceedings", 0.05),
+        ("www", 0.09),
+        ("phdthesis", 0.03),
+    ]
+    tags = [tag for tag, _w in type_weights]
+    weights = [w for _tag, w in type_weights]
+
+    for _ in range(num_publications):
+        pub_type = rng.choices(tags, weights)[0]
+        _add_publication(tree, root, pub_type, rng)
+    return tree
+
+
+def _add_publication(
+    tree: DataTree, root: int, pub_type: str, rng: random.Random
+) -> None:
+    pub = tree.add_child(root, pub_type)
+    tree.add_child(pub, "title")
+
+    if pub_type == "article":
+        for _ in range(rng.randint(1, 4)):
+            tree.add_child(pub, "author")
+        tree.add_child(pub, "journal")
+        tree.add_child(pub, "year")
+        if rng.random() < 0.85:
+            tree.add_child(pub, "pages")
+        if rng.random() < 0.80:
+            tree.add_child(pub, "volume")
+        if rng.random() < 0.55:
+            tree.add_child(pub, "ee")
+        if rng.random() < 0.04:
+            tree.add_child(pub, "url")
+        if rng.random() < 0.020:
+            tree.add_child(pub, "month")
+        if rng.random() < 0.004:
+            tree.add_child(pub, "note")
+        if rng.random() < 0.0008:
+            tree.add_child(pub, "publnote")
+        _maybe_add_citations(tree, pub, rng, probability=0.25)
+    elif pub_type == "inproceedings":
+        for _ in range(rng.randint(1, 5)):
+            tree.add_child(pub, "author")
+        tree.add_child(pub, "booktitle")
+        tree.add_child(pub, "year")
+        if rng.random() < 0.80:
+            tree.add_child(pub, "pages")
+        if rng.random() < 0.30:
+            tree.add_child(pub, "ee")
+        if rng.random() < 0.10:
+            tree.add_child(pub, "url")
+        if rng.random() < 0.70:
+            tree.add_child(pub, "crossref")
+        _maybe_add_citations(tree, pub, rng, probability=0.15)
+    elif pub_type == "proceedings":
+        for _ in range(rng.randint(1, 3)):
+            tree.add_child(pub, "editor")
+        tree.add_child(pub, "booktitle")
+        tree.add_child(pub, "year")
+        tree.add_child(pub, "publisher")
+        if rng.random() < 0.50:
+            tree.add_child(pub, "isbn")
+        if rng.random() < 0.40:
+            tree.add_child(pub, "url")
+    elif pub_type == "www":
+        if rng.random() < 0.70:
+            tree.add_child(pub, "author")
+        tree.add_child(pub, "url")
+        if rng.random() < 0.10:
+            tree.add_child(pub, "note")
+    elif pub_type == "phdthesis":
+        tree.add_child(pub, "author")
+        tree.add_child(pub, "school")
+        tree.add_child(pub, "year")
+        if rng.random() < 0.30:
+            tree.add_child(pub, "publisher")
+
+
+def _maybe_add_citations(
+    tree: DataTree, pub: int, rng: random.Random, probability: float
+) -> None:
+    """A citation block: cite elements, some carrying a label child.
+
+    ``cite``/``label`` is the deepest structure in DBLP; it is what
+    makes the D10-style join multi-height (a cite under an article sits
+    deeper than one under an inproceedings with fewer siblings).
+    """
+    if rng.random() >= probability:
+        return
+    for _ in range(rng.randint(1, 6)):
+        cite = tree.add_child(pub, "cite")
+        if rng.random() < 0.60:
+            tree.add_child(cite, "label")

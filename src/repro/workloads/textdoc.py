@@ -1,0 +1,125 @@
+"""Text-document workload: deep nesting and word-level proximity.
+
+The paper frames "textual documents" as the other major tree-structured
+data family (Section 1), and its binarization heuristic is chosen to
+"assist processing containment and proximity queries" (Section 2.2).
+This generator builds a book-like document — parts, chapters, sections
+(recursively nested), paragraphs, sentences, words — that exercises:
+
+* containment joins over deeply nested same-tag ancestors
+  (``section`` inside ``section``, like the paper's B9 shape);
+* the proximity operators of :mod:`repro.join.proximity`: word-level
+  window joins ("term X within w words of term Y") and common-ancestor
+  joins ("X and Y in the same sentence/paragraph").
+
+Words are drawn from a Zipf-ish vocabulary so term frequencies have the
+skew real text has.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..datatree.node import DataTree
+from .dblp import JoinSpec
+
+__all__ = ["generate_tree", "TEXT_JOINS", "TermQuery", "default_term_queries"]
+
+_VOCABULARY_SIZE = 200
+
+#: containment joins over the book structure
+TEXT_JOINS = [
+    JoinSpec("T1", "chapter", "paragraph", "all paragraphs of chapters"),
+    JoinSpec("T2", "section", "section", "nested sections (self-join)"),
+    JoinSpec("T3", "section", "sentence", "sentences inside sections"),
+    JoinSpec("T4", "part", "footnote", "rare descendants of a small set"),
+    JoinSpec("T5", "paragraph", "emphasis", "inline markup"),
+]
+
+
+@dataclass(frozen=True)
+class TermQuery:
+    """A proximity query: occurrences of two terms within a window."""
+
+    name: str
+    left_term: str
+    right_term: str
+    window: int
+    description: str = ""
+
+
+def default_term_queries() -> list[TermQuery]:
+    return [
+        TermQuery("P1", "w3", "w7", 5, "two frequent terms, tight window"),
+        TermQuery("P2", "w3", "w120", 20, "frequent near rare"),
+        TermQuery("P3", "w50", "w51", 50, "two mid-frequency terms"),
+    ]
+
+
+def _pick_word(rng: random.Random) -> str:
+    """Zipf-ish draw: rank r with probability proportional to 1/r."""
+    # inverse-CDF on the harmonic distribution, cheap approximation
+    u = rng.random()
+    rank = int(_VOCABULARY_SIZE ** u)
+    return f"w{min(_VOCABULARY_SIZE, max(1, rank))}"
+
+
+def generate_tree(
+    num_parts: int = 3,
+    chapters_per_part: int = 5,
+    seed: int = 0,
+) -> DataTree:
+    """Generate a book-shaped :class:`DataTree`.
+
+    The default (3 parts x 5 chapters) yields ~40-60k nodes, most of
+    them word leaves.
+    """
+    rng = random.Random(seed)
+    tree = DataTree()
+    book = tree.add_root("book")
+    tree.add_child(book, "title")
+    for _ in range(num_parts):
+        part = tree.add_child(book, "part")
+        tree.add_child(part, "title")
+        for _ in range(chapters_per_part):
+            chapter = tree.add_child(part, "chapter")
+            tree.add_child(chapter, "title")
+            for _ in range(rng.randint(2, 5)):
+                _add_section(tree, chapter, rng, depth=0)
+    return tree
+
+
+def _add_section(tree: DataTree, parent: int, rng: random.Random, depth: int) -> None:
+    section = tree.add_child(parent, "section")
+    tree.add_child(section, "title")
+    for _ in range(rng.randint(1, 4)):
+        _add_paragraph(tree, section, rng)
+    if depth < 3 and rng.random() < 0.35:
+        for _ in range(rng.randint(1, 2)):
+            _add_section(tree, section, rng, depth + 1)
+    if rng.random() < 0.10:
+        footnote = tree.add_child(section, "footnote")
+        _add_sentence(tree, footnote, rng)
+
+
+def _add_paragraph(tree: DataTree, parent: int, rng: random.Random) -> None:
+    paragraph = tree.add_child(parent, "paragraph")
+    for _ in range(rng.randint(1, 5)):
+        _add_sentence(tree, paragraph, rng)
+
+
+def _add_sentence(tree: DataTree, parent: int, rng: random.Random) -> None:
+    sentence = tree.add_child(parent, "sentence")
+    for _ in range(rng.randint(3, 12)):
+        word = tree.add_child(sentence, _pick_word(rng))
+        if rng.random() < 0.03:
+            tree.add_child(word, "emphasis")
+
+
+def term_codes(tree: DataTree, term: str) -> list[int]:
+    """Codes of every occurrence of a term (the tree must be encoded)."""
+    return [tree.codes[node] for node in tree.iter_by_tag(term)]
+
+
+__all__.append("term_codes")

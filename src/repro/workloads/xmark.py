@@ -1,0 +1,165 @@
+"""XMark-like benchmark workload (Section 4.2, Table 2(c), Figure 6(c)).
+
+The paper uses the XML Benchmark (XMark) document at scale factor 1
+(113 MB).  The XMark generator is not available offline, so this module
+generates a document with the XMark schema shape — an auction ``site``
+with regions/items, people, and open/closed auctions — and defines ten
+containment joins B1-B10 mirroring Table 2(c)'s cardinality shapes:
+
+* B1-style: a large ancestor set with a single matching descendant
+  (one unique element planted in the document);
+* B3-style: a single ancestor (``people``) over a large descendant set;
+* deep multi-height descendant sets through the recursive
+  ``description/parlist/listitem`` structure (the paper's ``H_D = 8``);
+* 1:1 field joins where ``#results == |D|``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..datatree.node import DataTree
+from .dblp import JoinSpec
+
+__all__ = ["generate_tree", "XMARK_JOINS", "default_join_specs"]
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+#: the ten XMark joins, mirroring Table 2(c)'s shapes
+XMARK_JOINS = [
+    JoinSpec("B1", "item", "sponsor", "unique planted element: 1 result"),
+    JoinSpec("B2", "item", "mailbox", "items with mail folders"),
+    JoinSpec("B3", "people", "interest", "single ancestor"),
+    JoinSpec("B4", "item", "listitem", "deep recursive descendants"),
+    JoinSpec("B5", "closed_auction", "price", "1:1 field"),
+    JoinSpec("B6", "person", "income", "rare profile field"),
+    JoinSpec("B7", "person", "emailaddress", "1:1 field"),
+    JoinSpec("B8", "description", "text", "multi-height both sides"),
+    JoinSpec("B9", "parlist", "text", "nested ancestor set"),
+    JoinSpec("B10", "open_auction", "increase", "bidder histories"),
+]
+
+
+def default_join_specs() -> list[JoinSpec]:
+    return list(XMARK_JOINS)
+
+
+def generate_tree(scale: float = 0.1, seed: int = 0) -> DataTree:
+    """Generate an XMark-shaped :class:`DataTree`.
+
+    ``scale=1.0`` roughly matches XMark SF=0.1 in node count (~160k
+    nodes); the default 0.1 is comfortable for tests.  Proportions
+    between entity kinds follow the XMark generator: items:persons:
+    open:closed about 4.3 : 5.1 : 2.4 : 1.9 per 1000 scale units.
+    """
+    rng = random.Random(seed)
+    num_items = max(10, int(4350 * scale))
+    num_persons = max(10, int(5100 * scale))
+    num_open = max(5, int(2400 * scale))
+    num_closed = max(5, int(1950 * scale))
+
+    tree = DataTree()
+    site = tree.add_root("site")
+
+    regions = tree.add_child(site, "regions")
+    region_nodes = [tree.add_child(regions, name) for name in _REGIONS]
+    sponsor_item = rng.randrange(num_items)  # B1: exactly one match
+    for i in range(num_items):
+        region = region_nodes[rng.randrange(len(region_nodes))]
+        _add_item(tree, region, rng, plant_sponsor=(i == sponsor_item))
+
+    people = tree.add_child(site, "people")
+    for _ in range(num_persons):
+        _add_person(tree, people, rng)
+
+    open_auctions = tree.add_child(site, "open_auctions")
+    for _ in range(num_open):
+        _add_open_auction(tree, open_auctions, rng)
+
+    closed_auctions = tree.add_child(site, "closed_auctions")
+    for _ in range(num_closed):
+        _add_closed_auction(tree, closed_auctions, rng)
+    return tree
+
+
+def _add_item(
+    tree: DataTree, region: int, rng: random.Random, plant_sponsor: bool
+) -> None:
+    item = tree.add_child(region, "item")
+    tree.add_child(item, "location")
+    tree.add_child(item, "quantity")
+    tree.add_child(item, "name")
+    if rng.random() < 0.8:
+        tree.add_child(item, "payment")
+    _add_description(tree, item, rng)
+    if rng.random() < 0.25:
+        mailbox = tree.add_child(item, "mailbox")
+        for _ in range(rng.randint(1, 3)):
+            mail = tree.add_child(mailbox, "mail")
+            tree.add_child(mail, "from")
+            tree.add_child(mail, "to")
+            tree.add_child(mail, "date")
+    if plant_sponsor:
+        tree.add_child(item, "sponsor")
+
+
+def _add_description(tree: DataTree, parent: int, rng: random.Random) -> None:
+    """The recursive description/parlist/listitem/text structure."""
+    description = tree.add_child(parent, "description")
+    if rng.random() < 0.6:
+        _add_parlist(tree, description, rng, depth=0)
+    else:
+        tree.add_child(description, "text")
+
+
+def _add_parlist(
+    tree: DataTree, parent: int, rng: random.Random, depth: int
+) -> None:
+    parlist = tree.add_child(parent, "parlist")
+    for _ in range(rng.randint(1, 3)):
+        listitem = tree.add_child(parlist, "listitem")
+        if depth < 3 and rng.random() < 0.3:
+            _add_parlist(tree, listitem, rng, depth + 1)
+        else:
+            tree.add_child(listitem, "text")
+
+
+def _add_person(tree: DataTree, people: int, rng: random.Random) -> None:
+    person = tree.add_child(people, "person")
+    tree.add_child(person, "name")
+    tree.add_child(person, "emailaddress")
+    if rng.random() < 0.5:
+        tree.add_child(person, "phone")
+    if rng.random() < 0.4:
+        address = tree.add_child(person, "address")
+        tree.add_child(address, "street")
+        tree.add_child(address, "city")
+        tree.add_child(address, "country")
+    if rng.random() < 0.6:
+        profile = tree.add_child(person, "profile")
+        tree.add_child(profile, "education")
+        if rng.random() < 0.3:
+            tree.add_child(profile, "income")
+        for _ in range(rng.randint(0, 4)):
+            tree.add_child(profile, "interest")
+
+
+def _add_open_auction(tree: DataTree, parent: int, rng: random.Random) -> None:
+    auction = tree.add_child(parent, "open_auction")
+    tree.add_child(auction, "initial")
+    tree.add_child(auction, "current")
+    for _ in range(rng.randint(0, 5)):
+        bidder = tree.add_child(auction, "bidder")
+        tree.add_child(bidder, "date")
+        tree.add_child(bidder, "increase")
+    annotation = tree.add_child(auction, "annotation")
+    _add_description(tree, annotation, rng)
+
+
+def _add_closed_auction(tree: DataTree, parent: int, rng: random.Random) -> None:
+    auction = tree.add_child(parent, "closed_auction")
+    tree.add_child(auction, "price")
+    tree.add_child(auction, "date")
+    tree.add_child(auction, "quantity")
+    annotation = tree.add_child(auction, "annotation")
+    _add_description(tree, annotation, rng)

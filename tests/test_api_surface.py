@@ -1,0 +1,150 @@
+"""Coverage of the smaller API surfaces: reports, sinks, encodings,
+harness utilities, proximity corners."""
+
+import pytest
+
+from repro import (
+    BufferManager,
+    DiskManager,
+    ElementSet,
+    JoinSink,
+    binarize,
+    random_tree,
+)
+from repro.core import pbitree as pt
+from repro.core.encoding import PBiTreeEncoding
+from repro.datatree.builder import tree_from_spec
+from repro.experiments.harness import Workbench, timed
+from repro.join.base import JoinReport
+from repro.join.proximity import sibling_pairs
+from repro.storage.stats import IOSnapshot
+
+
+class TestJoinSink:
+    def test_count_mode_keeps_no_pairs(self):
+        sink = JoinSink("count")
+        sink.emit(1, 2)
+        sink.emit(3, 4)
+        assert sink.count == 2 and sink.pairs == []
+
+    def test_emit_many_collect(self):
+        sink = JoinSink("collect")
+        sink.emit_many([(1, 2), (3, 4)])
+        assert sink.pairs == [(1, 2), (3, 4)]
+        assert sink.count == 2
+
+    def test_emit_many_count(self):
+        sink = JoinSink("count")
+        sink.emit_many(iter([(1, 2), (3, 4), (5, 6)]))
+        assert sink.count == 3
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            JoinSink("stream")
+
+
+class TestJoinReport:
+    def test_total_io_combines_phases(self):
+        report = JoinReport(
+            algorithm="x",
+            result_count=0,
+            prep_io=IOSnapshot(reads=10, writes=5, random_reads=2),
+            join_io=IOSnapshot(reads=20, writes=0, random_reads=20),
+        )
+        assert report.total_pages == 35
+        assert report.total_io.random_reads == 22
+
+    def test_cost_with_penalty(self):
+        report = JoinReport(
+            algorithm="x",
+            result_count=0,
+            join_io=IOSnapshot(reads=10, writes=0, random_reads=10),
+        )
+        assert report.cost(1.0) == 10
+        assert report.cost(5.0) == 50
+
+
+class TestEncodingAPI:
+    def setup_method(self):
+        self.tree = tree_from_spec(("a", [("b", []), ("c", [])]))
+        self.encoding = binarize(self.tree, min_height=5)
+
+    def test_node_of_roundtrip(self):
+        for node, code in enumerate(self.tree.codes):
+            assert self.encoding.node_of(code) == node
+
+    def test_node_of_virtual_raises(self):
+        virtual = next(
+            code for code in range(1, 32) if code not in self.tree.codes
+        )
+        with pytest.raises(KeyError):
+            self.encoding.node_of(virtual)
+
+    def test_is_virtual(self):
+        assert not self.encoding.is_virtual(self.tree.codes[0])
+        virtual = next(
+            code for code in range(1, 32) if code not in self.tree.codes
+        )
+        assert self.encoding.is_virtual(virtual)
+
+    def test_is_virtual_out_of_space_rejected(self):
+        with pytest.raises(ValueError):
+            self.encoding.is_virtual(99)
+
+    def test_metadata(self):
+        assert self.encoding.coding_space == (1, 31)
+        assert self.encoding.bits_per_code == 5
+        assert "H=5" in repr(self.encoding)
+        assert self.encoding.level_of_node(0) == 0
+        assert list(self.encoding.codes()) == self.tree.codes
+
+
+class TestHarnessUtilities:
+    def test_timed(self):
+        seconds, value = timed(lambda x: x * 2, 21)
+        assert value == 42
+        assert seconds >= 0
+
+    def test_workbench_policies(self):
+        for policy in ("lru", "clock"):
+            bench = Workbench.create(buffer_pages=4, policy=policy)
+            assert bench.bufmgr.policy == policy
+
+
+class TestSiblingPairsCorners:
+    def test_empty_and_single(self):
+        assert list(sibling_pairs([], 5)) == []
+        assert list(sibling_pairs([4], 5)) == []
+
+    def test_root_level_has_no_siblings(self):
+        assert list(sibling_pairs([pt.root_code(5)], 5)) == []
+
+    def test_wide_placement_window(self):
+        tree = random_tree(60, seed=3)
+        encoding = binarize(tree)
+        narrow = set(sibling_pairs(tree.codes, encoding.tree_height, 1))
+        wide = set(sibling_pairs(tree.codes, encoding.tree_height, 6))
+        assert narrow <= wide
+
+    def test_duplicate_codes_collapse(self):
+        tree = tree_from_spec(("a", [("b", []), ("c", [])]))
+        encoding = binarize(tree)
+        codes = tree.codes + tree.codes  # duplicates
+        pairs = list(sibling_pairs(codes, encoding.tree_height))
+        assert len(pairs) == len(set(pairs))
+
+
+class TestElementSetLifecycle:
+    def test_destroy_frees_pages(self):
+        disk = DiskManager(page_size=128)
+        bufmgr = BufferManager(disk, 8)
+        elements = ElementSet.from_codes(bufmgr, range(1, 100, 2), 10)
+        assert disk.num_allocated > 0
+        elements.destroy()
+        assert disk.num_allocated == 0
+
+    def test_too_tall_tree_rejected(self):
+        disk = DiskManager()
+        bufmgr = BufferManager(disk, 4)
+        with pytest.raises(ValueError):
+            ElementSet.from_codes(bufmgr, [1], tree_height=80)

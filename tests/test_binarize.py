@@ -1,0 +1,172 @@
+"""Tests for BinarizeTree (Algorithm 1) and the embedding contract."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import pbitree as pt
+from repro.core.binarize import binarize, levels_for_tree, placement_k
+from repro.core.encoding import EncodingError
+from repro.datatree.builder import random_tree, tree_from_spec
+from repro.datatree.node import DataTree
+
+
+class TestPlacementK:
+    def test_matches_paper_example(self):
+        # "suppose a node A has three child nodes ... two levels below"
+        assert placement_k(3) == 2
+
+    def test_single_child_still_descends(self):
+        # the child must sit strictly below its parent
+        assert placement_k(1) == 1
+
+    def test_powers_of_two(self):
+        assert placement_k(2) == 1
+        assert placement_k(4) == 2
+        assert placement_k(5) == 3
+        assert placement_k(8) == 3
+        assert placement_k(9) == 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            placement_k(0)
+
+
+class TestPaperFigure3:
+    """The worked binarization of Figure 1(b) -> Figure 3."""
+
+    def tree(self) -> DataTree:
+        # &1 with three children &2, &3, &4 (shapes of Figure 1(b))
+        return tree_from_spec(
+            ("person", [  # &1
+                ("name", []),     # &2
+                ("age", []),      # &3
+                ("contact", []),  # &4
+            ])
+        )
+
+    def test_root_code_is_16(self):
+        tree = self.tree()
+        encoding = binarize(tree, min_height=5)
+        # "the PBiTree code for the root node is G(0,0) = 16"
+        assert tree.codes[0] == 16
+        assert encoding.tree_height == 5
+
+    def test_children_two_levels_down(self):
+        tree = self.tree()
+        binarize(tree, min_height=5)
+        # children at top-down codes (2,0), (2,1), (2,2): G -> 4, 12, 20
+        assert tree.codes[1:] == [4, 12, 20]
+        assert tree.codes[1:] == [
+            pt.g_code(0, 2, 5), pt.g_code(1, 2, 5), pt.g_code(2, 2, 5)
+        ]
+
+
+class TestLevelsForTree:
+    def test_root_only(self):
+        tree = DataTree()
+        tree.add_root("r")
+        levels, alphas, height = levels_for_tree(tree)
+        assert levels == [0] and alphas == [0] and height == 1
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            levels_for_tree(DataTree())
+
+    def test_chain_tree_height(self):
+        tree = DataTree()
+        node = tree.add_root("r")
+        for _ in range(9):
+            node = tree.add_child(node, "c")
+        _levels, _alphas, height = levels_for_tree(tree)
+        assert height == 10  # one level per chain link
+
+    def test_sibling_alphas_contiguous(self):
+        tree = DataTree()
+        root = tree.add_root("r")
+        for _ in range(4):
+            tree.add_child(root, "c")
+        _levels, alphas, _height = levels_for_tree(tree)
+        assert alphas[1:] == [0, 1, 2, 3]
+
+
+class TestBinarizeContract:
+    @given(st.integers(min_value=1, max_value=400), st.integers(0, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_random_trees_validate(self, num_nodes, seed):
+        tree = random_tree(num_nodes, seed=seed)
+        encoding = binarize(tree, validate=True)  # raises on violation
+        assert encoding.tree_height >= 1
+
+    @given(
+        st.integers(min_value=2, max_value=300),
+        st.integers(0, 5),
+        st.integers(min_value=2, max_value=16),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ancestor_relation_preserved_exactly(self, num_nodes, seed, fanout):
+        """The embedding h preserves ancestorship in both directions."""
+        tree = random_tree(num_nodes, max_fanout=fanout, seed=seed)
+        binarize(tree)
+        import random
+        rng = random.Random(seed)
+        for _ in range(min(300, num_nodes * 3)):
+            u = rng.randrange(num_nodes)
+            v = rng.randrange(num_nodes)
+            assert tree.is_ancestor(u, v) == pt.is_ancestor(
+                tree.codes[u], tree.codes[v]
+            )
+
+    @given(st.integers(min_value=1, max_value=300), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_codes_are_distinct(self, num_nodes, seed):
+        tree = random_tree(num_nodes, seed=seed)
+        binarize(tree)
+        assert len(set(tree.codes)) == num_nodes
+
+    def test_min_height_padding(self):
+        tree = tree_from_spec(("a", [("b", [])]))
+        encoding = binarize(tree, min_height=20)
+        assert encoding.tree_height == 20
+        assert tree.codes[0] == pt.root_code(20)
+
+    def test_deep_chain_does_not_recurse(self):
+        """The iterative binarizer survives a 50k-deep chain."""
+        tree = DataTree()
+        node = tree.add_root("r")
+        for _ in range(50_000):
+            node = tree.add_child(node, "c")
+        encoding = binarize(tree)
+        assert encoding.tree_height == 50_001
+
+    def test_document_order_matches_doc_order_key(self):
+        """Pre-order of the data tree == doc_order_key order of codes."""
+        tree = random_tree(300, seed=7)
+        binarize(tree)
+        preorder_codes = [tree.codes[n] for n in tree.iter_preorder()]
+        assert preorder_codes == sorted(preorder_codes, key=pt.doc_order_key)
+
+
+class TestEncodingValidation:
+    def test_detects_duplicate_codes(self):
+        tree = tree_from_spec(("a", [("b", []), ("c", [])]))
+        encoding = binarize(tree)
+        tree.codes[2] = tree.codes[1]
+        with pytest.raises(EncodingError):
+            encoding.validate()
+
+    def test_detects_non_dominating_parent(self):
+        tree = tree_from_spec(("a", [("b", [])]))
+        encoding = binarize(tree)
+        tree.codes[1] = tree.codes[0]  # child "above" its parent
+        with pytest.raises(EncodingError):
+            encoding.validate()
+
+    def test_detects_interloper_on_path(self):
+        # c's PBiTree path to its parent (the root) must not pass through
+        # its *sibling* b — move c's code under b's subtree to violate it
+        tree = tree_from_spec(("a", [("b", []), ("c", [])]))
+        encoding = binarize(tree, min_height=6)
+        assert pt.height_of(tree.codes[1]) > 0
+        tree.codes[2] = pt.left_child_of(tree.codes[1])
+        with pytest.raises(EncodingError):
+            encoding.validate()

@@ -1,0 +1,141 @@
+"""Tests for the disk-based B+-tree."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.index.bptree import BPlusTree
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+
+
+def make_env(frames=32, page_size=128):
+    disk = DiskManager(page_size=page_size)
+    return disk, BufferManager(disk, frames)
+
+
+class TestBulkLoad:
+    @given(st.lists(st.integers(0, 10**6), max_size=600), st.integers(0, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_scan_matches_input(self, keys, _seed):
+        _disk, bufmgr = make_env()
+        entries = sorted((k, i) for i, k in enumerate(keys))
+        tree = BPlusTree.bulk_load(bufmgr, entries)
+        assert list(tree.scan_all()) == entries
+        assert len(tree) == len(entries)
+
+    def test_unsorted_input_rejected(self):
+        _disk, bufmgr = make_env()
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(bufmgr, [(5, 0), (1, 1)])
+
+    def test_empty(self):
+        _disk, bufmgr = make_env()
+        tree = BPlusTree.bulk_load(bufmgr, [])
+        assert list(tree.scan_all()) == []
+        assert tree.search(4) == []
+        assert tree.first_geq(0) is None
+
+    def test_height_grows_logarithmically(self):
+        _disk, bufmgr = make_env(page_size=128)  # 7 leaf entries/page
+        tree = BPlusTree.bulk_load(bufmgr, [(i, i) for i in range(1000)])
+        assert 3 <= tree.height <= 5
+
+    def test_fill_factor(self):
+        _disk, bufmgr = make_env()
+        full = BPlusTree.bulk_load(bufmgr, [(i, i) for i in range(500)])
+        half = BPlusTree.bulk_load(
+            bufmgr, [(i, i) for i in range(500)], fill_factor=0.5
+        )
+        assert half.num_nodes > full.num_nodes
+
+    def test_bad_fill_factor(self):
+        _disk, bufmgr = make_env()
+        with pytest.raises(ValueError):
+            BPlusTree.bulk_load(bufmgr, [], fill_factor=0.0)
+
+
+class TestInsert:
+    @given(
+        st.lists(st.tuples(st.integers(0, 50), st.integers(0, 10**6)), max_size=400)
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_insert_matches_multiset(self, items):
+        _disk, bufmgr = make_env()
+        tree = BPlusTree(bufmgr)
+        for key, value in items:
+            tree.insert(key, value)
+        assert Counter(tree.scan_all()) == Counter(items)
+        assert sorted(k for k, _v in tree.scan_all()) == sorted(
+            k for k, _v in items
+        )
+
+    def test_interleaved_insert_and_search(self):
+        _disk, bufmgr = make_env()
+        tree = BPlusTree(bufmgr)
+        for i in range(300):
+            tree.insert(i * 7 % 100, i)
+            assert i in [v for _k, v in tree.range_scan(0, 10**9)]
+
+
+class TestSearch:
+    def entries(self):
+        return [(k, k * 10) for k in range(0, 200, 2)]  # even keys only
+
+    def test_point_search(self):
+        _disk, bufmgr = make_env()
+        tree = BPlusTree.bulk_load(bufmgr, self.entries())
+        assert tree.search(40) == [400]
+        assert tree.search(41) == []
+
+    def test_range_inclusive_exclusive(self):
+        _disk, bufmgr = make_env()
+        tree = BPlusTree.bulk_load(bufmgr, self.entries())
+        assert [k for k, _ in tree.range_scan(10, 20)] == [10, 12, 14, 16, 18, 20]
+        assert [k for k, _ in tree.range_scan(10, 20, include_lo=False)] == [
+            12, 14, 16, 18, 20
+        ]
+        assert [k for k, _ in tree.range_scan(10, 20, include_hi=False)] == [
+            10, 12, 14, 16, 18
+        ]
+
+    def test_range_outside_key_space(self):
+        _disk, bufmgr = make_env()
+        tree = BPlusTree.bulk_load(bufmgr, self.entries())
+        assert list(tree.range_scan(1000, 2000)) == []
+
+    def test_first_geq(self):
+        _disk, bufmgr = make_env()
+        tree = BPlusTree.bulk_load(bufmgr, self.entries())
+        assert tree.first_geq(0) == (0, 0)
+        assert tree.first_geq(41) == (42, 420)
+        assert tree.first_geq(199) is None
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=400))
+    @settings(max_examples=20, deadline=None)
+    def test_duplicates_across_leaf_boundaries(self, keys):
+        """Regression: bisect_left descent must find leading duplicates."""
+        _disk, bufmgr = make_env(page_size=128)
+        entries = sorted((k, i) for i, k in enumerate(keys))
+        tree = BPlusTree.bulk_load(bufmgr, entries)
+        for key in set(keys):
+            want = [(k, v) for k, v in entries if k == key]
+            assert list(tree.range_scan(key, key)) == want
+
+
+class TestIOBehaviour:
+    def test_probe_cost_is_height(self):
+        disk, bufmgr = make_env(frames=4, page_size=128)
+        tree = BPlusTree.bulk_load(bufmgr, [(i, i) for i in range(2000)])
+        bufmgr.flush_all()
+        bufmgr.evict_all()
+        disk.stats.reset()
+        tree.search(999)
+        assert disk.stats.reads <= tree.height + 1
+
+    def test_page_size_too_small_rejected(self):
+        disk = DiskManager(page_size=64)
+        bufmgr = BufferManager(disk, 4)
+        # 64-byte pages hold 3 leaf entries: fine
+        BPlusTree(bufmgr)

@@ -1,0 +1,155 @@
+"""Tests for the DataTree model and builders."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatree.builder import random_tree, tree_from_spec
+from repro.datatree.node import DataTree
+
+
+class TestConstruction:
+    def test_single_root(self):
+        tree = DataTree()
+        root = tree.add_root("doc")
+        assert root == 0
+        assert len(tree) == 1
+        assert tree.root == 0
+        assert tree.is_leaf(root)
+
+    def test_second_root_rejected(self):
+        tree = DataTree()
+        tree.add_root("doc")
+        with pytest.raises(ValueError):
+            tree.add_root("doc2")
+
+    def test_child_of_missing_node_rejected(self):
+        tree = DataTree()
+        tree.add_root("doc")
+        with pytest.raises(IndexError):
+            tree.add_child(7, "x")
+
+    def test_empty_tree_has_no_root(self):
+        with pytest.raises(ValueError):
+            DataTree().root
+
+    def test_children_keep_document_order(self):
+        tree = DataTree()
+        root = tree.add_root("r")
+        kids = [tree.add_child(root, f"c{i}") for i in range(5)]
+        assert tree.children[root] == kids
+
+
+class TestStructureQueries:
+    def tree(self):
+        return tree_from_spec(
+            ("a", [("b", [("d", []), ("e", [])]), ("c", [("f", [])])])
+        )
+
+    def test_depth(self):
+        tree = self.tree()
+        assert tree.depth_of(0) == 0
+        assert tree.depth_of(1) == 1
+        assert tree.depth_of(2) == 2
+
+    def test_is_ancestor(self):
+        tree = self.tree()
+        assert tree.is_ancestor(0, 2)       # a above d
+        assert tree.is_ancestor(1, 3)       # b above e
+        assert not tree.is_ancestor(2, 1)   # d not above b
+        assert not tree.is_ancestor(1, 1)   # proper only
+
+    def test_height(self):
+        assert self.tree().height() == 2
+        single = DataTree()
+        single.add_root("x")
+        assert single.height() == 0
+
+    def test_max_fanout(self):
+        assert self.tree().max_fanout() == 2
+
+    def test_tag_counts(self):
+        tree = tree_from_spec(("a", [("b", []), ("b", []), ("c", [])]))
+        assert tree.tag_counts() == {"a": 1, "b": 2, "c": 1}
+
+
+class TestTraversal:
+    def test_preorder(self):
+        tree = tree_from_spec(("a", [("b", [("d", [])]), ("c", [])]))
+        tags = [tree.tags[n] for n in tree.iter_preorder()]
+        assert tags == ["a", "b", "d", "c"]
+
+    def test_preorder_empty(self):
+        assert list(DataTree().iter_preorder()) == []
+
+    def test_iter_by_tag(self):
+        tree = tree_from_spec(("a", [("b", []), ("a", [("b", [])])]))
+        assert [tree.tags[n] for n in tree.iter_by_tag("b")] == ["b", "b"]
+        assert len(list(tree.iter_by_tag("a"))) == 2
+        assert list(tree.iter_by_tag("zzz")) == []
+
+    def test_descendants_of(self):
+        tree = tree_from_spec(("a", [("b", [("d", [])]), ("c", [])]))
+        descendants = [tree.tags[n] for n in tree.descendants_of(0)]
+        assert descendants == ["b", "d", "c"]
+        assert list(tree.descendants_of(2)) == []
+
+
+class TestNodeView:
+    def test_view_navigation(self):
+        tree = tree_from_spec(("a", "hello", [("b", [])]))
+        view = tree.node(0)
+        assert view.tag == "a"
+        assert view.text == "hello"
+        assert view.parent is None
+        assert [child.tag for child in view.children] == ["b"]
+        assert tree.node(1).parent.id == 0
+
+    def test_view_rejects_bad_id(self):
+        tree = tree_from_spec(("a", []))
+        with pytest.raises(IndexError):
+            tree.node(3)
+
+
+class TestSpecBuilder:
+    def test_plain_string(self):
+        tree = tree_from_spec("solo")
+        assert len(tree) == 1 and tree.tags[0] == "solo"
+
+    def test_text_form(self):
+        tree = tree_from_spec(("t", "payload"))
+        assert tree.texts[0] == "payload"
+
+    def test_text_and_children(self):
+        tree = tree_from_spec(("t", "x", [("c", [])]))
+        assert tree.texts[0] == "x" and len(tree) == 2
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(TypeError):
+            tree_from_spec(42)
+        with pytest.raises(TypeError):
+            tree_from_spec(("a", 42))
+
+
+class TestRandomTree:
+    @given(st.integers(1, 500), st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_size_and_connectivity(self, n, seed):
+        tree = random_tree(n, seed=seed)
+        assert len(tree) == n
+        for node in range(1, n):
+            assert 0 <= tree.parents[node] < node  # parents precede children
+
+    @given(st.integers(2, 300), st.integers(2, 6), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_fanout_bound(self, n, fanout, seed):
+        tree = random_tree(n, max_fanout=fanout, seed=seed)
+        assert tree.max_fanout() <= fanout
+
+    def test_deterministic(self):
+        a = random_tree(100, seed=5)
+        b = random_tree(100, seed=5)
+        assert a.parents == b.parents and a.tags == b.tags
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            random_tree(0)

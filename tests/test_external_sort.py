@@ -1,0 +1,119 @@
+"""Tests for external merge sort."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import pbitree as pt
+from repro.sort.external_sort import (
+    external_sort,
+    external_sort_set,
+    merge_cost_estimate,
+)
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+from repro.storage.elementset import ElementSet, SortOrder
+from repro.storage.heapfile import HeapFile
+from repro.storage.record import CODE
+
+
+def make_env(frames=4, page_size=128):
+    disk = DiskManager(page_size=page_size)
+    return disk, BufferManager(disk, frames)
+
+
+class TestExternalSort:
+    @given(st.lists(st.integers(0, 2**40), max_size=800), st.integers(3, 8))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_builtin_sorted(self, values, frames):
+        _disk, bufmgr = make_env(frames=frames)
+        heap = HeapFile.from_records(bufmgr, CODE, [(v,) for v in values])
+        result = external_sort(heap, key=lambda r: r[0])
+        assert [r[0] for r in result.scan()] == sorted(values)
+
+    def test_multi_pass_merge(self):
+        """Enough runs to force more than one merge pass (fan-in 2)."""
+        _disk, bufmgr = make_env(frames=3, page_size=128)
+        values = list(range(1000, 0, -1))
+        heap = HeapFile.from_records(bufmgr, CODE, [(v,) for v in values])
+        result = external_sort(heap, key=lambda r: r[0], buffer_pages=3)
+        assert [r[0] for r in result.scan()] == sorted(values)
+
+    def test_stability_on_equal_keys(self):
+        from repro.storage.record import PAIR
+        _disk, bufmgr = make_env()
+        records = [(1, i) for i in range(100)] + [(0, i) for i in range(100)]
+        heap = HeapFile.from_records(bufmgr, PAIR, records)
+        result = external_sort(heap, key=lambda r: r[0])
+        got = list(result.scan())
+        assert got[:100] == [(0, i) for i in range(100)]
+        assert got[100:] == [(1, i) for i in range(100)]
+
+    def test_empty_input(self):
+        _disk, bufmgr = make_env()
+        heap = HeapFile(bufmgr, CODE)
+        result = external_sort(heap, key=lambda r: r[0])
+        assert list(result.scan()) == []
+
+    def test_destroy_input(self):
+        disk, bufmgr = make_env()
+        heap = HeapFile.from_records(bufmgr, CODE, [(v,) for v in range(200)])
+        result = external_sort(heap, key=lambda r: r[0], destroy_input=True)
+        assert heap.num_pages == 0
+        assert len(result) == 200
+        # only the sorted output remains allocated
+        assert disk.num_allocated == result.num_pages
+
+    def test_too_few_buffers_rejected(self):
+        _disk, bufmgr = make_env(frames=4)
+        heap = HeapFile(bufmgr, CODE)
+        with pytest.raises(ValueError):
+            external_sort(heap, key=lambda r: r[0], buffer_pages=2)
+
+    def test_io_charged(self):
+        """Sorting from cold data costs at least 2 x pages (read+write)."""
+        disk, bufmgr = make_env(frames=3, page_size=128)
+        heap = HeapFile.from_records(bufmgr, CODE, [(v,) for v in range(600)])
+        bufmgr.flush_all()
+        bufmgr.evict_all()
+        disk.stats.reset()
+        external_sort(heap, key=lambda r: r[0], buffer_pages=3)
+        snapshot = disk.stats.snapshot()
+        assert snapshot.reads >= heap.num_pages
+        assert snapshot.writes >= heap.num_pages
+
+
+class TestExternalSortSet:
+    def test_document_order(self):
+        _disk, bufmgr = make_env()
+        codes = [20, 1, 16, 18, 24, 17, 3]
+        elements = ElementSet.from_codes(bufmgr, codes, 5)
+        result = external_sort_set(elements)
+        assert result.to_list() == sorted(codes, key=pt.doc_order_key)
+        assert result.sorted_by == SortOrder.START
+
+    def test_ancestors_precede_descendants_on_tied_start(self):
+        _disk, bufmgr = make_env()
+        # 16 (root), 8, 4, 2, 1 all share Start = 1
+        elements = ElementSet.from_codes(bufmgr, [1, 4, 16, 2, 8], 5)
+        result = external_sort_set(elements)
+        assert result.to_list() == [16, 8, 4, 2, 1]
+
+
+class TestCostEstimate:
+    def test_zero_pages(self):
+        assert merge_cost_estimate(0, 10) == 0
+
+    def test_single_pass(self):
+        # fits in the buffer: one read+write pass
+        assert merge_cost_estimate(8, 10) == 16
+
+    def test_two_pass(self):
+        # 90 pages, 10 buffers -> 9 runs -> one merge pass (fan-in 9)
+        assert merge_cost_estimate(90, 10) == 2 * 90 * 2
+
+    def test_three_pass(self):
+        # 100 pages, 10 buffers -> 10 runs > fan-in 9 -> two merge passes
+        assert merge_cost_estimate(100, 10) == 2 * 100 * 3
+
+    def test_grows_with_less_memory(self):
+        assert merge_cost_estimate(1000, 5) > merge_cost_estimate(1000, 50)

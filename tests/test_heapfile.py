@@ -1,0 +1,138 @@
+"""Tests for heap files and element sets."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import pbitree as pt
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+from repro.storage.elementset import ElementSet, SortOrder
+from repro.storage.heapfile import HeapFile
+from repro.storage.record import CODE, PAIR
+
+
+def make_env(frames=8, page_size=128):
+    disk = DiskManager(page_size=page_size)
+    return disk, BufferManager(disk, frames)
+
+
+class TestHeapFile:
+    @given(st.lists(st.integers(0, 2**63), max_size=500))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, values):
+        _disk, bufmgr = make_env()
+        heap = HeapFile.from_records(bufmgr, CODE, [(v,) for v in values])
+        assert [r[0] for r in heap.scan()] == values
+        assert len(heap) == len(values)
+
+    def test_page_count(self):
+        _disk, bufmgr = make_env(page_size=128)
+        capacity = (128 - 8) // 8  # 15 records/page
+        heap = HeapFile.from_records(bufmgr, CODE, [(i,) for i in range(31)])
+        assert heap.capacity == capacity
+        assert heap.num_pages == 3  # 15 + 15 + 1
+
+    def test_read_page(self):
+        _disk, bufmgr = make_env()
+        heap = HeapFile.from_records(bufmgr, PAIR, [(i, i * 2) for i in range(40)])
+        first = heap.read_page(0)
+        assert first[0] == (0, 0)
+        assert heap.read_page(heap.num_pages - 1)[-1] == (39, 78)
+
+    def test_writer_context_manager(self):
+        _disk, bufmgr = make_env()
+        heap = HeapFile(bufmgr, CODE)
+        with heap.open_writer() as writer:
+            writer.append((1,))
+            writer.append((2,))
+        assert [r[0] for r in heap.scan()] == [1, 2]
+
+    def test_append_after_close_rejected(self):
+        _disk, bufmgr = make_env()
+        heap = HeapFile(bufmgr, CODE)
+        writer = heap.open_writer()
+        writer.close()
+        with pytest.raises(ValueError):
+            writer.append((1,))
+
+    def test_writer_leaves_no_pins(self):
+        _disk, bufmgr = make_env()
+        heap = HeapFile(bufmgr, CODE)
+        heap.append_all([(i,) for i in range(100)])
+        assert bufmgr.num_pinned == 0
+
+    def test_destroy_releases_pages(self):
+        disk, bufmgr = make_env()
+        heap = HeapFile.from_records(bufmgr, CODE, [(i,) for i in range(100)])
+        pages = heap.num_pages
+        assert disk.num_allocated == pages
+        heap.destroy()
+        assert disk.num_allocated == 0
+        assert heap.num_pages == 0
+
+    def test_scan_faults_pages_once_per_scan(self):
+        disk, bufmgr = make_env(frames=2, page_size=128)
+        heap = HeapFile.from_records(bufmgr, CODE, [(i,) for i in range(100)])
+        bufmgr.flush_all()
+        bufmgr.evict_all()
+        disk.stats.reset()
+        list(heap.scan())
+        assert disk.stats.reads == heap.num_pages
+
+    def test_empty_scan(self):
+        _disk, bufmgr = make_env()
+        heap = HeapFile(bufmgr, CODE)
+        assert list(heap.scan()) == []
+        assert heap.num_pages == 0
+
+
+class TestElementSet:
+    def test_from_codes_and_heights_metadata(self):
+        _disk, bufmgr = make_env()
+        codes = [4, 12, 20, 6]
+        elements = ElementSet.from_codes(bufmgr, codes, tree_height=5, name="s")
+        assert elements.to_list() == codes
+        assert elements.known_heights == {pt.height_of(c) for c in codes}
+        assert elements.heights() == {1, 2}
+
+    def test_heights_scan_fallback(self):
+        _disk, bufmgr = make_env()
+        elements = ElementSet.from_codes(bufmgr, [4, 6], 5)
+        elements.known_heights = None
+        assert elements.heights() == {1, 2}
+
+    def test_from_tree_tag(self):
+        from repro.core.binarize import binarize
+        from repro.datatree.builder import tree_from_spec
+
+        tree = tree_from_spec(("a", [("b", []), ("b", []), ("c", [])]))
+        encoding = binarize(tree)
+        _disk, bufmgr = make_env()
+        b_set = ElementSet.from_tree_tag(
+            bufmgr, tree, "b", encoding.tree_height
+        )
+        assert len(b_set) == 2
+        assert b_set.sorted_by is SortOrder.NONE
+        assert b_set.name == "//b"
+
+    def test_sorted_copy(self):
+        _disk, bufmgr = make_env()
+        codes = [20, 4, 16, 6, 1]
+        elements = ElementSet.from_codes(bufmgr, codes, 5)
+        by_start = elements.sorted_copy(SortOrder.START)
+        assert by_start.to_list() == sorted(codes, key=pt.doc_order_key)
+        assert by_start.sorted_by == SortOrder.START
+        by_code = elements.sorted_copy(SortOrder.CODE)
+        assert by_code.to_list() == sorted(codes)
+
+    def test_scan_pages_shape(self):
+        _disk, bufmgr = make_env(page_size=128)
+        elements = ElementSet.from_codes(bufmgr, range(1, 32), 10)
+        pages = list(elements.scan_pages())
+        assert sum(len(p) for p in pages) == 31
+        assert len(pages) == elements.num_pages
+
+    def test_repr_mentions_name(self):
+        _disk, bufmgr = make_env()
+        elements = ElementSet.from_codes(bufmgr, [1], 3, name="things")
+        assert "things" in repr(elements)

@@ -1,0 +1,104 @@
+"""Tests for the paged static interval tree."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.index.interval_tree import IntervalTree
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
+
+
+def make_env(frames=32, page_size=128):
+    disk = DiskManager(page_size=page_size)
+    return disk, BufferManager(disk, frames)
+
+
+def brute_stab(intervals, point):
+    return sorted(iv for iv in intervals if iv[0] <= point <= iv[1])
+
+
+@st.composite
+def interval_lists(draw):
+    n = draw(st.integers(0, 120))
+    intervals = []
+    for i in range(n):
+        start = draw(st.integers(0, 500))
+        length = draw(st.integers(0, 100))
+        intervals.append((start, start + length, i))
+    return intervals
+
+
+class TestStabbing:
+    @given(interval_lists(), st.lists(st.integers(0, 650), max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, intervals, points):
+        _disk, bufmgr = make_env()
+        tree = IntervalTree.build(bufmgr, intervals)
+        for point in points:
+            assert sorted(tree.stab(point)) == brute_stab(intervals, point)
+
+    def test_empty_tree(self):
+        _disk, bufmgr = make_env()
+        tree = IntervalTree.build(bufmgr, [])
+        assert list(tree.stab(5)) == []
+        assert len(tree) == 0
+
+    def test_single_interval(self):
+        _disk, bufmgr = make_env()
+        tree = IntervalTree.build(bufmgr, [(10, 20, 7)])
+        assert list(tree.stab(10)) == [(10, 20, 7)]
+        assert list(tree.stab(20)) == [(10, 20, 7)]
+        assert list(tree.stab(15)) == [(10, 20, 7)]
+        assert list(tree.stab(9)) == []
+        assert list(tree.stab(21)) == []
+
+    def test_point_intervals(self):
+        _disk, bufmgr = make_env()
+        intervals = [(i, i, i) for i in range(50)]
+        tree = IntervalTree.build(bufmgr, intervals)
+        for i in range(50):
+            assert list(tree.stab(i)) == [(i, i, i)]
+
+    def test_nested_intervals(self):
+        """PBiTree regions nest heavily; the tree must report all layers."""
+        _disk, bufmgr = make_env()
+        intervals = [(50 - i, 50 + i, i) for i in range(40)]
+        tree = IntervalTree.build(bufmgr, intervals)
+        assert sorted(tree.stab(50)) == sorted(intervals)
+        assert len(list(tree.stab(50 + 39))) == 1
+
+    def test_identical_intervals(self):
+        _disk, bufmgr = make_env()
+        intervals = [(5, 9, i) for i in range(20)]
+        tree = IntervalTree.build(bufmgr, intervals)
+        assert len(list(tree.stab(7))) == 20
+
+
+class TestScaleAndIO:
+    def test_large_build_and_probe(self):
+        disk, bufmgr = make_env(frames=64, page_size=1024)
+        rng = random.Random(5)
+        intervals = []
+        for i in range(5000):
+            start = rng.randrange(10**6)
+            intervals.append((start, start + rng.randrange(10**4), i))
+        tree = IntervalTree.build(bufmgr, intervals)
+        for _ in range(50):
+            point = rng.randrange(10**6)
+            assert sorted(tree.stab(point)) == brute_stab(intervals, point)
+
+    def test_probe_charges_io_when_cold(self):
+        disk, bufmgr = make_env(frames=4, page_size=128)
+        intervals = [(i * 3, i * 3 + 100, i) for i in range(500)]
+        tree = IntervalTree.build(bufmgr, intervals)
+        bufmgr.flush_all()
+        bufmgr.evict_all()
+        disk.stats.reset()
+        list(tree.stab(600))
+        assert disk.stats.reads > 0
+
+    def test_num_pages_reported(self):
+        _disk, bufmgr = make_env()
+        tree = IntervalTree.build(bufmgr, [(1, 2, 0), (3, 4, 1)])
+        assert tree.num_pages >= 2

@@ -1,0 +1,184 @@
+"""Cross-algorithm correctness: every join algorithm must agree with the
+brute-force oracle on arbitrary inputs.
+
+This is the central property test of the repository: the paper's claim
+is that all framework algorithms compute the same containment join; any
+divergence is a bug in coding, storage or join logic.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    AncDesBPlusJoin,
+    BlockNestedLoopJoin,
+    BufferManager,
+    DiskManager,
+    ElementSet,
+    IndexNestedLoopJoin,
+    JoinSink,
+    MPMGJoin,
+    MultiHeightJoin,
+    MultiHeightRollupJoin,
+    SingleHeightJoin,
+    StackTreeAncJoin,
+    StackTreeDescJoin,
+    VerticalPartitionJoin,
+    binarize,
+    brute_force_join,
+    random_tree,
+)
+from repro.core import pbitree as pt
+
+ALL_ALGORITHMS = [
+    BlockNestedLoopJoin,
+    IndexNestedLoopJoin,
+    MPMGJoin,
+    StackTreeDescJoin,
+    StackTreeAncJoin,
+    AncDesBPlusJoin,
+    MultiHeightJoin,
+    MultiHeightRollupJoin,
+    VerticalPartitionJoin,
+]
+
+
+def run_join(algorithm, a_codes, d_codes, tree_height, frames=8, page_size=128):
+    disk = DiskManager(page_size=page_size)
+    bufmgr = BufferManager(disk, frames)
+    a_set = ElementSet.from_codes(bufmgr, a_codes, tree_height, "A")
+    d_set = ElementSet.from_codes(bufmgr, d_codes, tree_height, "D")
+    sink = JoinSink("collect")
+    algorithm.run(a_set, d_set, sink)
+    return sorted(sink.pairs)
+
+
+@st.composite
+def join_inputs(draw):
+    """Random tree + random (possibly overlapping) element subsets."""
+    num_nodes = draw(st.integers(2, 400))
+    seed = draw(st.integers(0, 10_000))
+    fanout = draw(st.sampled_from([2, 3, 8, 20]))
+    tree = random_tree(num_nodes, max_fanout=fanout, seed=seed)
+    encoding = binarize(tree)
+    rng = random.Random(seed + 1)
+    codes = tree.codes
+    a_size = draw(st.integers(0, num_nodes))
+    d_size = draw(st.integers(0, num_nodes))
+    a_codes = rng.sample(codes, a_size)
+    d_codes = rng.sample(codes, d_size)
+    return a_codes, d_codes, encoding.tree_height
+
+
+@pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS, ids=lambda c: c.__name__)
+@given(inputs=join_inputs())
+@settings(max_examples=12, deadline=None)
+def test_algorithm_matches_brute_force(algorithm_cls, inputs):
+    a_codes, d_codes, tree_height = inputs
+    expected = sorted(brute_force_join(a_codes, d_codes))
+    got = run_join(algorithm_cls(), a_codes, d_codes, tree_height)
+    assert got == expected
+
+
+@given(inputs=join_inputs(), frames=st.sampled_from([3, 4, 16, 64]))
+@settings(max_examples=12, deadline=None)
+def test_vpj_insensitive_to_buffer_size(inputs, frames):
+    """VPJ recursion/merging paths vary with pool size; results must not."""
+    a_codes, d_codes, tree_height = inputs
+    expected = sorted(brute_force_join(a_codes, d_codes))
+    got = run_join(VerticalPartitionJoin(), a_codes, d_codes, tree_height, frames)
+    assert got == expected
+
+
+@given(inputs=join_inputs(), frames=st.sampled_from([3, 8, 64]))
+@settings(max_examples=12, deadline=None)
+def test_rollup_insensitive_to_buffer_size(inputs, frames):
+    a_codes, d_codes, tree_height = inputs
+    expected = sorted(brute_force_join(a_codes, d_codes))
+    got = run_join(MultiHeightRollupJoin(), a_codes, d_codes, tree_height, frames)
+    assert got == expected
+
+
+class TestEdgeCases:
+    def setup_method(self):
+        tree = random_tree(300, seed=11)
+        self.encoding = binarize(tree)
+        self.tree = tree
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS, ids=lambda c: c.__name__)
+    def test_empty_ancestors(self, algorithm_cls):
+        got = run_join(
+            algorithm_cls(), [], self.tree.codes[:50], self.encoding.tree_height
+        )
+        assert got == []
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS, ids=lambda c: c.__name__)
+    def test_empty_descendants(self, algorithm_cls):
+        got = run_join(
+            algorithm_cls(), self.tree.codes[:50], [], self.encoding.tree_height
+        )
+        assert got == []
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS, ids=lambda c: c.__name__)
+    def test_self_join_excludes_identity(self, algorithm_cls):
+        """A == D: pairs (x, x) must never appear."""
+        codes = self.tree.codes[:120]
+        got = run_join(algorithm_cls(), codes, codes, self.encoding.tree_height)
+        assert all(a != d for a, d in got)
+        assert got == sorted(brute_force_join(codes, codes))
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS, ids=lambda c: c.__name__)
+    def test_root_in_ancestor_set(self, algorithm_cls):
+        """The root matches every other element."""
+        root_code = self.tree.codes[self.tree.root]
+        d_codes = self.tree.codes[1:80]
+        got = run_join(
+            algorithm_cls(), [root_code], d_codes, self.encoding.tree_height
+        )
+        assert got == sorted((root_code, d) for d in d_codes)
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS, ids=lambda c: c.__name__)
+    def test_chain_tree(self, algorithm_cls):
+        """A pure chain: every prefix node contains every suffix node."""
+        from repro.datatree.node import DataTree
+
+        tree = DataTree()
+        node = tree.add_root("r")
+        for _ in range(30):
+            node = tree.add_child(node, "c")
+        encoding = binarize(tree)
+        a_codes = tree.codes[:10]
+        d_codes = tree.codes[5:]
+        expected = sorted(brute_force_join(a_codes, d_codes))
+        got = run_join(algorithm_cls(), a_codes, d_codes, encoding.tree_height)
+        assert got == expected
+
+    @pytest.mark.parametrize("algorithm_cls", ALL_ALGORITHMS, ids=lambda c: c.__name__)
+    def test_disjoint_sets_no_results(self, algorithm_cls):
+        """Leaves as ancestors match nothing."""
+        leaves = [c for c in self.tree.codes if pt.height_of(c) == 0][:40]
+        others = [c for c in self.tree.codes if pt.height_of(c) > 0][:40]
+        got = run_join(algorithm_cls(), leaves, others, self.encoding.tree_height)
+        assert got == []
+
+
+class TestResultMultiplicity:
+    def test_duplicate_codes_in_input_produce_duplicate_pairs(self):
+        """Element sets are bags at the storage level: duplicates join
+        once per occurrence (equijoin semantics)."""
+        from repro.datatree.node import DataTree
+
+        tree = DataTree()
+        root = tree.add_root("r")
+        tree.add_child(root, "c")
+        encoding = binarize(tree)
+        root_code, child_code = tree.codes
+        got = run_join(
+            StackTreeDescJoin(),
+            [root_code, root_code],
+            [child_code],
+            encoding.tree_height,
+        )
+        assert got == [(root_code, child_code), (root_code, child_code)]

@@ -1,0 +1,125 @@
+"""Tests for disk-image persistence and page checksums."""
+
+import pytest
+
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager, PageCorruptionError
+from repro.storage.elementset import ElementSet
+from repro.storage.persist import ImageFormatError, load_image, save_image
+
+
+def build_disk_with_sets():
+    disk = DiskManager(page_size=256)
+    bufmgr = BufferManager(disk, 16)
+    anc = ElementSet.from_codes(bufmgr, [16, 8, 24], 5, name="anc")
+    desc = ElementSet.from_codes(bufmgr, list(range(1, 32, 2)), 5, name="desc")
+    bufmgr.flush_all()
+    return disk, bufmgr, {"anc": anc, "desc": desc}
+
+
+class TestImageRoundTrip:
+    def test_pages_survive(self, tmp_path):
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+        image = load_image(path)
+        assert image.disk.page_size == 256
+        assert image.disk.num_allocated == disk.num_allocated
+
+    def test_catalog_restores_element_sets(self, tmp_path):
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+        image = load_image(path)
+        assert set(image.element_sets) == {"anc", "desc"}
+        anc = image.element_sets["anc"]
+        assert anc.to_list() == [16, 8, 24]
+        assert anc.tree_height == 5
+        assert anc.known_heights == frozenset({3, 4})
+
+    def test_joins_work_after_reload(self, tmp_path):
+        from repro import JoinSink, StackTreeDescJoin, brute_force_join
+
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+        image = load_image(path, buffer_pages=8)
+        sink = JoinSink("collect")
+        StackTreeDescJoin().run(
+            image.element_sets["anc"], image.element_sets["desc"], sink
+        )
+        expected = brute_force_join([16, 8, 24], list(range(1, 32, 2)))
+        assert sorted(sink.pairs) == sorted(expected)
+
+    def test_new_allocations_after_reload_do_not_collide(self, tmp_path):
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+        image = load_image(path)
+        fresh = image.disk.allocate()
+        assert fresh not in [
+            pid for s in sets.values() for pid in s.heap.page_ids
+        ]
+
+
+class TestImageValidation:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"NOPE" + bytes(100))
+        with pytest.raises(ImageFormatError):
+            load_image(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "short"
+        path.write_bytes(b"PB")
+        with pytest.raises(ImageFormatError):
+            load_image(path)
+
+    def test_corrupted_page_detected(self, tmp_path):
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+        blob = bytearray(path.read_bytes())
+        blob[-10] ^= 0xFF  # flip a bit inside the last page
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ImageFormatError):
+            load_image(path)
+
+    def test_corrupted_header_detected(self, tmp_path):
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+        blob = bytearray(path.read_bytes())
+        blob[14] ^= 0xFF  # inside the JSON header
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ImageFormatError):
+            load_image(path)
+
+
+class TestChecksummedDisk:
+    def test_normal_operation(self):
+        disk = DiskManager(page_size=128, checksums=True)
+        pid = disk.allocate()
+        disk.write(pid, b"\x05" * 128)
+        assert disk.read(pid) == b"\x05" * 128
+
+    def test_detects_silent_corruption(self):
+        disk = DiskManager(page_size=128, checksums=True)
+        pid = disk.allocate()
+        disk.write(pid, b"\x05" * 128)
+        disk._pages[pid] = b"\x06" * 128  # corrupt behind the API's back
+        with pytest.raises(PageCorruptionError):
+            disk.read(pid)
+
+    def test_fresh_page_reads_clean(self):
+        disk = DiskManager(page_size=128, checksums=True)
+        pid = disk.allocate()
+        assert disk.read(pid) == bytes(128)
+
+    def test_buffer_pool_over_checksummed_disk(self):
+        disk = DiskManager(page_size=128, checksums=True)
+        bufmgr = BufferManager(disk, 2)
+        elements = ElementSet.from_codes(bufmgr, list(range(1, 200, 2)), 10)
+        bufmgr.flush_all()
+        bufmgr.evict_all()
+        assert elements.to_list() == list(range(1, 200, 2))

@@ -1,0 +1,53 @@
+"""Tests for the standalone experiment driver script."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+sys.path.insert(0, str(SCRIPTS))
+
+import run_experiments  # noqa: E402
+
+
+class TestRunExperiments:
+    def test_single_experiment(self, tmp_path, capsys):
+        code = run_experiments.main(
+            ["--scale", "0.02", "--out", str(tmp_path), "--only", "fig6a"]
+        )
+        assert code == 0
+        output = (tmp_path / "fig6a.txt").read_text()
+        assert "single-height" in output
+        assert "SLLH" in output
+        assert "wrote 1 experiment files" in capsys.readouterr().out
+
+    def test_document_experiment(self, tmp_path, capsys):
+        code = run_experiments.main(
+            ["--scale", "0.02", "--out", str(tmp_path), "--only", "fig6d"]
+        )
+        assert code == 0
+        output = (tmp_path / "fig6d.txt").read_text()
+        assert "DBLP-like" in output
+        assert "D10" in output
+
+    def test_scalability_experiment(self, tmp_path):
+        code = run_experiments.main(
+            ["--scale", "0.02", "--out", str(tmp_path), "--only", "fig6h"]
+        )
+        assert code == 0
+        lines = (tmp_path / "fig6h.txt").read_text().splitlines()
+        # 8 size steps plus header rows
+        assert len([l for l in lines if l.strip().startswith(tuple("12345678"))]) == 8
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            run_experiments.main(
+                ["--out", str(tmp_path), "--only", "fig99"]
+            )
+
+    def test_experiment_registry_complete(self):
+        assert set(run_experiments.EXPERIMENTS) == {
+            "fig6a", "fig6b", "fig6c", "fig6d",
+            "fig6e", "fig6f", "fig6g", "fig6h",
+        }

@@ -1,0 +1,94 @@
+"""Tests for the text-document workload and its proximity usage."""
+
+import pytest
+
+from repro.core import pbitree as pt
+from repro.core.binarize import binarize
+from repro.datatree.paths import brute_force_join, select_by_tag
+from repro.join.proximity import common_ancestor_join, window_join
+from repro.workloads import textdoc
+
+
+@pytest.fixture(scope="module")
+def book():
+    tree = textdoc.generate_tree(num_parts=2, chapters_per_part=3, seed=5)
+    encoding = binarize(tree)
+    return tree, encoding
+
+
+class TestGenerator:
+    def test_shape(self, book):
+        tree, _encoding = book
+        counts = tree.tag_counts()
+        assert counts["book"] == 1
+        assert counts["part"] == 2
+        assert counts["chapter"] == 6
+        assert counts["section"] >= 6
+        assert counts["sentence"] > 50
+
+    def test_nested_sections_exist(self, book):
+        tree, _encoding = book
+        sections = select_by_tag(tree, "section")
+        nested = brute_force_join(sections, sections)
+        assert nested  # the T2 self-join has results
+
+    def test_zipf_vocabulary(self, book):
+        tree, _encoding = book
+        counts = tree.tag_counts()
+        # frequent low-rank terms dominate rare high-rank terms
+        assert counts.get("w1", 0) + counts.get("w2", 0) > 10 * counts.get(
+            "w190", 0
+        )
+
+    def test_all_join_tags_present(self, book):
+        tree, _encoding = book
+        counts = tree.tag_counts()
+        for join in textdoc.TEXT_JOINS:
+            assert counts.get(join.anc_tag, 0) > 0, join.name
+            assert counts.get(join.desc_tag, 0) > 0, join.name
+
+    def test_deterministic(self):
+        first = textdoc.generate_tree(num_parts=1, chapters_per_part=2, seed=9)
+        second = textdoc.generate_tree(num_parts=1, chapters_per_part=2, seed=9)
+        assert first.tags == second.tags and first.parents == second.parents
+
+    def test_term_codes(self, book):
+        tree, _encoding = book
+        codes = textdoc.term_codes(tree, "w3")
+        assert codes
+        assert all(c > 0 for c in codes)
+
+
+class TestProximityOverText:
+    def test_same_sentence_pairs_share_sentence(self, book):
+        tree, encoding = book
+        sentence_node = next(tree.iter_by_tag("sentence"))
+        # words of one sentence sit k levels below it
+        word = tree.children[sentence_node][0]
+        height = pt.height_of(tree.codes[sentence_node])
+        left = textdoc.term_codes(tree, "w1")
+        right = textdoc.term_codes(tree, "w2")
+        for x, y in common_ancestor_join(left, right, height + 1):
+            anc_x = pt.f_ancestor(x, height + 1)
+            anc_y = pt.f_ancestor(y, height + 1)
+            assert anc_x == anc_y
+
+    def test_window_join_scaled_stride_finds_neighbours(self, book):
+        tree, _encoding = book
+        # adjacent words inside one sentence must pair at window = 1 step
+        sentence = next(
+            node for node in tree.iter_by_tag("sentence")
+            if len(tree.children[node]) >= 2
+        )
+        first, second = tree.children[sentence][:2]
+        height = pt.height_of(tree.codes[first])
+        stride = 1 << (height + 2)
+        pairs = list(
+            window_join([tree.codes[first]], [tree.codes[second]], stride)
+        )
+        assert pairs == [(tree.codes[first], tree.codes[second])]
+
+    def test_default_term_queries_well_formed(self):
+        for query in textdoc.default_term_queries():
+            assert query.window > 0
+            assert query.left_term.startswith("w")

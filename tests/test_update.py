@@ -1,0 +1,194 @@
+"""Tests for updates through virtual nodes (Section 2.3.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import pbitree as pt
+from repro.core.binarize import binarize
+from repro.core.update import CodeSpaceError, UpdatableEncoding
+from repro.datatree.builder import random_tree, tree_from_spec
+
+
+def make_updatable(spec=("root", [("a", []), ("b", [])]), min_height=1):
+    tree = tree_from_spec(spec)
+    encoding = binarize(tree, min_height=min_height)
+    return tree, UpdatableEncoding(encoding)
+
+
+class TestInsertFastPath:
+    def test_free_slot_insert_changes_nothing_else(self):
+        # root with 3 children -> children level holds 4 slots, 1 free
+        tree, updatable = make_updatable(
+            ("root", [("a", []), ("b", []), ("c", [])])
+        )
+        before = dict(enumerate(tree.codes))
+        node = updatable.insert_child(0, "d")
+        assert tree.codes[node] != 0
+        for old_node, old_code in before.items():
+            assert tree.codes[old_node] == old_code  # O(1) update
+        assert updatable.stats.local_relabels == 0
+        updatable.validate()
+
+    def test_inserted_child_is_dominated(self):
+        tree, updatable = make_updatable()
+        node = updatable.insert_child(0, "new")
+        assert pt.is_ancestor(tree.codes[0], tree.codes[node])
+
+    def test_insert_under_leaf(self):
+        tree, updatable = make_updatable(("root", [("leaf", [])]))
+        node = updatable.insert_child(1, "below")
+        assert pt.is_ancestor(tree.codes[1], tree.codes[node])
+        updatable.validate()
+
+    def test_insert_under_deleted_parent_rejected(self):
+        tree, updatable = make_updatable()
+        updatable.delete_subtree(1)
+        with pytest.raises(ValueError):
+            updatable.insert_child(1, "x")
+
+
+class TestSiblingOverflow:
+    def test_overflow_relabels_locally(self):
+        # 4 children fill the k=2 level exactly; the 5th forces k=3
+        tree, updatable = make_updatable(
+            ("root", [("c", []), ("c", []), ("c", []), ("c", [])]),
+            min_height=10,
+        )
+        updatable.insert_child(0, "fifth")
+        assert updatable.stats.local_relabels == 1
+        assert updatable.stats.relabelled_nodes >= 5
+        updatable.validate()
+        # all five children now sit 3 levels below the root
+        levels = {updatable.level_of(c) for c in tree.children[0]}
+        assert levels == {updatable.level_of(0) + 3}
+
+    def test_deleted_slot_is_reused(self):
+        tree, updatable = make_updatable(
+            ("root", [("a", []), ("b", []), ("c", []), ("d", [])]),
+            min_height=10,
+        )
+        freed_code = tree.codes[2]
+        updatable.delete_subtree(2)
+        node = updatable.insert_child(0, "reuse")
+        assert tree.codes[node] == freed_code  # virtual slot recycled
+        assert updatable.stats.local_relabels == 0
+
+
+class TestTreeGrowth:
+    def test_growth_multiplies_codes(self):
+        tree, updatable = make_updatable(("root", [("a", [])]))
+        h_before = updatable.tree_height
+        codes_before = list(tree.codes)
+        updatable._grow_tree(2)
+        assert updatable.tree_height == h_before + 2
+        assert tree.codes == [code << 2 for code in codes_before]
+        updatable.validate()
+
+    def test_growth_preserves_levels_and_order(self):
+        tree = random_tree(80, seed=3)
+        encoding = binarize(tree)
+        updatable = UpdatableEncoding(encoding)
+        levels = [updatable.level_of(n) for n in range(len(tree))]
+        order = sorted(range(len(tree)), key=lambda n: pt.doc_order_key(tree.codes[n]))
+        updatable._grow_tree(3)
+        assert [updatable.level_of(n) for n in range(len(tree))] == levels
+        assert sorted(
+            range(len(tree)), key=lambda n: pt.doc_order_key(tree.codes[n])
+        ) == order
+
+    def test_insert_below_bottom_grows(self):
+        tree, updatable = make_updatable(("root", [("leaf", [])]))
+        # chain of inserts below the current leaf forces repeated growth
+        node = 1
+        for _ in range(5):
+            node = updatable.insert_child(node, "deeper")
+        assert updatable.stats.tree_growths >= 1
+        updatable.validate()
+
+    def test_growth_can_be_disabled(self):
+        tree = tree_from_spec(("root", [("leaf", [])]))
+        encoding = binarize(tree)
+        updatable = UpdatableEncoding(encoding, allow_growth=False)
+        node = 1
+        with pytest.raises(CodeSpaceError):
+            for _ in range(10):
+                node = updatable.insert_child(node, "deeper")
+
+
+class TestDelete:
+    def test_delete_subtree_counts(self):
+        tree, updatable = make_updatable(
+            ("root", [("a", [("x", []), ("y", [])]), ("b", [])])
+        )
+        assert updatable.delete_subtree(1) == 3
+        assert not updatable.is_alive(1)
+        assert updatable.is_alive(4)  # b untouched
+        assert updatable.delete_subtree(1) == 0  # idempotent
+
+    def test_delete_root_rejected(self):
+        _tree, updatable = make_updatable()
+        with pytest.raises(ValueError):
+            updatable.delete_subtree(0)
+
+    def test_deleted_codes_become_virtual(self):
+        tree, updatable = make_updatable()
+        code = tree.codes[1]
+        updatable.delete_subtree(1)
+        assert updatable.node_of(code) is None
+
+    def test_live_codes_reflect_deletes(self):
+        tree, updatable = make_updatable()
+        total = len(updatable.live_codes())
+        updatable.delete_subtree(1)
+        assert len(updatable.live_codes()) == total - 1
+
+
+class TestUpdateStorm:
+    @given(st.integers(0, 1000), st.integers(2, 60))
+    @settings(max_examples=15, deadline=None)
+    def test_random_storm_preserves_contract(self, seed, initial):
+        tree = random_tree(initial, seed=seed)
+        encoding = binarize(tree)
+        updatable = UpdatableEncoding(encoding)
+        rng = random.Random(seed)
+        for _ in range(120):
+            live = [n for n in range(len(tree)) if updatable.is_alive(n)]
+            if rng.random() < 0.7 or len(live) < 3:
+                updatable.insert_child(rng.choice(live), "n")
+            else:
+                non_root = [n for n in live if tree.parents[n] >= 0]
+                if non_root:
+                    updatable.delete_subtree(rng.choice(non_root))
+        updatable.validate()
+        live = [n for n in range(len(tree)) if updatable.is_alive(n)]
+        for _ in range(200):
+            u, v = rng.choice(live), rng.choice(live)
+            assert tree.is_ancestor(u, v) == pt.is_ancestor(
+                tree.codes[u], tree.codes[v]
+            )
+
+    def test_join_after_updates_matches_brute_force(self):
+        from repro import (
+            BufferManager, DiskManager, ElementSet, JoinSink,
+            StackTreeDescJoin, brute_force_join,
+        )
+
+        tree = random_tree(150, seed=9)
+        encoding = binarize(tree)
+        updatable = UpdatableEncoding(encoding)
+        rng = random.Random(9)
+        for _ in range(150):
+            live = [n for n in range(len(tree)) if updatable.is_alive(n)]
+            updatable.insert_child(rng.choice(live), rng.choice("ab"))
+        live = [n for n in range(len(tree)) if updatable.is_alive(n)]
+        a_codes = [tree.codes[n] for n in live if tree.tags[n] == "a"]
+        d_codes = [tree.codes[n] for n in live if tree.tags[n] == "b"]
+        disk = DiskManager()
+        bufmgr = BufferManager(disk, 16)
+        a_set = ElementSet.from_codes(bufmgr, a_codes, updatable.tree_height)
+        d_set = ElementSet.from_codes(bufmgr, d_codes, updatable.tree_height)
+        sink = JoinSink("collect")
+        StackTreeDescJoin().run(a_set, d_set, sink)
+        assert sorted(sink.pairs) == sorted(brute_force_join(a_codes, d_codes))

@@ -1,0 +1,155 @@
+"""Tests for the from-scratch XML parser and serializer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datatree.builder import random_tree
+from repro.datatree.serialize import to_xml
+from repro.datatree.xml_parser import XMLSyntaxError, parse_xml
+
+
+class TestBasicParsing:
+    def test_single_element(self):
+        tree = parse_xml("<doc/>")
+        assert len(tree) == 1 and tree.tags[0] == "doc"
+
+    def test_nested_elements(self):
+        tree = parse_xml("<a><b><c/></b><d/></a>")
+        assert [tree.tags[n] for n in tree.iter_preorder()] == ["a", "b", "c", "d"]
+        assert tree.parents == [-1, 0, 1, 0]
+
+    def test_text_content(self):
+        tree = parse_xml("<a>hello</a>")
+        assert tree.tags[1] == "#text" and tree.texts[1] == "hello"
+
+    def test_whitespace_only_text_dropped(self):
+        tree = parse_xml("<a>\n  <b/>\n</a>")
+        assert [t for t in tree.tags] == ["a", "b"]
+
+    def test_attributes_become_children(self):
+        tree = parse_xml('<a x="1" y="two"/>')
+        assert tree.tags[1:] == ["@x", "@y"]
+        assert tree.texts[1:] == ["1", "two"]
+
+    def test_keep_flags(self):
+        tree = parse_xml('<a x="1">t</a>', keep_attributes=False, keep_text=False)
+        assert len(tree) == 1
+
+    def test_mixed_content(self):
+        tree = parse_xml("<a>pre<b/>post</a>")
+        assert [tree.tags[n] for n in tree.iter_preorder()] == [
+            "a", "#text", "b", "#text"
+        ]
+
+
+class TestProlog:
+    def test_declaration_and_doctype(self):
+        tree = parse_xml('<?xml version="1.0"?><!DOCTYPE dblp><dblp/>')
+        assert tree.tags == ["dblp"]
+
+    def test_comments_everywhere(self):
+        tree = parse_xml("<!-- head --><a><!-- in --><b/></a><!-- tail -->")
+        assert tree.tags == ["a", "b"]
+
+    def test_processing_instruction_in_content(self):
+        tree = parse_xml("<a><?php echo ?><b/></a>")
+        assert tree.tags == ["a", "b"]
+
+
+class TestEntitiesAndCData:
+    def test_standard_entities(self):
+        tree = parse_xml("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert tree.texts[1] == "<>&'\""
+
+    def test_numeric_entities(self):
+        tree = parse_xml("<a>&#65;&#x42;</a>")
+        assert tree.texts[1] == "AB"
+
+    def test_entities_in_attributes(self):
+        tree = parse_xml('<a t="&amp;x"/>')
+        assert tree.texts[1] == "&x"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml("<a>&nope;</a>")
+
+    def test_cdata(self):
+        tree = parse_xml("<a><![CDATA[<raw> & stuff]]></a>")
+        assert tree.texts[1] == "<raw> & stuff"
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "<a>",
+            "<a></b>",
+            "<a",
+            "<a x=1/>",
+            '<a x="1/>',
+            "<a/><b/>",
+            "<a><!-- no end </a>",
+            "<a>&#xZZ;</a>",
+            "plain text",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises((XMLSyntaxError, ValueError)):
+            parse_xml(bad)
+
+    def test_error_carries_position(self):
+        try:
+            parse_xml("<a></b>")
+        except XMLSyntaxError as exc:
+            assert exc.pos > 0
+            assert "offset" in str(exc)
+
+
+class TestSerializeRoundTrip:
+    def test_simple_roundtrip(self):
+        xml = "<a><b>text</b><c k=\"v\"/></a>"
+        tree = parse_xml(xml)
+        again = parse_xml(to_xml(tree))
+        assert again.tags == tree.tags
+        assert again.texts == tree.texts
+        assert again.parents == tree.parents
+
+    def test_escapes_roundtrip(self):
+        tree = parse_xml('<a k="&quot;&amp;">x &lt; y</a>')
+        again = parse_xml(to_xml(tree))
+        assert again.texts == tree.texts
+
+    @staticmethod
+    def _canonical(tree, node):
+        return (
+            tree.tags[node],
+            tree.texts[node],
+            [TestSerializeRoundTrip._canonical(tree, c) for c in tree.children[node]],
+        )
+
+    @given(st.integers(1, 120), st.integers(0, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_random_structure_roundtrip(self, n, seed):
+        """Structure survives the roundtrip (node ids may renumber)."""
+        tree = random_tree(n, seed=seed)
+        again = parse_xml(to_xml(tree))
+        assert self._canonical(again, again.root) == self._canonical(tree, tree.root)
+
+    def test_empty_tree_rejected(self):
+        from repro.datatree.node import DataTree
+
+        with pytest.raises(ValueError):
+            to_xml(DataTree())
+
+
+class TestScale:
+    def test_parses_kilonode_document(self):
+        parts = ["<root>"]
+        for i in range(2000):
+            parts.append(f'<item id="{i}"><name>n{i}</name></item>')
+        parts.append("</root>")
+        tree = parse_xml("".join(parts))
+        # root + per item: item, @id, name, #text
+        assert len(tree) == 1 + 2000 * 4

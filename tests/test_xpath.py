@@ -1,0 +1,180 @@
+"""Tests for extended path queries (child axis, predicates, EA-joins)."""
+
+import random
+
+import pytest
+
+from repro.core import pbitree as pt
+from repro.core.binarize import binarize
+from repro.datatree.builder import random_tree, tree_from_spec
+from repro.datatree.paths import brute_force_join
+from repro.datatree.xpath import (
+    Predicate,
+    Step,
+    XPath,
+    XPathSyntaxError,
+    is_parent_code,
+)
+from repro.datatree.xml_parser import parse_xml
+
+
+def doc():
+    tree = parse_xml(
+        """
+        <lib>
+          <shelf><book><title/><author/></book><book><title/></book></shelf>
+          <shelf><box><book><title/></book></box></shelf>
+          <title/>
+        </lib>
+        """
+    )
+    binarize(tree)
+    return tree
+
+
+class TestParsing:
+    def test_descendant_chain(self):
+        xpath = XPath("//a//b//c")
+        assert [s.axis for s in xpath.steps] == ["descendant"] * 3
+        assert xpath.tags == ["a", "b", "c"]
+
+    def test_mixed_axes(self):
+        xpath = XPath("//a/b//c/d")
+        assert [s.axis for s in xpath.steps] == [
+            "descendant", "child", "descendant", "child"
+        ]
+
+    def test_predicates(self):
+        xpath = XPath("//book[title][.//author]/chapter")
+        assert xpath.steps[0].predicates == (
+            Predicate("title", "child"),
+            Predicate("author", "descendant"),
+        )
+        assert xpath.steps[1] == Step("child", "chapter")
+
+    def test_wildcard(self):
+        assert XPath("//*//b").steps[0].tag == "*"
+
+    @pytest.mark.parametrize(
+        "bad", ["", "a//b", "/a", "//a[", "//a]b", "//a[b=c]", "//"]
+    )
+    def test_rejects_bad_syntax(self, bad):
+        with pytest.raises(XPathSyntaxError):
+            XPath(bad)
+
+
+class TestIsParentCode:
+    def test_direct_parent(self):
+        tree = tree_from_spec(("a", [("b", [("c", [])])]))
+        binarize(tree)
+        occupied = set(tree.codes)
+        a, b, c = tree.codes
+        assert is_parent_code(occupied, a, b)
+        assert is_parent_code(occupied, b, c)
+        assert not is_parent_code(occupied, a, c)  # grandparent
+        assert not is_parent_code(occupied, b, a)
+
+    def test_random_trees(self):
+        for seed in range(4):
+            tree = random_tree(250, seed=seed)
+            binarize(tree)
+            occupied = set(tree.codes)
+            rng = random.Random(seed)
+            for _ in range(300):
+                u = rng.randrange(len(tree))
+                v = rng.randrange(len(tree))
+                want = tree.parents[v] == u
+                assert is_parent_code(
+                    occupied, tree.codes[u], tree.codes[v]
+                ) == want
+
+
+class TestNavigationalEvaluation:
+    def test_child_axis(self):
+        tree = doc()
+        # //shelf/book: excludes the boxed book
+        result = XPath("//shelf/book").evaluate_navigational(tree)
+        assert len(result) == 2
+
+    def test_descendant_axis_includes_boxed(self):
+        tree = doc()
+        assert len(XPath("//shelf//book").evaluate_navigational(tree)) == 3
+
+    def test_child_predicate(self):
+        tree = doc()
+        # books with an author child: one
+        assert len(XPath("//book[author]").evaluate_navigational(tree)) == 1
+
+    def test_descendant_predicate(self):
+        tree = doc()
+        # shelves with any descendant author: one
+        assert len(XPath("//shelf[.//author]").evaluate_navigational(tree)) == 1
+
+    def test_wildcard_step(self):
+        tree = doc()
+        # any element directly containing a title
+        result = XPath("//*[title]").evaluate_navigational(tree)
+        tags = sorted(tree.tags[n] for n in result)
+        assert tags == ["book", "book", "book", "lib"]
+
+
+class TestJoinEvaluation:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "//a//b",
+            "//a/b",
+            "//a/b//c",
+            "//a[b]",
+            "//a[.//c]/b",
+            "//*[c]",
+            "//a//b[c]",
+        ],
+    )
+    def test_matches_navigational_on_random_trees(self, path):
+        for seed in range(4):
+            tree = random_tree(400, seed=seed, tags=("a", "b", "c"))
+            binarize(tree)
+            xpath = XPath(path)
+            expected = sorted(
+                tree.codes[n] for n in xpath.evaluate_navigational(tree)
+            )
+            got = xpath.evaluate_with_joins(tree, brute_force_join)
+            assert got == expected, (seed, path)
+
+    def test_realistic_document(self):
+        tree = doc()
+        for path in ("//shelf/book", "//shelf//book", "//lib/shelf/box/book",
+                     "//shelf[box]//title"):
+            xpath = XPath(path)
+            expected = sorted(
+                tree.codes[n] for n in xpath.evaluate_navigational(tree)
+            )
+            assert xpath.evaluate_with_joins(tree, brute_force_join) == expected
+
+    def test_framework_join_function(self):
+        """The join hook also works with a real disk-backed algorithm."""
+        from repro import (
+            BufferManager, DiskManager, ElementSet, JoinSink,
+            StackTreeDescJoin,
+        )
+
+        tree = random_tree(300, seed=9, tags=("a", "b", "c"))
+        encoding = binarize(tree)
+        disk = DiskManager()
+        bufmgr = BufferManager(disk, 16)
+
+        def join(a_codes, d_codes):
+            a_set = ElementSet.from_codes(bufmgr, a_codes, encoding.tree_height)
+            d_set = ElementSet.from_codes(bufmgr, d_codes, encoding.tree_height)
+            sink = JoinSink("collect")
+            StackTreeDescJoin().run(a_set, d_set, sink)
+            a_set.destroy()
+            d_set.destroy()
+            return sink.pairs
+
+        xpath = XPath("//a/b[c]")
+        expected = sorted(
+            tree.codes[n] for n in xpath.evaluate_navigational(tree)
+        )
+        assert xpath.evaluate_with_joins(tree, join) == expected
