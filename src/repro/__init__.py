@@ -48,8 +48,17 @@ from .join.statistics import SetStatistics, estimate_join_cardinality
 from .join.vpj import VerticalPartitionJoin
 from .join.xrstack import XRStackJoin
 from .storage.buffer import BufferManager
-from .storage.disk import DiskManager
+from .storage.disk import DiskManager, PageCorruptionError, PageNotAllocatedError
 from .storage.elementset import ElementSet, SortOrder
+from .storage.faults import (
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    PermanentIOError,
+    RetryPolicy,
+    StorageFault,
+    TransientIOError,
+)
 
 __version__ = "1.0.0"
 
@@ -92,5 +101,14 @@ __all__ = [
     "SynchronizedRTreeJoin",
     "SetStatistics",
     "estimate_join_cardinality",
+    "PageCorruptionError",
+    "PageNotAllocatedError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
+    "StorageFault",
+    "TransientIOError",
+    "PermanentIOError",
     "__version__",
 ]

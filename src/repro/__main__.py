@@ -48,10 +48,28 @@ def cmd_encode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_injector(args: argparse.Namespace):
+    """Build a FaultInjector from ``--fault-*`` flags, or None."""
+    from .storage.faults import FaultConfig, FaultInjector
+
+    if not (args.fault_read_rate or args.fault_write_rate or args.fault_torn_rate):
+        return None
+    return FaultInjector(
+        FaultConfig(
+            seed=args.fault_seed,
+            read_error_rate=args.fault_read_rate,
+            write_error_rate=args.fault_write_rate,
+            torn_page_rate=args.fault_torn_rate,
+        )
+    )
+
+
 def cmd_query(args: argparse.Namespace) -> int:
+    faults = _fault_injector(args)
     db = ContainmentDatabase(
         buffer_pages=args.buffer_pages,
         optimizer="cost" if args.cost_based else "rule",
+        faults=faults,
     )
     doc = db.load_tree(_load(args.file), name=args.file)
     result = db.query(doc, args.path)
@@ -64,6 +82,16 @@ def cmd_query(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     print(f"# {len(result)} matches", file=sys.stderr)
+    if faults is not None:
+        io = db.io_stats
+        print(
+            f"# faults: seed={args.fault_seed} "
+            f"injected={faults.stats.total_injected} "
+            f"(read={faults.stats.read_errors} write={faults.stats.write_errors} "
+            f"torn={faults.stats.torn_reads}), "
+            f"retries={io.retries}, giveups={io.giveups}",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -169,6 +197,22 @@ def main(argv: list[str] | None = None) -> int:
     qry.add_argument("path")
     qry.add_argument("--buffer-pages", type=int, default=64)
     qry.add_argument("--cost-based", action="store_true")
+    qry.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the storage fault injector",
+    )
+    qry.add_argument(
+        "--fault-read-rate", type=float, default=0.0,
+        help="probability of a transient error per page read",
+    )
+    qry.add_argument(
+        "--fault-write-rate", type=float, default=0.0,
+        help="probability of a transient error per page write",
+    )
+    qry.add_argument(
+        "--fault-torn-rate", type=float, default=0.0,
+        help="probability of a torn (checksum-failing) page read",
+    )
     qry.set_defaults(func=cmd_query)
 
     exp = sub.add_parser("explain", help="rank the candidate join plans")

@@ -41,6 +41,7 @@ from .join.spatial import build_point_rtree
 from .storage.buffer import BufferManager
 from .storage.disk import DiskManager
 from .storage.elementset import ElementSet
+from .storage.faults import FaultConfig, FaultInjector, RetryPolicy
 
 __all__ = ["ContainmentDatabase", "Document", "QueryResult"]
 
@@ -94,14 +95,28 @@ class ContainmentDatabase:
         buffer_pages: int = 64,
         policy: str = "lru",
         optimizer: str = "rule",
+        faults: "FaultInjector | FaultConfig | None" = None,
+        retry: Optional[RetryPolicy] = None,
+        checksums: Optional[bool] = None,
     ) -> None:
         """``optimizer`` selects the default planning mode: ``"rule"``
         (the paper's Table 1) or ``"cost"`` (the Section 6 cost-based
-        optimizer)."""
+        optimizer).
+
+        ``faults`` attaches a seeded fault injector to the underlying
+        disk (a :class:`FaultConfig` is wrapped automatically) and
+        ``retry`` tunes the buffer pool's transient-fault retry policy.
+        ``checksums`` defaults to on whenever faults are injected, so
+        torn pages are detected rather than silently returned.
+        """
         if optimizer not in ("rule", "cost"):
             raise ValueError(f"unknown optimizer mode {optimizer!r}")
-        self.disk = DiskManager(page_size)
-        self.bufmgr = BufferManager(self.disk, buffer_pages, policy)
+        if isinstance(faults, FaultConfig):
+            faults = FaultInjector(faults)
+        if checksums is None:
+            checksums = faults is not None
+        self.disk = DiskManager(page_size, checksums=checksums, faults=faults)
+        self.bufmgr = BufferManager(self.disk, buffer_pages, policy, retry=retry)
         self.optimizer_mode = optimizer
         self._framework = PBiTreeJoinFramework()
         self._cost_optimizer = CostBasedOptimizer()
@@ -348,6 +363,11 @@ class ContainmentDatabase:
     @property
     def io_stats(self):
         return self.disk.stats.snapshot()
+
+    @property
+    def fault_stats(self):
+        """Injected-fault counters, or None when no injector is attached."""
+        return self.disk.faults.stats if self.disk.faults is not None else None
 
     def __repr__(self) -> str:
         return (

@@ -36,6 +36,7 @@ from ..join.vpj import VerticalPartitionJoin
 from ..storage.buffer import BufferManager
 from ..storage.disk import DiskManager
 from ..storage.elementset import ElementSet
+from ..storage.faults import FaultConfig, FaultInjector, RetryPolicy
 
 __all__ = [
     "REGION_ALGORITHMS",
@@ -82,10 +83,23 @@ class Workbench:
 
     @classmethod
     def create(
-        cls, buffer_pages: int = 50, page_size: int = 1024, policy: str = "lru"
+        cls,
+        buffer_pages: int = 50,
+        page_size: int = 1024,
+        policy: str = "lru",
+        faults: "FaultInjector | FaultConfig | None" = None,
+        retry: Optional[RetryPolicy] = None,
+        checksums: Optional[bool] = None,
     ) -> "Workbench":
-        disk = DiskManager(page_size)
-        return cls(disk, BufferManager(disk, buffer_pages, policy))
+        """``faults`` attaches a fault injector (a :class:`FaultConfig`
+        is wrapped in a fresh injector); checksums default to on
+        whenever faults are injected so torn pages stay detectable."""
+        if isinstance(faults, FaultConfig):
+            faults = FaultInjector(faults)
+        if checksums is None:
+            checksums = faults is not None
+        disk = DiskManager(page_size, checksums=checksums, faults=faults)
+        return cls(disk, BufferManager(disk, buffer_pages, policy, retry=retry))
 
 
 def materialize(
@@ -111,6 +125,12 @@ def run_algorithm(
 
     Pass a collecting :class:`JoinSink` to keep the result pairs;
     the default sink only counts (the benchmark setting).
+
+    Under fault injection the run either completes correctly (transient
+    faults absorbed by buffer-pool retries, visible as
+    ``report.total_io.retries``) or raises a
+    :class:`~repro.storage.faults.StorageFault` annotated with the
+    algorithm name — partial results are never returned.
     """
     bufmgr = ancestors.bufmgr
     bufmgr.flush_all()
@@ -188,14 +208,23 @@ def run_lineup(
     algorithms: Optional[Sequence[str]] = None,
     single_height: Optional[bool] = None,
     collect: bool = False,
+    faults: "FaultInjector | FaultConfig | None" = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LineupResult:
-    """Run the standard line-up over one dataset, each algorithm cold."""
+    """Run the standard line-up over one dataset, each algorithm cold.
+
+    With ``faults`` set the whole line-up runs under injection: a
+    transient-fault schedule must leave every algorithm's result
+    unchanged (they are still cross-checked against each other), while
+    a permanent fault aborts the line-up with a typed
+    :class:`StorageFault` — never a silently wrong comparison.
+    """
     if algorithms is None:
         if single_height is None:
             raise ValueError("pass algorithms or single_height")
         algorithms = make_lineup(single_height)
 
-    bench = Workbench.create(buffer_pages, page_size)
+    bench = Workbench.create(buffer_pages, page_size, faults=faults, retry=retry)
     ancestors = materialize(bench.bufmgr, a_codes, tree_height, f"{dataset_name}.A")
     descendants = materialize(bench.bufmgr, d_codes, tree_height, f"{dataset_name}.D")
 

@@ -18,6 +18,7 @@ from typing import Optional
 
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
+from ..storage.faults import StorageFault
 from ..storage.stats import IOSnapshot
 
 __all__ = ["JoinSink", "JoinReport", "JoinAlgorithm"]
@@ -73,6 +74,8 @@ class JoinReport:
             writes=self.prep_io.writes + self.join_io.writes,
             random_reads=self.prep_io.random_reads + self.join_io.random_reads,
             allocations=self.prep_io.allocations + self.join_io.allocations,
+            retries=self.prep_io.retries + self.join_io.retries,
+            giveups=self.prep_io.giveups + self.join_io.giveups,
         )
 
     @property
@@ -118,11 +121,22 @@ class JoinAlgorithm:
 
         start = time.perf_counter()
         before_prep = stats.snapshot()
-        prepared = self._prepare(ancestors, descendants, bufmgr)
-        prep_io = stats.delta(before_prep)
+        try:
+            prepared = self._prepare(ancestors, descendants, bufmgr)
+            prep_io = stats.delta(before_prep)
 
-        before_join = stats.snapshot()
-        report = self._execute(prepared, sink, bufmgr)
+            before_join = stats.snapshot()
+            report = self._execute(prepared, sink, bufmgr)
+        except StorageFault as fault:
+            # Fail fast, never return a silently truncated result: the
+            # sink may hold partial output, so annotate the fault with
+            # the operator and input context and let it propagate.
+            fault.algorithm = self.name
+            fault.add_context(
+                f"join {ancestors.name or 'A'} <| {descendants.name or 'D'} "
+                f"after {sink.count} pairs"
+            )
+            raise
         report.join_io = stats.delta(before_join)
         report.prep_io = prep_io
         report.wall_seconds = time.perf_counter() - start

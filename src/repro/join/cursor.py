@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..storage.elementset import ElementSet
+from ..storage.faults import StorageFault
 
 __all__ = ["SetCursor"]
 
@@ -33,9 +34,20 @@ class SetCursor:
     def _load_page(self) -> None:
         heap = self.elements.heap
         if self._page_index < heap.num_pages:
-            self._page = [
-                record[0] for record in heap.read_page(self._page_index)
-            ]
+            try:
+                self._page = [
+                    record[0] for record in heap.read_page(self._page_index)
+                ]
+            except StorageFault as fault:
+                # Leave the cursor in a defined (exhausted) state and
+                # fail fast — a half-loaded page must never be scanned.
+                self._page = None
+                self.current = None
+                fault.add_context(
+                    f"cursor over {self.elements.name!r} "
+                    f"at page index {self._page_index}"
+                )
+                raise
         else:
             self._page = None
 

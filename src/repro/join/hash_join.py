@@ -105,16 +105,23 @@ class GracePartitioner:
         """Distribute records by ``hash(key) % k``; drops ``None`` keys."""
         writers = [heap.open_writer() for heap in self.files]
         k = self.num_partitions
-        for page in pages:
-            for record in page:
-                value = key(record)
-                if value is None:
-                    continue
-                # multiplicative hash decorrelates the low bits that the
-                # F() rollup makes constant within a height class
-                writers[(value * 0x9E3779B97F4A7C15 >> 32) % k].append(record)
-        for writer in writers:
-            writer.close()
+        try:
+            for page in pages:
+                for record in page:
+                    value = key(record)
+                    if value is None:
+                        continue
+                    # multiplicative hash decorrelates the low bits that
+                    # the F() rollup makes constant within a height class
+                    writers[(value * 0x9E3779B97F4A7C15 >> 32) % k].append(
+                        record
+                    )
+        finally:
+            # close even when the input scan faults: each writer holds a
+            # pinned output page, and leaving it pinned would make the
+            # caller's cleanup (heap.destroy) fail and mask the fault
+            for writer in writers:
+                writer.close()
         return self.files
 
     def destroy(self) -> None:

@@ -151,12 +151,17 @@ def _partition_by_height(
             writers[height] = writer
         return writer
 
-    for codes in records:
-        for code in codes:
-            height, effective = effective_height(code)
-            writer_for(height).append((effective, code))
-    for writer in writers.values():
-        writer.close()
+    try:
+        for codes in records:
+            for code in codes:
+                height, effective = effective_height(code)
+                writer_for(height).append((effective, code))
+    finally:
+        # close even when the input scan faults: open writers pin their
+        # output pages, and a leaked pin makes partition cleanup fail
+        # and mask the original storage fault
+        for writer in writers.values():
+            writer.close()
     return partitions
 
 

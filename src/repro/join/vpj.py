@@ -422,29 +422,34 @@ class VerticalPartitionJoin(JoinAlgorithm):
                 writers[bucket] = writer
             return writer
 
-        for heap in files:
-            for records in heap.scan_pages():
-                for record in records:
-                    code = record[0]
-                    height = height_of(code)
-                    if height <= anchor_height:
-                        anchor = f_ancestor(code, anchor_height)
-                        writer_for(bucket_of(anchor)).append(record)
-                    elif replicate_high:
-                        anchors = subtree_at(code, anchor_height)
-                        first = bucket_of(anchors[0])
-                        last = bucket_of(anchors[-1])
-                        for bucket in range(first, last + 1):
-                            if (bucket, code) in seen_replicas:
-                                continue
-                            seen_replicas.add((bucket, code))
-                            writer_for(bucket).append(record)
-                    else:
-                        # leftmost anchor below this high descendant node
-                        anchor = subtree_at(code, anchor_height)[0]
-                        writer_for(bucket_of(anchor)).append(record)
-        for writer in writers.values():
-            writer.close()
+        try:
+            for heap in files:
+                for records in heap.scan_pages():
+                    for record in records:
+                        code = record[0]
+                        height = height_of(code)
+                        if height <= anchor_height:
+                            anchor = f_ancestor(code, anchor_height)
+                            writer_for(bucket_of(anchor)).append(record)
+                        elif replicate_high:
+                            anchors = subtree_at(code, anchor_height)
+                            first = bucket_of(anchors[0])
+                            last = bucket_of(anchors[-1])
+                            for bucket in range(first, last + 1):
+                                if (bucket, code) in seen_replicas:
+                                    continue
+                                seen_replicas.add((bucket, code))
+                                writer_for(bucket).append(record)
+                        else:
+                            # leftmost anchor below this high descendant node
+                            anchor = subtree_at(code, anchor_height)[0]
+                            writer_for(bucket_of(anchor)).append(record)
+        finally:
+            # close even when the input scan faults: open writers pin
+            # their output pages, and a leaked pin makes partition
+            # cleanup fail and mask the original storage fault
+            for writer in writers.values():
+                writer.close()
 
     @staticmethod
     def _merge_small(

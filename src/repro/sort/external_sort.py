@@ -118,9 +118,13 @@ def _merge_runs(
     writer = output.open_writer()
     iterators = [run.scan() for run in runs]
     merged = heapq.merge(*iterators, key=key)
-    for record in merged:
-        writer.append(record)
-    writer.close()
+    try:
+        for record in merged:
+            writer.append(record)
+    finally:
+        # close even when a run scan faults, or the pinned output page
+        # leaks and masks the fault during run cleanup
+        writer.close()
     return output
 
 

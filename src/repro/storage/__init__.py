@@ -7,6 +7,17 @@ from .disk import (
     PageCorruptionError,
     PageNotAllocatedError,
 )
+from .faults import (
+    DEFAULT_RETRY_POLICY,
+    FaultConfig,
+    FaultInjector,
+    FaultStats,
+    PermanentIOError,
+    RetryPolicy,
+    ScheduledFault,
+    StorageFault,
+    TransientIOError,
+)
 from .persist import ImageFormatError, LoadedImage, load_image, save_image
 from .elementset import ElementSet, SortOrder
 from .heapfile import HeapFile, HeapFileWriter
@@ -20,6 +31,15 @@ __all__ = [
     "DEFAULT_PAGE_SIZE",
     "PageNotAllocatedError",
     "PageCorruptionError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "ScheduledFault",
+    "StorageFault",
+    "TransientIOError",
+    "PermanentIOError",
     "save_image",
     "load_image",
     "LoadedImage",

@@ -5,13 +5,30 @@ Models Minibase's buffer manager.  All operators access pages through
 page in from the :class:`DiskManager` (one read, plus one write if a
 dirty victim is evicted).  The pool size ``num_pages`` is the ``b``
 parameter in the paper's cost formulas.
+
+The pool is also the system's fault-absorption layer: every disk read
+and write goes through a bounded retry-with-backoff loop
+(:class:`~repro.storage.faults.RetryPolicy`).  Transient faults —
+injected I/O errors, torn transfers caught by page checksums — are
+retried and surface only as ``retries`` in :class:`IOStats`; a fault
+that survives the whole retry budget is escalated to a
+:class:`~repro.storage.faults.PermanentIOError` carrying the page id
+and operation, and counted as a ``giveup``.
 """
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
+from typing import Optional
 
-from .disk import DiskManager
+from .disk import DiskManager, PageCorruptionError
+from .faults import (
+    DEFAULT_RETRY_POLICY,
+    PermanentIOError,
+    RetryPolicy,
+    TransientIOError,
+)
 
 __all__ = ["BufferManager", "BufferPoolFullError", "Frame"]
 
@@ -41,6 +58,7 @@ class BufferManager:
         disk: DiskManager,
         num_pages: int,
         policy: str = "lru",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if num_pages < 1:
             raise ValueError("buffer pool needs at least one frame")
@@ -49,6 +67,7 @@ class BufferManager:
         self.disk = disk
         self.num_pages = num_pages
         self.policy = policy
+        self.retry = retry if retry is not None else DEFAULT_RETRY_POLICY
         # OrderedDict gives us LRU ordering for free; for clock we keep
         # a separate hand index over a stable list of page ids.
         self._frames: "OrderedDict[int, Frame]" = OrderedDict()
@@ -71,7 +90,7 @@ class BufferManager:
             return frame
         self.misses += 1
         self._make_room()
-        data = bytearray(self.disk.read(page_id))
+        data = bytearray(self._read_with_retry(page_id))
         frame = Frame(page_id, data)
         self._frames[page_id] = frame
         return frame
@@ -102,7 +121,7 @@ class BufferManager:
         """Write the frame back if dirty (keeps it resident and pinned-state)."""
         frame = self._frames.get(page_id)
         if frame is not None and frame.dirty:
-            self.disk.write(page_id, bytes(frame.data))
+            self._write_with_retry(page_id, bytes(frame.data))
             frame.dirty = False
 
     def flush_all(self) -> None:
@@ -140,6 +159,52 @@ class BufferManager:
         return page_id in self._frames
 
     # ------------------------------------------------------------------
+    # fault-tolerant disk access
+    # ------------------------------------------------------------------
+    def _read_with_retry(self, page_id: int) -> bytes:
+        attempt = 1
+        while True:
+            try:
+                return self.disk.read(page_id)
+            except PermanentIOError:
+                self.disk.stats.record_giveup()
+                raise
+            except (TransientIOError, PageCorruptionError) as fault:
+                attempt = self._next_attempt("read", page_id, attempt, fault)
+
+    def _write_with_retry(self, page_id: int, data: bytes) -> None:
+        attempt = 1
+        while True:
+            try:
+                self.disk.write(page_id, data)
+                return
+            except PermanentIOError:
+                self.disk.stats.record_giveup()
+                raise
+            except TransientIOError as fault:
+                attempt = self._next_attempt("write", page_id, attempt, fault)
+
+    def _next_attempt(
+        self, operation: str, page_id: int, attempt: int, fault: Exception
+    ) -> int:
+        """Account one transient fault; sleep the backoff or give up."""
+        stats = self.disk.stats
+        policy = self.retry
+        if attempt >= policy.max_attempts:
+            stats.record_giveup()
+            raise PermanentIOError(
+                f"{operation} of page {page_id} still failing after "
+                f"{policy.max_attempts} attempts",
+                page_id=page_id,
+                operation=operation,
+            ) from fault
+        stats.record_retry()
+        delay = policy.delay(attempt)
+        if delay:
+            time.sleep(delay)
+        return attempt + 1
+
+    # ------------------------------------------------------------------
     # replacement
     # ------------------------------------------------------------------
     def _make_room(self) -> None:
@@ -148,7 +213,7 @@ class BufferManager:
         victim = self._choose_victim()
         frame = self._frames[victim]
         if frame.dirty:
-            self.disk.write(victim, bytes(frame.data))
+            self._write_with_retry(victim, bytes(frame.data))
         del self._frames[victim]
 
     def _choose_victim(self) -> int:

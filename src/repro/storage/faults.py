@@ -1,0 +1,406 @@
+"""Deterministic fault injection for the paged storage engine.
+
+Real disks and buffer pools fail: reads time out, writes bounce, pages
+tear mid-transfer.  The evaluation protocol of the paper never exercises
+those paths, but a production containment-join system lives or dies on
+them, so this module gives the simulated disk a *seeded*, *replayable*
+failure model:
+
+* :class:`FaultConfig` — per-operation fault probabilities (transient
+  read/write errors, torn pages, latency) drawn from one seeded RNG, so
+  a chaos run is reproduced exactly by its seed;
+* :class:`FaultInjector` — the engine that the :class:`DiskManager`
+  consults on every page transfer; supports scheduled one-shot faults
+  ("fail the 3rd read of page 7") on top of the probabilistic model;
+* :class:`RetryPolicy` — the bounded-backoff retry discipline the
+  buffer pool applies to transient faults;
+* the :class:`StorageFault` exception hierarchy — every storage-layer
+  failure carries the page id and operation, so a join that cannot
+  complete fails fast with full context instead of returning silently
+  truncated results.
+
+Torn-page injection corrupts the bytes returned by a read; detection
+relies on page checksums, so the disk refuses a tearing injector unless
+``checksums=True``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field, fields
+from typing import Optional
+
+__all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
+    "RetryPolicy",
+    "DEFAULT_RETRY_POLICY",
+    "ScheduledFault",
+    "StorageFault",
+    "TransientIOError",
+    "PermanentIOError",
+    "FAULT_KINDS",
+]
+
+#: fault kinds accepted by :meth:`FaultInjector.schedule`
+FAULT_KINDS = ("read-error", "write-error", "torn-page", "latency")
+
+
+class StorageFault(RuntimeError):
+    """A storage-layer failure, with the page and operation that caused it.
+
+    ``transient`` distinguishes faults worth retrying (the buffer pool's
+    :class:`RetryPolicy` handles those) from permanent ones.  ``context``
+    accumulates location notes (heap file, cursor position, algorithm)
+    as the fault propagates upward, so a chaos-run failure pinpoints
+    itself without a debugger.
+    """
+
+    def __init__(
+        self,
+        message: str = "storage fault",
+        *,
+        page_id: Optional[int] = None,
+        operation: Optional[str] = None,
+        transient: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.operation = operation
+        self.transient = transient
+        self.context: list[str] = []
+        #: name of the join algorithm that hit the fault, if any
+        self.algorithm: Optional[str] = None
+
+    def add_context(self, note: str) -> None:
+        """Record where the fault passed through (newest first)."""
+        self.context.append(note)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        parts = [base]
+        if self.page_id is not None or self.operation is not None:
+            parts.append(f"[page={self.page_id}, op={self.operation}]")
+        if self.algorithm:
+            parts.append(f"algorithm={self.algorithm}")
+        if self.context:
+            parts.append("via " + " <- ".join(self.context))
+        return " ".join(parts)
+
+
+class TransientIOError(StorageFault):
+    """A fault that a retry may clear (timeout, bus glitch, torn read)."""
+
+    def __init__(self, message: str, *, page_id: int, operation: str) -> None:
+        super().__init__(
+            message, page_id=page_id, operation=operation, transient=True
+        )
+
+
+class PermanentIOError(StorageFault):
+    """A fault retries cannot clear (dead sector, exhausted attempts)."""
+
+    def __init__(self, message: str, *, page_id: int, operation: str) -> None:
+        super().__init__(
+            message, page_id=page_id, operation=operation, transient=False
+        )
+
+
+# ----------------------------------------------------------------------
+# retry policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry-with-backoff for transient faults.
+
+    ``max_attempts`` counts the initial try; with the default of 4 a
+    transient fault is retried up to 3 times before the buffer pool
+    gives up and escalates to :class:`PermanentIOError`.  The delay
+    before the *n*-th retry is ``backoff_base * 2**(n-1)``, capped at
+    ``backoff_cap`` seconds; the simulated-disk default is zero sleep so
+    tests stay fast while the retry *accounting* stays observable.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.0
+    backoff_cap: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if self.backoff_base < 0 or self.backoff_cap < 0:
+            raise ValueError("backoff must be non-negative")
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if self.backoff_base == 0.0:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+# ----------------------------------------------------------------------
+# configuration and accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultConfig:
+    """Probabilistic fault model, fully determined by ``seed``.
+
+    Rates are per matching operation: ``read_error_rate=0.02`` makes 2%
+    of page reads raise a :class:`TransientIOError`.  Torn pages corrupt
+    the returned bytes instead of raising, modelling partial transfers
+    that only checksums catch.
+    """
+
+    seed: int = 0
+    read_error_rate: float = 0.0
+    write_error_rate: float = 0.0
+    torn_page_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for spec in fields(self):
+            if spec.name in ("seed", "latency_seconds"):
+                continue
+            rate = getattr(self, spec.name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{spec.name} must be in [0, 1], got {rate}")
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+
+    @property
+    def tears_pages(self) -> bool:
+        return self.torn_page_rate > 0.0
+
+
+@dataclass
+class FaultStats:
+    """Counts of every fault the injector actually fired."""
+
+    read_errors: int = 0
+    write_errors: int = 0
+    torn_reads: int = 0
+    latency_events: int = 0
+    scheduled_fired: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return (
+            self.read_errors
+            + self.write_errors
+            + self.torn_reads
+            + self.latency_events
+        )
+
+
+@dataclass
+class ScheduledFault:
+    """A one-shot fault armed to fire on a specific future operation.
+
+    ``at`` counts *matching* operations from the moment of scheduling
+    (1 = the very next one); ``page_id=None`` matches any page.
+    ``permanent`` read/write errors raise :class:`PermanentIOError`
+    (which the buffer pool never retries); a permanent torn page keeps
+    corrupting every subsequent read of that page, so bounded retries
+    exhaust and escalate.
+    """
+
+    kind: str
+    operation: str
+    at: int = 1
+    page_id: Optional[int] = None
+    permanent: bool = False
+    seconds: float = 0.0
+    _remaining: int = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.operation not in ("read", "write"):
+            raise ValueError(f"unknown operation {self.operation!r}")
+        if self.at < 1:
+            raise ValueError("'at' counts operations from 1")
+        self._remaining = self.at
+
+    def matches(self, operation: str, page_id: int) -> bool:
+        return self.operation == operation and (
+            self.page_id is None or self.page_id == page_id
+        )
+
+
+# ----------------------------------------------------------------------
+# the injector
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Seeded fault source consulted by :class:`DiskManager` on every I/O.
+
+    One injector drives one disk.  All probabilistic draws come from a
+    single ``random.Random(config.seed)``, so the exact same fault
+    schedule replays from the seed alone (given the same sequence of
+    page operations — which the deterministic join algorithms provide).
+    """
+
+    def __init__(self, config: Optional[FaultConfig] = None, **rates) -> None:
+        """Pass a :class:`FaultConfig`, or its fields as keyword args."""
+        if config is not None and rates:
+            raise ValueError("pass a FaultConfig or keyword rates, not both")
+        self.config = config if config is not None else FaultConfig(**rates)
+        self.stats = FaultStats()
+        self._rng = random.Random(self.config.seed)
+        self._scheduled: list[ScheduledFault] = []
+        self._torn_pages: set[int] = set()
+        self._tear_once: set[int] = set()
+        self.reads_seen = 0
+        self.writes_seen = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector seed={self.config.seed} "
+            f"injected={self.stats.total_injected} "
+            f"scheduled={len(self._scheduled)}>"
+        )
+
+    # -- configuration --------------------------------------------------
+    @property
+    def tears_pages(self) -> bool:
+        """True if this injector may corrupt read payloads."""
+        return self.config.tears_pages or bool(self._torn_pages) or any(
+            f.kind == "torn-page" for f in self._scheduled
+        )
+
+    def schedule(
+        self,
+        kind: str,
+        operation: Optional[str] = None,
+        at: int = 1,
+        page_id: Optional[int] = None,
+        permanent: bool = False,
+        seconds: float = 0.0,
+    ) -> ScheduledFault:
+        """Arm a one-shot fault; returns the armed record.
+
+        ``operation`` defaults to the natural one for the kind
+        (``write-error`` -> write, everything else -> read).
+        """
+        if operation is None:
+            operation = "write" if kind == "write-error" else "read"
+        fault = ScheduledFault(
+            kind=kind,
+            operation=operation,
+            at=at,
+            page_id=page_id,
+            permanent=permanent,
+            seconds=seconds,
+        )
+        self._scheduled.append(fault)
+        return fault
+
+    def mark_page_torn(self, page_id: int) -> None:
+        """Permanently corrupt every future read of ``page_id``."""
+        self._torn_pages.add(page_id)
+
+    # -- hooks called by DiskManager ------------------------------------
+    def on_read(self, page_id: int) -> None:
+        """May raise, may sleep; called before a read returns data."""
+        self.reads_seen += 1
+        self._fire_scheduled("read", page_id)
+        cfg = self.config
+        rng = self._rng
+        if cfg.latency_rate and rng.random() < cfg.latency_rate:
+            self.stats.latency_events += 1
+            if cfg.latency_seconds:
+                time.sleep(cfg.latency_seconds)
+        if cfg.read_error_rate and rng.random() < cfg.read_error_rate:
+            self.stats.read_errors += 1
+            raise TransientIOError(
+                f"injected transient read error (#{self.stats.read_errors})",
+                page_id=page_id,
+                operation="read",
+            )
+
+    def on_write(self, page_id: int) -> None:
+        """May raise, may sleep; called before a write is applied."""
+        self.writes_seen += 1
+        self._fire_scheduled("write", page_id)
+        cfg = self.config
+        rng = self._rng
+        if cfg.latency_rate and rng.random() < cfg.latency_rate:
+            self.stats.latency_events += 1
+            if cfg.latency_seconds:
+                time.sleep(cfg.latency_seconds)
+        if cfg.write_error_rate and rng.random() < cfg.write_error_rate:
+            self.stats.write_errors += 1
+            raise TransientIOError(
+                f"injected transient write error (#{self.stats.write_errors})",
+                page_id=page_id,
+                operation="write",
+            )
+
+    def filter_read(self, page_id: int, data: bytes) -> bytes:
+        """Possibly return a torn (corrupted) copy of ``data``."""
+        if page_id in self._torn_pages:
+            self.stats.torn_reads += 1
+            return self._tear(data)
+        if page_id in self._tear_once:
+            self._tear_once.discard(page_id)
+            self.stats.torn_reads += 1
+            return self._tear(data)
+        cfg = self.config
+        if cfg.torn_page_rate and self._rng.random() < cfg.torn_page_rate:
+            self.stats.torn_reads += 1
+            return self._tear(data)
+        return data
+
+    # -- internals ------------------------------------------------------
+    @staticmethod
+    def _tear(data: bytes) -> bytes:
+        """A torn transfer: the tail of the page is stale garbage."""
+        torn = bytearray(data)
+        half = len(torn) // 2
+        for index in range(half, len(torn)):
+            torn[index] ^= 0xA5
+        torn[0] ^= 0xFF  # guarantee a change even for tiny pages
+        return bytes(torn)
+
+    def _fire_scheduled(self, operation: str, page_id: int) -> None:
+        for fault in list(self._scheduled):
+            if not fault.matches(operation, page_id):
+                continue
+            fault._remaining -= 1
+            if fault._remaining > 0:
+                continue
+            self._scheduled.remove(fault)
+            self.stats.scheduled_fired += 1
+            self._apply_scheduled(fault, operation, page_id)
+
+    def _apply_scheduled(
+        self, fault: ScheduledFault, operation: str, page_id: int
+    ) -> None:
+        if fault.kind == "latency":
+            self.stats.latency_events += 1
+            if fault.seconds:
+                time.sleep(fault.seconds)
+            return
+        if fault.kind == "torn-page":
+            # counted in filter_read, where the corruption actually lands
+            if fault.permanent:
+                self._torn_pages.add(page_id)
+            else:
+                self._tear_once.add(page_id)
+            return
+        message = (
+            f"scheduled {'permanent' if fault.permanent else 'transient'} "
+            f"{fault.kind} on page {page_id}"
+        )
+        if fault.kind == "read-error":
+            self.stats.read_errors += 1
+        else:
+            self.stats.write_errors += 1
+        if fault.permanent:
+            raise PermanentIOError(message, page_id=page_id, operation=operation)
+        raise TransientIOError(message, page_id=page_id, operation=operation)

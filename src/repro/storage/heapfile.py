@@ -12,6 +12,7 @@ from typing import Iterable, Iterator, Sequence
 
 from . import page as page_layout
 from .buffer import BufferManager
+from .faults import StorageFault
 from .record import RecordCodec
 
 __all__ = ["HeapFile", "HeapFileWriter"]
@@ -49,9 +50,11 @@ class HeapFile:
         """Materialise ``records`` into a new heap file (charged as writes)."""
         heap = cls(bufmgr, codec, name)
         writer = heap.open_writer()
-        for record in records:
-            writer.append(record)
-        writer.close()
+        try:
+            for record in records:
+                writer.append(record)
+        finally:
+            writer.close()
         return heap
 
     def open_writer(self, resume: bool = False) -> "HeapFileWriter":
@@ -66,9 +69,11 @@ class HeapFile:
 
     def append_all(self, records: Iterable[Sequence[int]]) -> None:
         writer = self.open_writer()
-        for record in records:
-            writer.append(record)
-        writer.close()
+        try:
+            for record in records:
+                writer.append(record)
+        finally:
+            writer.close()
 
     # ------------------------------------------------------------------
     # access
@@ -86,11 +91,21 @@ class HeapFile:
             yield from records
 
     def scan_pages(self) -> Iterator[list[tuple[int, ...]]]:
-        """Yield the decoded record list of each page in order."""
+        """Yield the decoded record list of each page in order.
+
+        A storage fault aborts the scan (annotated with the file name);
+        it never yields a truncated tail silently.
+        """
         bufmgr = self.bufmgr
         codec = self.codec
-        for page_id in self.page_ids:
-            frame = bufmgr.pin(page_id)
+        for position, page_id in enumerate(self.page_ids):
+            try:
+                frame = bufmgr.pin(page_id)
+            except StorageFault as fault:
+                fault.add_context(
+                    f"heap file {self.name!r} page {position}/{self.num_pages}"
+                )
+                raise
             try:
                 yield page_layout.read_records(frame.data, codec)
             finally:
@@ -99,7 +114,11 @@ class HeapFile:
     def read_page(self, index: int) -> list[tuple[int, ...]]:
         """Decode one page by position in the file."""
         page_id = self.page_ids[index]
-        frame = self.bufmgr.pin(page_id)
+        try:
+            frame = self.bufmgr.pin(page_id)
+        except StorageFault as fault:
+            fault.add_context(f"heap file {self.name!r} page {index}")
+            raise
         try:
             return page_layout.read_records(frame.data, self.codec)
         finally:

@@ -24,6 +24,7 @@ from typing import Optional
 from .buffer import BufferManager
 from .disk import DiskManager
 from .elementset import ElementSet
+from .faults import FaultInjector, RetryPolicy
 from .heapfile import HeapFile
 from .record import CODE
 
@@ -81,9 +82,21 @@ def save_image(
 
 
 def load_image(
-    path: "str | Path", buffer_pages: int = 64, policy: str = "lru"
+    path: "str | Path",
+    buffer_pages: int = 64,
+    policy: str = "lru",
+    checksums: bool = False,
+    faults: Optional[FaultInjector] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> LoadedImage:
-    """Reconstruct a disk (and its catalog) from an image file."""
+    """Reconstruct a disk (and its catalog) from an image file.
+
+    ``checksums=True`` seeds the reconstructed disk with the CRCs from
+    the image header, so runtime reads stay verified after load;
+    ``faults``/``retry`` configure fault injection and the buffer pool's
+    retry policy on the reconstructed engine (chaos testing against
+    real persisted datasets).
+    """
     with open(path, "rb") as handle:
         prefix = handle.read(_PREFIX.size)
         if len(prefix) < _PREFIX.size:
@@ -98,7 +111,7 @@ def load_image(
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ImageFormatError(f"corrupt header: {exc}") from exc
 
-        disk = DiskManager(header["page_size"])
+        disk = DiskManager(header["page_size"], checksums=checksums)
         for entry in header["pages"]:
             payload = handle.read(header["page_size"])
             if len(payload) != header["page_size"]:
@@ -110,9 +123,15 @@ def load_image(
                     f"page {entry['id']} failed CRC verification"
                 )
             disk._pages[entry["id"]] = payload
+            if checksums:
+                disk._checksums[entry["id"]] = entry["crc"]
         disk._next_page_id = header["next_page_id"]
+        if faults is not None:
+            disk.set_faults(faults)
 
-    image = LoadedImage(disk, BufferManager(disk, buffer_pages, policy))
+    image = LoadedImage(
+        disk, BufferManager(disk, buffer_pages, policy, retry=retry)
+    )
     for name, meta in header.get("catalog", {}).items():
         heap = HeapFile(image.bufmgr, CODE, name=name)
         heap.page_ids = list(meta["page_ids"])

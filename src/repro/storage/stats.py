@@ -21,6 +21,10 @@ class IOSnapshot:
     writes: int = 0
     random_reads: int = 0
     allocations: int = 0
+    #: transient-fault retries performed by the buffer pool
+    retries: int = 0
+    #: operations abandoned after the retry budget was exhausted
+    giveups: int = 0
 
     @property
     def total(self) -> int:
@@ -37,6 +41,8 @@ class IOSnapshot:
             writes=self.writes - other.writes,
             random_reads=self.random_reads - other.random_reads,
             allocations=self.allocations - other.allocations,
+            retries=self.retries - other.retries,
+            giveups=self.giveups - other.giveups,
         )
 
     def weighted_cost(self, random_penalty: float = 1.0) -> float:
@@ -57,13 +63,23 @@ class IOSnapshot:
 class IOStats:
     """Mutable I/O counters owned by a :class:`DiskManager`."""
 
-    __slots__ = ("reads", "writes", "random_reads", "allocations", "_last_read")
+    __slots__ = (
+        "reads",
+        "writes",
+        "random_reads",
+        "allocations",
+        "retries",
+        "giveups",
+        "_last_read",
+    )
 
     def __init__(self) -> None:
         self.reads = 0
         self.writes = 0
         self.random_reads = 0
         self.allocations = 0
+        self.retries = 0
+        self.giveups = 0
         self._last_read = -2
 
     def record_read(self, page_id: int) -> None:
@@ -78,12 +94,22 @@ class IOStats:
     def record_allocation(self) -> None:
         self.allocations += 1
 
+    def record_retry(self) -> None:
+        """One transient fault absorbed by a buffer-pool retry."""
+        self.retries += 1
+
+    def record_giveup(self) -> None:
+        """One operation abandoned after exhausting its retry budget."""
+        self.giveups += 1
+
     def snapshot(self) -> IOSnapshot:
         return IOSnapshot(
             reads=self.reads,
             writes=self.writes,
             random_reads=self.random_reads,
             allocations=self.allocations,
+            retries=self.retries,
+            giveups=self.giveups,
         )
 
     def delta(self, before: IOSnapshot) -> IOSnapshot:
@@ -94,4 +120,6 @@ class IOStats:
         self.writes = 0
         self.random_reads = 0
         self.allocations = 0
+        self.retries = 0
+        self.giveups = 0
         self._last_read = -2

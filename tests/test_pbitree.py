@@ -272,3 +272,79 @@ class TestValidate:
         with pytest.raises(ValueError):
             pt.validate_code(32, tree_height=5)
         pt.validate_code(31, tree_height=5)  # boundary ok
+
+
+@st.composite
+def two_codes_in_tree(draw, max_height=24):
+    """Two (possibly equal) codes from the same PBiTree."""
+    tree_height = draw(st.integers(min_value=2, max_value=max_height))
+    space = (1 << tree_height) - 1
+    first = draw(st.integers(min_value=1, max_value=space))
+    second = draw(st.integers(min_value=1, max_value=space))
+    return first, second, tree_height
+
+
+class TestLemma34Conversions:
+    """Roundtrip properties for the Lemma 3 (region) and Lemma 4
+    (prefix) conversions: PBiTree <-> region <-> prefix compose to the
+    identity and preserve the ancestor relation."""
+
+    @given(code_in_tree())
+    def test_region_roundtrip(self, ct):
+        code, _tree_height = ct
+        height = pt.height_of(code)
+        region = pt.region_of(code)
+        assert pt.code_from_region_start(region.start, height) == code
+        # the region is centred on the code and spans the whole subtree
+        assert region.end - region.start == 2 * ((1 << height) - 1)
+        assert region.start + region.end == 2 * code
+
+    @given(code_in_tree())
+    def test_prefix_roundtrip(self, ct):
+        code, _tree_height = ct
+        assert pt.prefix_of(code) << pt.height_of(code) == code
+        # prefix codes always end in the node's own '1' marker bit
+        assert pt.prefix_of(code) & 1 == 1
+
+    @given(code_in_tree())
+    def test_region_then_prefix_composition_is_identity(self, ct):
+        code, _tree_height = ct
+        height = pt.height_of(code)
+        via_region = pt.code_from_region_start(pt.region_of(code).start, height)
+        via_prefix = pt.prefix_of(via_region) << pt.height_of(via_region)
+        assert via_prefix == code
+
+    @given(two_codes_in_tree())
+    def test_region_containment_iff_ancestor(self, codes):
+        """Lemma 3: proper region containment == proper ancestorship."""
+        first, second, _tree_height = codes
+        assert pt.region_of(first).contains(pt.region_of(second)) == (
+            pt.is_ancestor(first, second)
+        )
+
+    @given(two_codes_in_tree())
+    def test_prefix_bit_prefix_iff_ancestor_or_self(self, codes):
+        """Lemma 4: 'a's path is a bit-prefix of d's' == ancestor-or-self."""
+        first, second, _tree_height = codes
+        height_a = pt.height_of(first)
+        height_d = pt.height_of(second)
+        prefix_matches = height_a >= height_d and (
+            pt.prefix_of(second) >> (height_a - height_d + 1)
+            == pt.prefix_of(first) >> 1
+        )
+        assert prefix_matches == pt.is_ancestor_or_self(first, second)
+
+    @given(two_codes_in_tree())
+    def test_conversions_preserve_ancestor_relation(self, codes):
+        """Converting both codes to regions and back must not change
+        which of the two relations (ancestor / not) holds."""
+        first, second, _tree_height = codes
+        back_first = pt.code_from_region_start(
+            pt.region_of(first).start, pt.height_of(first)
+        )
+        back_second = pt.code_from_region_start(
+            pt.region_of(second).start, pt.height_of(second)
+        )
+        assert pt.is_ancestor(back_first, back_second) == pt.is_ancestor(
+            first, second
+        )

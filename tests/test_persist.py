@@ -104,12 +104,20 @@ class TestChecksummedDisk:
         assert disk.read(pid) == b"\x05" * 128
 
     def test_detects_silent_corruption(self):
+        import zlib
+
         disk = DiskManager(page_size=128, checksums=True)
         pid = disk.allocate()
         disk.write(pid, b"\x05" * 128)
         disk._pages[pid] = b"\x06" * 128  # corrupt behind the API's back
-        with pytest.raises(PageCorruptionError):
+        with pytest.raises(PageCorruptionError) as exc_info:
             disk.read(pid)
+        error = exc_info.value
+        assert error.page_id == pid
+        assert error.operation == "read"
+        assert error.expected_crc == zlib.crc32(b"\x05" * 128)
+        assert error.actual_crc == zlib.crc32(b"\x06" * 128)
+        assert error.transient  # a re-read *may* clear a torn transfer
 
     def test_fresh_page_reads_clean(self):
         disk = DiskManager(page_size=128, checksums=True)
@@ -123,3 +131,35 @@ class TestChecksummedDisk:
         bufmgr.flush_all()
         bufmgr.evict_all()
         assert elements.to_list() == list(range(1, 200, 2))
+
+
+class TestReloadedEngineFaults:
+    """Checksums and fault injection on a disk reconstructed from an image."""
+
+    def test_checksums_survive_reload(self, tmp_path):
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+        image = load_image(path, checksums=True)
+        assert image.disk.checksums
+        # runtime verification: corrupt a loaded page behind the API's back
+        anc_page = image.element_sets["anc"].heap.page_ids[0]
+        image.disk._pages[anc_page] = bytes(256)
+        with pytest.raises(PageCorruptionError) as exc_info:
+            image.disk.read(anc_page)
+        assert exc_info.value.page_id == anc_page
+
+    def test_fault_injection_on_reloaded_engine(self, tmp_path):
+        from repro.storage.faults import FaultInjector, StorageFault
+
+        disk, _bufmgr, sets = build_disk_with_sets()
+        path = tmp_path / "db.pbit"
+        save_image(disk, path, sets)
+
+        injector = FaultInjector(seed=0)
+        injector.schedule("read-error", at=1, permanent=True)
+        image = load_image(path, checksums=True, faults=injector)
+        with pytest.raises(StorageFault) as exc_info:
+            image.element_sets["desc"].to_list()
+        assert exc_info.value.operation == "read"
+        assert exc_info.value.page_id is not None

@@ -38,6 +38,21 @@ class TestDiskManager:
         with pytest.raises(PageNotAllocatedError):
             disk.deallocate(42)
 
+    def test_unallocated_errors_carry_structured_context(self):
+        """The error names the page and the operation that hit it."""
+        disk = DiskManager()
+        for operation, action in (
+            ("read", lambda: disk.read(42)),
+            ("write", lambda: disk.write(42, bytes(disk.page_size))),
+            ("deallocate", lambda: disk.deallocate(42)),
+        ):
+            with pytest.raises(PageNotAllocatedError) as exc_info:
+                action()
+            error = exc_info.value
+            assert error.page_id == 42
+            assert error.operation == operation
+            assert "42" in str(error) and operation in str(error)
+
     def test_deallocate(self):
         disk = DiskManager()
         pid = disk.allocate()
@@ -93,8 +108,22 @@ class TestIOStats:
     def test_reset(self):
         stats = IOStats()
         stats.record_read(0)
+        stats.record_retry()
+        stats.record_giveup()
         stats.reset()
         assert stats.snapshot() == IOSnapshot()
+
+    def test_retry_and_giveup_counters(self):
+        stats = IOStats()
+        stats.record_retry()
+        stats.record_retry()
+        stats.record_giveup()
+        snap = stats.snapshot()
+        assert snap.retries == 2 and snap.giveups == 1
+        delta = stats.delta(snap)
+        assert delta.retries == 0 and delta.giveups == 0
+        stats.record_retry()
+        assert stats.delta(snap).retries == 1
 
 
 class TestRecordCodec:
