@@ -22,7 +22,15 @@ from .core.binarize import binarize
 from .datatree.xml_parser import parse_xml
 from .db import ContainmentDatabase
 
-__all__ = ["main"]
+__all__ = [
+    "main",
+    "cmd_encode",
+    "cmd_query",
+    "cmd_explain",
+    "cmd_stats",
+    "cmd_save",
+    "cmd_image_query",
+]
 
 
 def _load(path: str):

@@ -1,0 +1,86 @@
+"""Code-domain checker: no raw bit arithmetic on codes outside core/.
+
+PBiTree codes, region codes (Lemma 3) and prefix codes (Lemma 4) are
+all integers, and every conversion between them is a one-liner of shift
+masks — which is exactly why hand-rolled conversions are dangerous: a
+transposed shift produces a *valid-looking* code from the wrong domain
+and a silently wrong join result.  All conversions must go through the
+named helpers in :mod:`repro.core.pbitree` (``f_ancestor``,
+``start_of`` / ``end_of``, ``prefix_of``, ``height_of``,
+``coding_space_slice``, ...), where the algebra is stated once, next to
+the lemma it implements, under property tests.
+
+The checker flags bitwise ``<<``, ``>>`` and ``&`` expressions (and
+their augmented-assignment forms) whose operands *name* a code value —
+an identifier containing ``code``, ``prefix`` or ``pbi`` — in any
+module outside ``repro/core``.  Test files are exempt, as is anything
+carrying ``# repro: allow[code-domain]`` (for genuinely non-code uses
+that happen to collide with the naming heuristic).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, SourceModule
+
+__all__ = ["CodeDomainChecker"]
+
+_BIT_OPS = (ast.LShift, ast.RShift, ast.BitAnd)
+_CODE_MARKERS = ("code", "prefix", "pbi")
+
+
+def _identifiers(node: ast.expr) -> Iterator[str]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            yield child.id
+        elif isinstance(child, ast.Attribute):
+            yield child.attr
+
+
+def _mentions_code(*operands: ast.expr) -> str | None:
+    for operand in operands:
+        for identifier in _identifiers(operand):
+            lowered = identifier.lower()
+            for marker in _CODE_MARKERS:
+                if marker in lowered:
+                    return identifier
+    return None
+
+
+class CodeDomainChecker:
+    name = "code-domain"
+    description = "bit arithmetic on code values is confined to repro/core"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.is_test or module.is_core:
+            return
+        flagged_lines: set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, _BIT_OPS):
+                culprit = _mentions_code(node.left, node.right)
+                op_node: ast.AST = node
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, _BIT_OPS):
+                target = node.target
+                culprit = (
+                    _mentions_code(target, node.value)
+                    if isinstance(target, ast.expr)
+                    else None
+                )
+                op_node = node
+            else:
+                continue
+            if culprit is None or op_node.lineno in flagged_lines:
+                continue
+            flagged_lines.add(op_node.lineno)
+            yield Finding(
+                path=str(module.path),
+                line=op_node.lineno,
+                col=op_node.col_offset,
+                checker=self.name,
+                message=(
+                    f"raw bit arithmetic on code value {culprit!r}: use the "
+                    "Lemma 3/4 helpers in repro.core.pbitree instead"
+                ),
+            )

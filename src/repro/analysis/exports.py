@@ -1,0 +1,117 @@
+"""Export-consistency checker: ``__all__`` must match the public API.
+
+Two failure directions, both real maintenance hazards in a package
+whose modules are re-exported through layer ``__init__`` files:
+
+* a name listed in ``__all__`` that is not defined makes
+  ``from module import *`` raise at import time — but only for star
+  importers, so it can lie dormant;
+* a public top-level ``def`` / ``class`` missing from ``__all__``
+  silently drops out of the star-import surface and of
+  ``help(module)``-driven discovery.
+
+Modules that do not declare ``__all__`` are left alone (their public
+surface is implicitly "everything without an underscore").  Variables
+are only checked in the ``__all__``-to-definition direction: module
+constants are often intentionally unexported.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, SourceModule
+
+__all__ = ["ExportChecker"]
+
+
+def _literal_names(node: ast.expr) -> list[tuple[str, int]] | None:
+    """Extract ``__all__`` entries; ``None`` if it isn't a literal list."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names: list[tuple[str, int]] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            names.append((element.value, element.lineno))
+        else:
+            return None
+    return names
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module body, descending through top-level ``if`` / ``try`` guards."""
+    pending: list[ast.stmt] = list(tree.body)
+    while pending:
+        stmt = pending.pop(0)
+        if isinstance(stmt, ast.If):
+            pending.extend(stmt.body)
+            pending.extend(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            pending.extend(stmt.body)
+            for handler in stmt.handlers:
+                pending.extend(handler.body)
+            pending.extend(stmt.orelse)
+            pending.extend(stmt.finalbody)
+        else:
+            yield stmt
+
+
+class ExportChecker:
+    name = "exports"
+    description = "__all__ agrees with the module's public definitions"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        declared: list[tuple[str, int]] | None = None
+        declared_line = 0
+        defined: dict[str, int] = {}
+        public_defs: dict[str, int] = {}
+
+        for stmt in _top_level_statements(module.tree):
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                defined[stmt.name] = stmt.lineno
+                if not stmt.name.startswith("_"):
+                    public_defs[stmt.name] = stmt.lineno
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__all__":
+                            declared = _literal_names(stmt.value)
+                            declared_line = stmt.lineno
+                        else:
+                            defined[target.id] = stmt.lineno
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    defined[stmt.target.id] = stmt.lineno
+            elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                for alias in stmt.names:
+                    name = alias.asname or alias.name.split(".")[0]
+                    defined[name] = stmt.lineno
+
+        if declared is None:
+            return
+
+        declared_names = {name for name, _ in declared}
+        for name, line in declared:
+            if name not in defined:
+                yield Finding(
+                    path=str(module.path),
+                    line=line,
+                    col=0,
+                    checker=self.name,
+                    message=f"__all__ entry {name!r} is not defined in this module",
+                )
+        for name, line in sorted(public_defs.items(), key=lambda kv: kv[1]):
+            if name not in declared_names:
+                yield Finding(
+                    path=str(module.path),
+                    line=line,
+                    col=0,
+                    checker=self.name,
+                    message=(
+                        f"public definition {name!r} is missing from __all__ "
+                        f"(declared at line {declared_line})"
+                    ),
+                )

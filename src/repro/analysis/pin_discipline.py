@@ -1,0 +1,161 @@
+"""Pin-discipline checker: every pin must be released on every path.
+
+The buffer-pool contract (DESIGN.md §7) is that a frame returned by
+``BufferManager.pin()`` or ``new_page()`` stays pinned — and therefore
+unevictable — until ``unpin()`` runs.  PR 1 fixed four leaks of this
+shape by hand (``heapfile``, ``mhcj``, ``vpj``, ``external_sort``):
+code that pinned, did fallible work, and unpinned on the straight-line
+path only, so a mid-join ``StorageFault`` left the frame pinned and
+masked the real error with "cannot evict" noise.
+
+A pin-producing call is accepted when the frame provably escapes or is
+provably released:
+
+* it is the context expression of a ``with`` statement;
+* its result is assigned to an *attribute* (``self._frame = ...``) —
+  ownership escapes to an object whose own lifecycle releases it;
+* some enclosing ``try`` (or a ``try`` that follows the pin in the same
+  or an enclosing block) has ``unpin`` in its ``finally`` — this shape
+  covers the idiomatic pin-then-guard::
+
+      try:
+          frame = bufmgr.pin(page_id)
+      except StorageFault as fault:
+          fault.add_context(...)
+          raise
+      try:
+          ...use frame...
+      finally:
+          bufmgr.unpin(page_id)
+
+Anything else is flagged.  Deliberate exceptions (e.g. a writer resume
+path that conditionally adopts the frame) carry
+``# repro: allow[pin-discipline]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, SourceModule
+
+__all__ = ["PinDisciplineChecker"]
+
+_PIN_METHODS = {"pin", "new_page"}
+_RECEIVER_HINTS = ("buf", "pool")
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def _receiver_names(node: ast.expr) -> Iterator[str]:
+    """Identifiers along a dotted receiver, e.g. ``heap.bufmgr`` -> both."""
+    while isinstance(node, ast.Attribute):
+        yield node.attr
+        node = node.value
+    if isinstance(node, ast.Name):
+        yield node.id
+
+
+def _is_pin_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr not in _PIN_METHODS:
+        return False
+    return any(
+        hint in name.lower()
+        for name in _receiver_names(func.value)
+        for hint in _RECEIVER_HINTS
+    )
+
+
+def _releases_pin(nodes: list[ast.stmt]) -> bool:
+    """True if the statement list contains an ``unpin`` call."""
+    for stmt in nodes:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "unpin"
+            ):
+                return True
+    return False
+
+
+def _is_guarding_try(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, ast.Try) and _releases_pin(stmt.finalbody)
+
+
+def _blocks_of(node: ast.AST) -> Iterator[list[ast.stmt]]:
+    for _, value in ast.iter_fields(node):
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            yield value
+
+
+class PinDisciplineChecker:
+    name = "pin-discipline"
+    description = "pin()/new_page() frames must be released on every path"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not _is_pin_call(node):
+                continue
+            if self._is_guarded(module, node):
+                continue
+            method = node.func.attr if isinstance(node.func, ast.Attribute) else "pin"
+            yield Finding(
+                path=str(module.path),
+                line=node.lineno,
+                col=node.col_offset,
+                checker=self.name,
+                message=(
+                    f"{method}() result is not released on every path: "
+                    "use `with`, assign to an owning attribute, or "
+                    "guard with try/finally + unpin"
+                ),
+            )
+
+    def _is_guarded(self, module: SourceModule, call: ast.Call) -> bool:
+        # climb from the call to its enclosing statement, watching for
+        # a `with` item on the way up
+        stmt: ast.stmt | None = None
+        for ancestor in module.ancestors(call):
+            if isinstance(ancestor, ast.withitem):
+                return True
+            if isinstance(ancestor, ast.stmt):
+                stmt = ancestor
+                break
+        if stmt is None:
+            return False
+
+        # ownership escape: the frame is stored on an object that
+        # releases it in its own lifecycle (writer close, destructor)
+        if isinstance(stmt, ast.Assign) and all(
+            isinstance(target, ast.Attribute) for target in stmt.targets
+        ):
+            return True
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Attribute):
+            return True
+
+        # try/finally with unpin: either enclosing the pin, or appearing
+        # later in the same (or an enclosing) block within this function
+        chain: list[ast.stmt] = [stmt]
+        for ancestor in module.ancestors(stmt):
+            if isinstance(ancestor, ast.Try) and _releases_pin(ancestor.finalbody):
+                return True
+            if isinstance(ancestor, _FUNCTION_NODES + (ast.Module,)):
+                break
+            if isinstance(ancestor, ast.stmt):
+                chain.append(ancestor)
+
+        for link in chain:
+            parent = module.parent(link)
+            if parent is None:
+                continue
+            for block in _blocks_of(parent):
+                if link not in block:
+                    continue
+                index = block.index(link)
+                if any(_is_guarding_try(later) for later in block[index + 1 :]):
+                    return True
+        return False

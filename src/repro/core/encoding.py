@@ -11,8 +11,16 @@ from typing import Iterator, Optional
 
 from ..datatree.node import DataTree
 from . import pbitree
+from .pbitree import Height, PBiCode, PrefixCode, RegionCode
 
-__all__ = ["PBiTreeEncoding", "EncodingError"]
+__all__ = [
+    "PBiTreeEncoding",
+    "EncodingError",
+    "PBiCode",
+    "RegionCode",
+    "PrefixCode",
+    "Height",
+]
 
 
 class EncodingError(ValueError):
@@ -30,25 +38,25 @@ class PBiTreeEncoding:
     def __init__(self, tree_height: int, tree: DataTree) -> None:
         self.tree_height = tree_height
         self.tree = tree
-        self._code_to_node: Optional[dict[int, int]] = None
+        self._code_to_node: Optional[dict[PBiCode, int]] = None
 
     # ------------------------------------------------------------------
     @property
-    def coding_space(self) -> tuple[int, int]:
+    def coding_space(self) -> tuple[PBiCode, PBiCode]:
         """Inclusive code range ``[1, 2**H - 1]`` (Section 2.3.3)."""
-        return 1, pbitree.max_code(self.tree_height)
+        return PBiCode(1), pbitree.max_code(self.tree_height)
 
     @property
     def bits_per_code(self) -> int:
         """Bits needed to store one code: ``H``."""
         return self.tree_height
 
-    def codes(self) -> Iterator[int]:
+    def codes(self) -> Iterator[PBiCode]:
         """All assigned codes, in node-id order."""
         return iter(self.tree.codes)
 
     # ------------------------------------------------------------------
-    def node_of(self, code: int) -> int:
+    def node_of(self, code: PBiCode) -> int:
         """Node id carrying ``code`` (builds a reverse map on first use).
 
         Raises ``KeyError`` for virtual nodes — codes in the coding
@@ -60,7 +68,7 @@ class PBiTreeEncoding:
             }
         return self._code_to_node[code]
 
-    def is_virtual(self, code: int) -> bool:
+    def is_virtual(self, code: PBiCode) -> bool:
         """True if ``code`` is valid in the coding space but unoccupied."""
         pbitree.validate_code(code, self.tree_height)
         if self._code_to_node is None:

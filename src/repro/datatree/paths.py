@@ -19,7 +19,7 @@ from typing import Callable, Iterable, Sequence
 from ..core import pbitree
 from .node import DataTree
 
-__all__ = ["select_by_tag", "PathQuery"]
+__all__ = ["select_by_tag", "PathQuery", "brute_force_join"]
 
 JoinFunc = Callable[[Sequence[int], Sequence[int]], Iterable[tuple[int, int]]]
 

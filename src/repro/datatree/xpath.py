@@ -189,7 +189,10 @@ class XPath:
     # join-based evaluation
     # ------------------------------------------------------------------
     def evaluate_with_joins(
-        self, tree: DataTree, join: JoinFunc, alive=None
+        self,
+        tree: DataTree,
+        join: JoinFunc,
+        alive: Callable[[int], bool] | None = None,
     ) -> list[int]:
         """Evaluate through containment joins on PBiTree codes.
 

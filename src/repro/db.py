@@ -41,7 +41,8 @@ from .join.spatial import build_point_rtree
 from .storage.buffer import BufferManager
 from .storage.disk import DiskManager
 from .storage.elementset import ElementSet
-from .storage.faults import FaultConfig, FaultInjector, RetryPolicy
+from .storage.faults import FaultConfig, FaultInjector, FaultStats, RetryPolicy
+from .storage.stats import IOSnapshot
 
 __all__ = ["ContainmentDatabase", "Document", "QueryResult"]
 
@@ -361,11 +362,11 @@ class ContainmentDatabase:
 
     # ------------------------------------------------------------------
     @property
-    def io_stats(self):
+    def io_stats(self) -> IOSnapshot:
         return self.disk.stats.snapshot()
 
     @property
-    def fault_stats(self):
+    def fault_stats(self) -> Optional[FaultStats]:
         """Injected-fault counters, or None when no injector is attached."""
         return self.disk.faults.stats if self.disk.faults is not None else None
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from ..join.ancdes_b import AncDesBPlusJoin
 from ..join.base import JoinAlgorithm, JoinReport, JoinSink
@@ -46,6 +46,9 @@ __all__ = [
     "LineupResult",
     "run_lineup",
     "make_lineup",
+    "make_algorithm",
+    "Workbench",
+    "timed",
 ]
 
 #: factory list for the region-code side of every comparison
@@ -247,7 +250,10 @@ def run_lineup(
     return lineup
 
 
-def timed(fn, *args, **kwargs):
+_T = TypeVar("_T")
+
+
+def timed(fn: Callable[..., _T], *args: Any, **kwargs: Any) -> tuple[float, _T]:
     """Small helper: (wall seconds, result)."""
     start = time.perf_counter()
     result = fn(*args, **kwargs)

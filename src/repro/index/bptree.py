@@ -117,9 +117,11 @@ class BPlusTree:
 
     def _new_node(self, is_leaf: bool) -> _Node:
         frame = self.bufmgr.new_page()
-        self.bufmgr.unpin(frame.page_id, dirty=True)
-        self.num_nodes += 1
-        return _Node(frame.page_id, is_leaf)
+        try:
+            self.num_nodes += 1
+            return _Node(frame.page_id, is_leaf)
+        finally:
+            self.bufmgr.unpin(frame.page_id, dirty=True)
 
     # ------------------------------------------------------------------
     # bulk loading

@@ -19,13 +19,17 @@ plus the pages of the reported list prefixes.
 from __future__ import annotations
 
 import struct
-from typing import Iterator, Sequence
+from typing import Iterator, Sequence, cast
 
+from ..core.pbitree import PBiCode, RegionCode
 from ..storage.buffer import BufferManager
 from ..storage.heapfile import HeapFile
 from ..storage.record import TRIPLE
 
-__all__ = ["IntervalTree"]
+__all__ = ["IntervalTree", "Interval"]
+
+#: one stored interval: region start, region end, element code
+Interval = tuple[RegionCode, RegionCode, PBiCode]
 
 # node record: midpoint, left child, right child, left-list slice,
 # right-list slice (slices into the interval heap file, in records)
@@ -57,7 +61,7 @@ class IntervalTree:
     def build(
         cls,
         bufmgr: BufferManager,
-        intervals: Sequence[tuple[int, int, int]],
+        intervals: Sequence[Interval],
         name: str = "",
     ) -> "IntervalTree":
         """Bulk-build from ``(start, end, payload)`` triples."""
@@ -120,13 +124,15 @@ class IntervalTree:
         per_page = self._nodes_per_page
         for page_start in range(0, len(nodes), per_page):
             frame = self.bufmgr.new_page()
-            chunk = nodes[page_start:page_start + per_page]
-            struct.pack_into("<I", frame.data, 0, len(chunk))
-            offset = _NODE_HEADER
-            for node in chunk:
-                _NODE.pack_into(frame.data, offset, *node)
-                offset += _NODE.size
-            self.bufmgr.unpin(frame.page_id, dirty=True)
+            try:
+                chunk = nodes[page_start:page_start + per_page]
+                struct.pack_into("<I", frame.data, 0, len(chunk))
+                offset = _NODE_HEADER
+                for node in chunk:
+                    _NODE.pack_into(frame.data, offset, *node)
+                    offset += _NODE.size
+            finally:
+                self.bufmgr.unpin(frame.page_id, dirty=True)
             self._node_pages.append(frame.page_id)
 
     def _read_node(self, index: int) -> tuple:
@@ -141,7 +147,7 @@ class IntervalTree:
     # ------------------------------------------------------------------
     # query
     # ------------------------------------------------------------------
-    def stab(self, point: int) -> Iterator[tuple[int, int, int]]:
+    def stab(self, point: RegionCode) -> Iterator[Interval]:
         """Yield every interval ``(start, end, payload)`` containing ``point``."""
         if self._root == _NO_CHILD:
             return
@@ -160,7 +166,7 @@ class IntervalTree:
 
     def _scan_left_list(
         self, offset: int, length: int, point: int
-    ) -> Iterator[tuple[int, int, int]]:
+    ) -> Iterator[Interval]:
         """Scan a start-ascending list while ``start <= point``."""
         for interval in self._scan_list(offset, length):
             if interval[0] > point:
@@ -169,14 +175,14 @@ class IntervalTree:
 
     def _scan_right_list(
         self, offset: int, length: int, point: int
-    ) -> Iterator[tuple[int, int, int]]:
+    ) -> Iterator[Interval]:
         """Scan an end-descending list while ``end >= point``."""
         for interval in self._scan_list(offset, length):
             if interval[1] < point:
                 return
             yield interval
 
-    def _scan_list(self, offset: int, length: int) -> Iterator[tuple[int, int, int]]:
+    def _scan_list(self, offset: int, length: int) -> Iterator[Interval]:
         assert self._lists is not None
         heap = self._lists
         per_page = heap.capacity
@@ -186,7 +192,8 @@ class IntervalTree:
             page_index, slot = divmod(position, per_page)
             records = heap.read_page(page_index)
             take = records[slot:slot + remaining]
-            yield from take
+            # stored triples carry the build()-time domain types
+            yield from cast("list[Interval]", take)
             position += len(take)
             remaining -= len(take)
 

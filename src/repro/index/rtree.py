@@ -84,7 +84,7 @@ class Rect:
     def as_tuple(self) -> tuple[int, int, int, int]:
         return self.xmin, self.ymin, self.xmax, self.ymax
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         return (
             isinstance(other, Rect) and self.as_tuple() == other.as_tuple()
         )
@@ -166,9 +166,11 @@ class RTree:
 
     def _new_node(self, is_leaf: bool) -> _Node:
         frame = self.bufmgr.new_page()
-        self.bufmgr.unpin(frame.page_id, dirty=True)
-        self.num_nodes += 1
-        return _Node(frame.page_id, is_leaf)
+        try:
+            self.num_nodes += 1
+            return _Node(frame.page_id, is_leaf)
+        finally:
+            self.bufmgr.unpin(frame.page_id, dirty=True)
 
     # ------------------------------------------------------------------
     # STR bulk loading

@@ -28,9 +28,10 @@ benchmark compares the two.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Iterator, Sequence
+from typing import Iterator, Sequence, cast
 
 from ..core import pbitree
+from ..core.pbitree import PBiCode, RegionCode
 from ..storage.buffer import BufferManager
 from ..storage.heapfile import HeapFile
 from ..storage.record import TRIPLE
@@ -56,7 +57,7 @@ class XRTree:
     def build(
         cls,
         bufmgr: BufferManager,
-        codes: Sequence[int],
+        codes: Sequence[PBiCode],
         name: str = "",
     ) -> "XRTree":
         """Bulk-build from element codes (sorted internally)."""
@@ -113,7 +114,9 @@ class XRTree:
             page_id = node.children[lo]
 
     # ------------------------------------------------------------------
-    def stab(self, point: int) -> Iterator[tuple[int, int, int]]:
+    def stab(
+        self, point: RegionCode
+    ) -> Iterator[tuple[RegionCode, RegionCode, PBiCode]]:
         """Yield ``(start, end, code)`` of every element containing ``point``."""
         if self._btree is None or self._btree.root_page is None:
             return
@@ -126,7 +129,12 @@ class XRTree:
                 break
             stab_list = self._stab_lists.get(page_id)
             if stab_list is not None:
-                for start, end, code in stab_list.scan():
+                # stab-list heaps store (start, end, code) triples in
+                # the build()-time domains
+                for start, end, code in cast(
+                    "Iterator[tuple[RegionCode, RegionCode, PBiCode]]",
+                    stab_list.scan(),
+                ):
                     if end < point:
                         break  # list is end-descending: nothing else fits
                     if start <= point:
@@ -140,13 +148,13 @@ class XRTree:
         # de-duplicates the two sources
         upper = bisect_right(node.keys, point)
         for index in range(upper):
-            code = node.values[index]
+            code = PBiCode(node.values[index])
             end = pbitree.end_of(code)
             if end >= point and code not in reported:
-                yield node.keys[index], end, code
+                yield RegionCode(node.keys[index]), end, code
 
     # ------------------------------------------------------------------
-    def ancestors_of(self, code: int) -> list[int]:
+    def ancestors_of(self, code: PBiCode) -> list[PBiCode]:
         """All stored elements that are proper ancestors of ``code``."""
         point = pbitree.start_of(code)
         return [
@@ -155,7 +163,7 @@ class XRTree:
             if pbitree.is_ancestor(candidate, code)
         ]
 
-    def range_scan(self, lo: int, hi: int):
+    def range_scan(self, lo: int, hi: int) -> Iterator[tuple[int, int]]:
         """Delegate Start-range scans to the underlying B+-tree."""
         assert self._btree is not None
         return self._btree.range_scan(lo, hi)

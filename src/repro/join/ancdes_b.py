@@ -23,9 +23,10 @@ charged as preparation — the Section 4 experimental setting.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Iterator, Optional, cast
 
 from ..core import pbitree
+from ..core.pbitree import PBiCode, RegionCode
 from ..index.bptree import BPlusTree
 from ..storage.buffer import BufferManager
 from .base import JoinAlgorithm, JoinReport, JoinSink
@@ -43,8 +44,11 @@ class _IndexCursor:
 
     def __init__(self, index: BPlusTree) -> None:
         self.index = index
-        self._iter: Iterator[tuple[int, int]] = index.scan_all()
-        self.current: Optional[tuple[int, int]] = None
+        # a Start index stores (region start, element code) leaf entries
+        self._iter = cast(
+            "Iterator[tuple[RegionCode, PBiCode]]", index.scan_all()
+        )
+        self.current: Optional[tuple[RegionCode, PBiCode]] = None
         self.probes = 0
         self.advance()
 
@@ -54,7 +58,10 @@ class _IndexCursor:
     def skip_to(self, key: int) -> None:
         """Jump to the first entry with ``Start >= key`` (index descent)."""
         self.probes += 1
-        self._iter = self.index.range_scan(key, _MAX_KEY)
+        self._iter = cast(
+            "Iterator[tuple[RegionCode, PBiCode]]",
+            self.index.range_scan(key, _MAX_KEY),
+        )
         self.advance()
 
 
@@ -91,7 +98,7 @@ class AncDesBPlusJoin(JoinAlgorithm):
 
         a_cursor = _IndexCursor(a_index)
         d_cursor = _IndexCursor(d_index)
-        stack: list[tuple[int, int]] = []  # (end, code)
+        stack: list[tuple[RegionCode, PBiCode]] = []  # (end, code)
 
         while d_cursor.current is not None:
             if not stack and a_cursor.current is None:

@@ -14,8 +14,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
+from ..core.pbitree import PBiCode
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from ..storage.faults import StorageFault
@@ -39,14 +40,14 @@ class JoinSink:
             raise ValueError(f"unknown sink mode {mode!r}")
         self.count = 0
         self._collect = mode == "collect"
-        self.pairs: list[tuple[int, int]] = []
+        self.pairs: list[tuple[PBiCode, PBiCode]] = []
 
-    def emit(self, a_code: int, d_code: int) -> None:
+    def emit(self, a_code: PBiCode, d_code: PBiCode) -> None:
         self.count += 1
         if self._collect:
             self.pairs.append((a_code, d_code))
 
-    def emit_many(self, pairs) -> None:
+    def emit_many(self, pairs: Iterable[tuple[PBiCode, PBiCode]]) -> None:
         if self._collect:
             self.pairs.extend(pairs)
             self.count = len(self.pairs)

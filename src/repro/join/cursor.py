@@ -9,8 +9,9 @@ re-scanning cost of MPMGJN becomes visible in the I/O counters.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, cast
 
+from ..core.pbitree import PBiCode
 from ..storage.elementset import ElementSet
 from ..storage.faults import StorageFault
 
@@ -26,18 +27,21 @@ class SetCursor:
         self.elements = elements
         self._page_index = 0
         self._slot = -1
-        self._page: Optional[list[int]] = None
+        self._page: Optional[list[PBiCode]] = None
         #: code under the cursor, or None when exhausted
-        self.current: Optional[int] = None
+        self.current: Optional[PBiCode] = None
         self.advance()
 
     def _load_page(self) -> None:
         heap = self.elements.heap
         if self._page_index < heap.num_pages:
             try:
-                self._page = [
-                    record[0] for record in heap.read_page(self._page_index)
-                ]
+                # one cast per page: element-set heaps store single-code
+                # rows, so record[0] is a PBiCode by construction
+                self._page = cast(
+                    "list[PBiCode]",
+                    [record[0] for record in heap.read_page(self._page_index)],
+                )
             except StorageFault as fault:
                 # Leave the cursor in a defined (exhausted) state and
                 # fail fast — a half-loaded page must never be scanned.
@@ -51,7 +55,7 @@ class SetCursor:
         else:
             self._page = None
 
-    def advance(self) -> Optional[int]:
+    def advance(self) -> Optional[PBiCode]:
         """Move to the next code; returns it (or None at end)."""
         if self._page is None and self._page_index == 0 and self._slot == -1:
             self._load_page()  # first touch

@@ -21,13 +21,19 @@ in the join report.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core import pbitree
+from ..core.pbitree import PBiCode, RegionCode
 from ..index.bptree import BPlusTree
 from ..index.interval_tree import IntervalTree
 from ..sort.external_sort import external_sort
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from .base import JoinAlgorithm, JoinReport, JoinSink
+
+if TYPE_CHECKING:
+    from ..index.xrtree import XRTree
 
 __all__ = [
     "IndexNestedLoopJoin",
@@ -43,10 +49,11 @@ def build_start_index(
     """B+-tree on region ``Start`` (value = code), built by sort + bulk load."""
     sorted_heap = external_sort(
         elements.heap,
-        key=lambda record: pbitree.doc_order_key(record[0]),
+        key=lambda record: pbitree.doc_order_key(PBiCode(record[0])),
     )
     entries = (
-        (pbitree.start_of(record[0]), record[0]) for record in sorted_heap.scan()
+        (pbitree.start_of(PBiCode(record[0])), record[0])
+        for record in sorted_heap.scan()
     )
     index = BPlusTree.bulk_load(bufmgr, entries, name=name or f"{elements.name}.start")
     sorted_heap.destroy()
@@ -57,7 +64,7 @@ def build_interval_index(
     elements: ElementSet, bufmgr: BufferManager, name: str = ""
 ) -> IntervalTree:
     """Interval tree over the regions of an element set."""
-    intervals = []
+    intervals: list[tuple[RegionCode, RegionCode, PBiCode]] = []
     for code in elements.scan():
         start, end = pbitree.region_of(code)
         intervals.append((start, end, code))
@@ -66,7 +73,9 @@ def build_interval_index(
     )
 
 
-def build_xr_index(elements: ElementSet, bufmgr: BufferManager, name: str = ""):
+def build_xr_index(
+    elements: ElementSet, bufmgr: BufferManager, name: str = ""
+) -> XRTree:
     """XR-tree over an element set (the [8] alternative stab structure)."""
     from ..index.xrtree import XRTree
 
@@ -83,7 +92,7 @@ class IndexNestedLoopJoin(JoinAlgorithm):
     def __init__(
         self,
         d_index: BPlusTree | None = None,
-        a_index=None,
+        a_index: IntervalTree | XRTree | None = None,
         force_outer: str | None = None,
         ancestor_probe: str = "interval",
     ) -> None:
@@ -141,7 +150,8 @@ class IndexNestedLoopJoin(JoinAlgorithm):
         region_of = pbitree.region_of
         for a_code in ancestors.scan():
             start, end = region_of(a_code)
-            for _key, d_code in index.range_scan(start, end):
+            for _key, value in index.range_scan(start, end):
+                d_code = PBiCode(value)
                 if is_ancestor(a_code, d_code):
                     emit(a_code, d_code)
 

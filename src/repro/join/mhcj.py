@@ -65,9 +65,8 @@ def _join_height_class(
     through rolled records are verified against the original code and
     misses are counted in ``report.false_hits``.
     """
-    shift = height + 1
-    anc_bit = 1 << height
     height_of = pbitree.height_of
+    f_ancestor = pbitree.f_ancestor
     is_ancestor = pbitree.is_ancestor
     emit = sink.emit
 
@@ -78,7 +77,7 @@ def _join_height_class(
         code = record[0]
         if height_of(code) >= height:
             return None
-        return ((code >> shift) << shift) | anc_bit
+        return f_ancestor(code, height)
 
     def emit_pair(a_record, d_record) -> None:
         effective, original = a_record
@@ -220,7 +219,9 @@ class MultiHeightRollupJoin(JoinAlgorithm):
 
     name = "MHCJ+Rollup"
 
-    def __init__(self, strategy: str = "max", target_height: Optional[int] = None):
+    def __init__(
+        self, strategy: str = "max", target_height: Optional[int] = None
+    ) -> None:
         self.strategy = strategy
         self.target_height = target_height
 

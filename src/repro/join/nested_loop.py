@@ -16,8 +16,10 @@ block the smaller set is organised so each probe is sub-linear:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
+from typing import Iterator
 
 from ..core import pbitree
+from ..core.pbitree import Height, PBiCode
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from .base import JoinAlgorithm, JoinReport, JoinSink
@@ -46,9 +48,11 @@ class BlockNestedLoopJoin(JoinAlgorithm):
         return JoinReport(algorithm=self.name, result_count=sink.count)
 
     @staticmethod
-    def _blocks(elements: ElementSet, block_pages: int):
+    def _blocks(
+        elements: ElementSet, block_pages: int
+    ) -> "Iterator[list[PBiCode]]":
         """Yield code lists of ``block_pages`` pages at a time."""
-        block: list[int] = []
+        block: list[PBiCode] = []
         pages = 0
         for codes in elements.scan_pages():
             block.extend(codes)
@@ -62,10 +66,10 @@ class BlockNestedLoopJoin(JoinAlgorithm):
 
     @staticmethod
     def _probe_with_descendants(
-        a_block: list[int], descendants: ElementSet, sink: JoinSink
+        a_block: list[PBiCode], descendants: ElementSet, sink: JoinSink
     ) -> None:
         """A-block in memory, grouped by height; stream D."""
-        by_height: dict[int, set[int]] = {}
+        by_height: dict[Height, set[PBiCode]] = {}
         for code in a_block:
             by_height.setdefault(pbitree.height_of(code), set()).add(code)
         heights = sorted(by_height)
@@ -84,7 +88,7 @@ class BlockNestedLoopJoin(JoinAlgorithm):
 
     @staticmethod
     def _probe_with_ancestors(
-        d_block: list[int], ancestors: ElementSet, sink: JoinSink
+        d_block: list[PBiCode], ancestors: ElementSet, sink: JoinSink
     ) -> None:
         """D-block in memory, sorted by code; stream A."""
         d_block = sorted(d_block)

@@ -26,11 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..core.pbitree import Height
 from ..index.bptree import BPlusTree
 from ..index.interval_tree import IntervalTree
 from ..storage.elementset import ElementSet, SortOrder
 from .ancdes_b import AncDesBPlusJoin
-from .base import JoinAlgorithm
+from .base import JoinAlgorithm, JoinReport
 from .inljn import IndexNestedLoopJoin
 from .mhcj import MultiHeightRollupJoin
 from .shcj import SingleHeightJoin
@@ -47,7 +48,7 @@ class SetProperties:
     sorted: bool = False
     start_index: Optional[BPlusTree] = None
     interval_index: Optional[IntervalTree] = None
-    single_height: Optional[int] = None
+    single_height: Optional[Height] = None
 
     @property
     def indexed(self) -> bool:
@@ -124,7 +125,7 @@ class PBiTreeJoinFramework:
         a_props: Optional[SetProperties] = None,
         d_props: Optional[SetProperties] = None,
         collect: bool = True,
-    ):
+    ) -> tuple[JoinReport, list[tuple[int, int]]]:
         from .base import JoinSink
 
         algorithm = self.plan(ancestors, descendants, a_props, d_props)

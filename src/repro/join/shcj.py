@@ -66,15 +66,14 @@ class SingleHeightJoin(JoinAlgorithm):
         ancestors, descendants, height = prepared
         report = JoinReport(algorithm=self.name, result_count=0)
 
-        shift = height + 1
-        anc_bit = 1 << height
         height_of = pbitree.height_of
+        f_ancestor = pbitree.f_ancestor
 
         def probe_key(record: tuple[int, ...]) -> Optional[int]:
             code = record[0]
             if height_of(code) >= height:
                 return None
-            return ((code >> shift) << shift) | anc_bit  # F(code, height)
+            return f_ancestor(code, height)
 
         def build_key(record: tuple[int, ...]) -> Optional[int]:
             return record[0]

@@ -30,7 +30,13 @@ from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from .base import JoinAlgorithm, JoinReport, JoinSink
 
-__all__ = ["RTreeProbeJoin", "SynchronizedRTreeJoin", "build_point_rtree"]
+__all__ = [
+    "RTreeProbeJoin",
+    "SynchronizedRTreeJoin",
+    "build_point_rtree",
+    "point_of",
+    "probe_window",
+]
 
 
 def point_of(code: int) -> Rect:

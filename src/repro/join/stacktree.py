@@ -21,6 +21,7 @@ chain) is broken by height so ancestors are consumed first.
 from __future__ import annotations
 
 from ..core import pbitree
+from ..core.pbitree import PBiCode, RegionCode
 from ..storage.buffer import BufferManager
 from .base import JoinAlgorithm, JoinReport, JoinSink
 from .cursor import SetCursor
@@ -57,7 +58,7 @@ class StackTreeDescJoin(_StackTreeBase):
 
         a_cursor = SetCursor(sorted_a)
         d_cursor = SetCursor(sorted_d)
-        stack: list[tuple[int, int]] = []  # (end, code), top = innermost
+        stack: list[tuple[RegionCode, PBiCode]] = []  # (end, code), top = innermost
 
         while d_cursor.current is not None:
             a_code = a_cursor.current
@@ -84,11 +85,11 @@ class _AncStackEntry:
 
     __slots__ = ("code", "end", "self_list", "inherit_list")
 
-    def __init__(self, code: int, end: int) -> None:
+    def __init__(self, code: PBiCode, end: RegionCode) -> None:
         self.code = code
         self.end = end
-        self.self_list: list[int] = []
-        self.inherit_list: list[tuple[int, int]] = []
+        self.self_list: list[PBiCode] = []
+        self.inherit_list: list[tuple[PBiCode, PBiCode]] = []
 
 
 class StackTreeAncJoin(_StackTreeBase):

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..core import pbitree
+from ..core.pbitree import Height, PBiCode
 from ..storage.elementset import ElementSet
 
 __all__ = ["SetStatistics", "estimate_join_cardinality", "NUM_SLICES"]
@@ -41,7 +42,7 @@ class SetStatistics:
     and optionally a positional (height, slice) histogram."""
 
     count: int = 0
-    height_counts: dict[int, int] = field(default_factory=dict)
+    height_counts: dict[Height, int] = field(default_factory=dict)
     min_code: int = 0
     max_code: int = 0
     tree_height: Optional[int] = None
@@ -50,16 +51,17 @@ class SetStatistics:
 
     @classmethod
     def from_codes(
-        cls, codes: Iterable[int], tree_height: Optional[int] = None
+        cls, codes: Iterable[PBiCode], tree_height: Optional[int] = None
     ) -> "SetStatistics":
         stats = cls(tree_height=tree_height)
         height_of = pbitree.height_of
+        space_slice = pbitree.coding_space_slice
         slice_shift = None
         if tree_height is not None:
             slice_shift = max(0, tree_height - NUM_SLICES.bit_length() + 1)
         lo = None
         hi = 0
-        counts: dict[int, int] = {}
+        counts: dict[Height, int] = {}
         positions: dict[tuple[int, int], int] = {}
         n = 0
         for code in codes:
@@ -71,7 +73,7 @@ class SetStatistics:
             if code > hi:
                 hi = code
             if slice_shift is not None:
-                key = (height, code >> slice_shift)
+                key = (height, space_slice(code, slice_shift))
                 positions[key] = positions.get(key, 0) + 1
         stats.count = n
         stats.height_counts = counts
@@ -86,7 +88,7 @@ class SetStatistics:
 
     # ------------------------------------------------------------------
     @property
-    def heights(self) -> list[int]:
+    def heights(self) -> list[Height]:
         return sorted(self.height_counts)
 
     @property

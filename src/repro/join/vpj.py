@@ -366,9 +366,11 @@ class VerticalPartitionJoin(JoinAlgorithm):
                 anchors.start, anchors.step, len(anchors),
             )
         else:
-            # degenerate branch point: divide the whole level
-            span_start = (1 << anchor_height)
-            span_step = 1 << (anchor_height + 1)
+            # degenerate branch point: divide the whole level.  The
+            # first code at the anchor height is F(1, h), and codes of
+            # one height are spaced twice that far apart (Lemma 2)
+            span_start = pbitree.f_ancestor(pbitree.PBiCode(1), anchor_height)
+            span_step = 2 * span_start
             span_len = max(1, num_buckets)
 
         def bucket_of(anchor: int) -> int:

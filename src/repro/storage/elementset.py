@@ -9,9 +9,11 @@ tree by tag.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Iterable, Iterator, Optional, cast
 
 from ..core import pbitree
+from ..core.pbitree import Height, PBiCode
+from ..datatree.node import DataTree
 from .buffer import BufferManager
 from .heapfile import HeapFile
 from .record import CODE
@@ -55,7 +57,7 @@ class ElementSet:
     def from_codes(
         cls,
         bufmgr: BufferManager,
-        codes: Iterable[int],
+        codes: Iterable[PBiCode],
         tree_height: int,
         name: str = "",
         sorted_by: Optional[str] = SortOrder.NONE,
@@ -68,9 +70,9 @@ class ElementSet:
                 "storage code space (Section 2.3.3: pathologically deep trees "
                 "need a wider record format)"
             )
-        heights: set[int] = set()
+        heights: set[Height] = set()
 
-        def records():
+        def records() -> Iterator[tuple[int]]:
             for code in codes:
                 heights.add(pbitree.height_of(code))
                 yield (code,)
@@ -88,7 +90,7 @@ class ElementSet:
     def from_tree_tag(
         cls,
         bufmgr: BufferManager,
-        tree,
+        tree: DataTree,
         tag: str,
         tree_height: int,
         name: str = "",
@@ -116,24 +118,26 @@ class ElementSet:
     def __len__(self) -> int:
         return self.heap.num_records
 
-    def scan(self) -> Iterator[int]:
+    def scan(self) -> Iterator[PBiCode]:
         """Yield codes in file order (sequential page reads)."""
-        for record in self.heap.scan():
-            yield record[0]
+        for page in self.scan_pages():
+            yield from page
 
-    def scan_pages(self) -> Iterator[list[int]]:
+    def scan_pages(self) -> Iterator[list[PBiCode]]:
         """Yield the code list of each page."""
         for records in self.heap.scan_pages():
-            yield [record[0] for record in records]
+            # one cast per page, not one constructor per record: stored
+            # codes are PBiCode by the from_codes invariant
+            yield cast("list[PBiCode]", [record[0] for record in records])
 
-    def to_list(self) -> list[int]:
+    def to_list(self) -> list[PBiCode]:
         return list(self.scan())
 
     # ------------------------------------------------------------------
-    def heights(self) -> set[int]:
+    def heights(self) -> set[Height]:
         """Distinct node heights present (catalog statistic, or one scan)."""
         if self.known_heights is not None:
-            return set(self.known_heights)
+            return {Height(h) for h in self.known_heights}
         return {pbitree.height_of(code) for code in self.scan()}
 
     def sorted_copy(self, order: str = SortOrder.START) -> "ElementSet":

@@ -245,7 +245,9 @@ class FaultInjector:
     page operations — which the deterministic join algorithms provide).
     """
 
-    def __init__(self, config: Optional[FaultConfig] = None, **rates) -> None:
+    def __init__(
+        self, config: Optional[FaultConfig] = None, **rates: float
+    ) -> None:
         """Pass a :class:`FaultConfig`, or its fields as keyword args."""
         if config is not None and rates:
             raise ValueError("pass a FaultConfig or keyword rates, not both")

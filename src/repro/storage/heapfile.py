@@ -155,15 +155,23 @@ class HeapFileWriter:
         if resume and heap.page_ids:
             page_id = heap.page_ids[-1]
             frame = heap.bufmgr.pin(page_id)
-            count = page_layout.get_record_count(frame.data)
-            if count < heap.capacity:
-                self._frame = frame
-                self._count = count
-                self._offset = (
-                    page_layout.PAGE_HEADER_SIZE + count * heap.codec.record_size
-                )
-            else:
-                heap.bufmgr.unpin(page_id)
+            adopted = False
+            try:
+                count = page_layout.get_record_count(frame.data)
+                if count < heap.capacity:
+                    self._frame = frame
+                    self._count = count
+                    self._offset = (
+                        page_layout.PAGE_HEADER_SIZE
+                        + count * heap.codec.record_size
+                    )
+                    adopted = True
+            finally:
+                # the frame either became self._frame (released by
+                # close/_finish_page) or must go back now — including
+                # when reading the count itself faults
+                if not adopted:
+                    heap.bufmgr.unpin(page_id)
 
     def append(self, record: Sequence[int]) -> None:
         if self._closed:
@@ -177,8 +185,12 @@ class HeapFileWriter:
                 prev = heap.page_ids[-1]
                 if heap.bufmgr.is_resident(prev):
                     prev_frame = heap.bufmgr.pin(prev)
-                    page_layout.set_next_page(prev_frame.data, self._frame.page_id)
-                    heap.bufmgr.unpin(prev, dirty=True)
+                    try:
+                        page_layout.set_next_page(
+                            prev_frame.data, self._frame.page_id
+                        )
+                    finally:
+                        heap.bufmgr.unpin(prev, dirty=True)
             heap.page_ids.append(self._frame.page_id)
             self._count = 0
             self._offset = page_layout.PAGE_HEADER_SIZE
@@ -202,5 +214,5 @@ class HeapFileWriter:
     def __enter__(self) -> "HeapFileWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

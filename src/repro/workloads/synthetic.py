@@ -38,6 +38,7 @@ __all__ = [
     "single_height_specs",
     "multi_height_specs",
     "spec_by_name",
+    "count_results",
     "HIGH_MATCH_FRACTION",
     "LOW_MATCH_FRACTION",
 ]

@@ -24,7 +24,13 @@ from dataclasses import dataclass
 from ..datatree.node import DataTree
 from .dblp import JoinSpec
 
-__all__ = ["generate_tree", "TEXT_JOINS", "TermQuery", "default_term_queries"]
+__all__ = [
+    "generate_tree",
+    "TEXT_JOINS",
+    "TermQuery",
+    "default_term_queries",
+    "term_codes",
+]
 
 _VOCABULARY_SIZE = 200
 

@@ -1,0 +1,26 @@
+"""Annotation gaps; line numbers asserted by test_analysis."""
+
+
+def no_annotations(code, height):  # line 4: flagged
+    return code + height
+
+
+def partial(code: int, height) -> int:  # line 8: flagged (height only)
+    return code + height
+
+
+class PublicThing:
+    def method(self, code):  # line 13: flagged
+        return code
+
+    def _internal(self, code):  # private: exempt
+        return code
+
+
+class _PrivateThing:
+    def method(self, code):  # private class: exempt
+        return code
+
+
+def fully_typed(code: int, height: int) -> int:
+    return code + height

@@ -1,0 +1,21 @@
+"""Known-bad code-domain patterns; line numbers asserted by test_analysis."""
+
+
+def hand_rolled_f(code, height):
+    shift = height + 1
+    return ((code >> shift) << shift) | (1 << height)  # line 6: flagged
+
+
+def hand_rolled_region(code, height):
+    half = (1 << height) - 1
+    start_code = code - half
+    start_code &= ~1  # line 12: flagged (augmented form)
+    return start_code
+
+
+def trailing_zero_trick(code):
+    return (code & -code).bit_length() - 1  # line 17: flagged
+
+
+def prefix_by_shift(prefix_code, height):
+    return prefix_code >> height  # line 21: flagged

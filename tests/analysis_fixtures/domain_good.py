@@ -1,0 +1,16 @@
+"""Bit arithmetic that must NOT be flagged outside core/."""
+
+
+def non_code_bit_ops(value, k):
+    # hash mixing and size arithmetic on non-code values is fine
+    mixed = (value * 0x9E3779B97F4A7C15 >> 32) % k
+    mask = (1 << 16) - 1
+    return mixed & mask
+
+
+def page_math(span_size, height):
+    return span_size >> (height + 1)
+
+
+def suppressed_code_op(code):
+    return code >> 3  # repro: allow[code-domain]

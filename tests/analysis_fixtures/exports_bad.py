@@ -1,0 +1,15 @@
+"""__all__ disagreements; line numbers asserted by test_analysis."""
+
+__all__ = ["declared_fn", "ghost_name"]  # line 3: ghost_name flagged
+
+
+def declared_fn():
+    return 1
+
+
+def undeclared_fn():  # line 10: flagged — public but not exported
+    return 2
+
+
+def _private_fn():
+    return 3

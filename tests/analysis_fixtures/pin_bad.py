@@ -1,0 +1,31 @@
+"""Known-bad pin patterns; line numbers are asserted by test_analysis."""
+
+
+def leak_on_fault(bufmgr, page_id):
+    frame = bufmgr.pin(page_id)  # line 5: flagged — no guard at all
+    value = frame.data[0]
+    bufmgr.unpin(page_id)
+    return value
+
+
+def leak_new_page(pool):
+    frame = pool.new_page()  # line 12: flagged — straight-line unpin only
+    frame.data[0] = 1
+    pool.unpin(frame.page_id, dirty=True)
+    return frame.page_id
+
+
+def leak_in_loop(heap):
+    total = 0
+    for page_id in heap.page_ids:
+        frame = heap.bufmgr.pin(page_id)  # line 21: flagged
+        total += frame.data[0]
+        heap.bufmgr.unpin(page_id)
+    return total
+
+
+def leak_conditional_unpin(bufmgr, page_id, keep):
+    frame = bufmgr.pin(page_id)  # line 28: flagged — unpin not on all paths
+    if not keep:
+        bufmgr.unpin(page_id)
+    return frame

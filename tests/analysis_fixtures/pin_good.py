@@ -1,0 +1,53 @@
+"""Known-good pin patterns: none of these may be flagged."""
+
+
+def guarded_by_finally(bufmgr, page_id):
+    frame = bufmgr.pin(page_id)
+    try:
+        return frame.data[0]
+    finally:
+        bufmgr.unpin(page_id)
+
+
+def guarded_with_reraise_wrapper(bufmgr, page_id):
+    # the idiomatic heapfile shape: pin inside a fault-annotating
+    # try/except-raise, the release in a following try/finally
+    try:
+        frame = bufmgr.pin(page_id)
+    except OSError:
+        raise
+    try:
+        return frame.data[0]
+    finally:
+        bufmgr.unpin(page_id)
+
+
+def guarded_with_statement(bufmgr, page_id):
+    with bufmgr.pin(page_id) as frame:
+        return frame.data[0]
+
+
+class Writer:
+    def adopt(self, bufmgr):
+        # ownership escape: the attribute holder releases it in close()
+        self._frame = bufmgr.new_page()
+
+    def close(self, bufmgr):
+        bufmgr.unpin(self._frame.page_id, dirty=True)
+
+
+def pin_inside_guarded_try(bufmgr, page_ids):
+    total = 0
+    try:
+        for page_id in page_ids:
+            frame = bufmgr.pin(page_id)
+            total += frame.data[0]
+    finally:
+        for page_id in page_ids:
+            bufmgr.unpin(page_id)
+    return total
+
+
+def suppressed_deliberately(bufmgr, page_id):
+    frame = bufmgr.pin(page_id)  # repro: allow[pin-discipline]
+    return frame

@@ -1,0 +1,33 @@
+"""Domain-type misuse that mypy --strict must reject.
+
+Runtime-valid (NewTypes erase to int) but each marked line confuses two
+code domains.  test_analysis runs mypy over this file, when available,
+and asserts it reports errors.
+"""
+
+from repro.core.pbitree import (
+    Height,
+    PBiCode,
+    RegionCode,
+    f_ancestor,
+    height_of,
+    region_of,
+)
+
+
+def pass_region_as_code(code: PBiCode) -> Height:
+    start, end = region_of(code)
+    return height_of(start)  # error: RegionCode is not PBiCode
+
+
+def pass_raw_int_as_code() -> Height:
+    return height_of(12)  # error: int is not PBiCode
+
+
+def swap_argument_order(code: PBiCode) -> PBiCode:
+    h = height_of(code)
+    return f_ancestor(h, code)  # error: arguments transposed
+
+
+def return_wrong_domain(code: PBiCode) -> RegionCode:
+    return code  # error: PBiCode is not RegionCode

@@ -1,0 +1,247 @@
+"""Tests for the repro.analysis invariant checker suite.
+
+The pin-discipline, code-domain, and annotations checkers deliberately
+skip files that live under a ``tests`` directory, so the known-bad
+fixtures are copied into a neutral temporary project before checking.
+The exports checker runs everywhere and is exercised in place.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_checkers, run_checks
+from repro.analysis.__main__ import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+
+def checkers_named(*names: str):
+    picked = [checker for checker in all_checkers() if checker.name in names]
+    assert len(picked) == len(names)
+    return picked
+
+
+def copy_fixtures(tmp_path: Path, *names: str) -> Path:
+    """Copy fixtures into a directory whose path triggers no exemptions."""
+    proj = tmp_path / "proj"
+    proj.mkdir(exist_ok=True)
+    for name in names:
+        shutil.copy(FIXTURES / name, proj / name)
+    return proj
+
+
+def locations(findings, checker: str) -> set[tuple[int, int]]:
+    return {(f.line, f.col) for f in findings if f.checker == checker}
+
+
+# ---------------------------------------------------------------------------
+# pin-discipline
+
+
+def test_pin_bad_exact_locations(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "pin_bad.py")
+    findings, errors = run_checks([proj], checkers_named("pin-discipline"))
+    assert not errors
+    assert locations(findings, "pin-discipline") == {
+        (5, 12),
+        (12, 12),
+        (21, 16),
+        (28, 12),
+    }
+
+
+def test_pin_good_is_clean(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "pin_good.py")
+    findings, errors = run_checks([proj], checkers_named("pin-discipline"))
+    assert not errors
+    assert findings == []
+
+
+def test_pin_checker_skips_test_files(tmp_path: Path) -> None:
+    nested = tmp_path / "tests"
+    nested.mkdir()
+    shutil.copy(FIXTURES / "pin_bad.py", nested / "pin_bad.py")
+    findings, _ = run_checks([nested], checkers_named("pin-discipline"))
+    assert findings == []
+
+
+def test_pin_regression_pr1_new_node_shape(tmp_path: Path) -> None:
+    # The pre-fix _new_node from the B+-tree: new_page pinned, counter
+    # bumped, frame returned with the unpin on the straight-line path
+    # only.  The checker must flag the new_page call.
+    source = (
+        "class Tree:\n"
+        "    def _new_node(self, is_leaf):\n"
+        "        frame = self.bufmgr.new_page()\n"
+        "        self.num_nodes += 1\n"
+        "        node = (frame.page_id, is_leaf)\n"
+        "        self.bufmgr.unpin(frame.page_id, dirty=True)\n"
+        "        return node\n"
+    )
+    path = tmp_path / "regress.py"
+    path.write_text(source)
+    findings, errors = run_checks([path], checkers_named("pin-discipline"))
+    assert not errors
+    assert len(findings) == 1
+    assert (findings[0].line, findings[0].col) == (3, 16)
+
+
+# ---------------------------------------------------------------------------
+# code-domain
+
+
+def test_domain_bad_exact_lines(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "domain_bad.py")
+    findings, errors = run_checks([proj], checkers_named("code-domain"))
+    assert not errors
+    assert {f.line for f in findings} == {6, 12, 17, 21}
+
+
+def test_domain_good_is_clean(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "domain_good.py")
+    findings, errors = run_checks([proj], checkers_named("code-domain"))
+    assert not errors
+    assert findings == []
+
+
+def test_domain_checker_exempts_core(tmp_path: Path) -> None:
+    core = tmp_path / "repro" / "core"
+    core.mkdir(parents=True)
+    shutil.copy(FIXTURES / "domain_bad.py", core / "pbitree_impl.py")
+    findings, _ = run_checks([core], checkers_named("code-domain"))
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# exports (runs on test files too, so no copy needed)
+
+
+def test_exports_bad_exact_locations() -> None:
+    findings, errors = run_checks(
+        [FIXTURES / "exports_bad.py"], checkers_named("exports")
+    )
+    assert not errors
+    assert {(f.line, f.checker) for f in findings} == {
+        (3, "exports"),
+        (10, "exports"),
+    }
+    messages = sorted(f.message for f in findings)
+    assert "ghost_name" in messages[0]
+    assert "undeclared_fn" in messages[1]
+
+
+# ---------------------------------------------------------------------------
+# annotations
+
+
+def test_annotations_bad_exact_lines(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "annotations_bad.py")
+    findings, errors = run_checks([proj], checkers_named("annotations"))
+    assert not errors
+    assert {f.line for f in findings} == {4, 8, 13}
+    partial = next(f for f in findings if f.line == 8)
+    assert "height" in partial.message
+    assert "code" not in partial.message.split(":")[-1]
+
+
+# ---------------------------------------------------------------------------
+# suppression comments
+
+
+def test_wildcard_suppression(tmp_path: Path) -> None:
+    path = tmp_path / "wild.py"
+    path.write_text(
+        "def f(bufmgr, page_id, code):\n"
+        "    frame = bufmgr.pin(page_id)  # repro: allow[*]\n"
+        "    return frame, code >> 1  # repro: allow[code-domain]\n"
+    )
+    findings, errors = run_checks(
+        [path], checkers_named("pin-discipline", "code-domain")
+    )
+    assert not errors
+    assert findings == []
+
+
+def test_suppression_is_line_scoped(tmp_path: Path) -> None:
+    path = tmp_path / "scoped.py"
+    path.write_text(
+        "def f(bufmgr, a, b):  # repro: allow[pin-discipline]\n"
+        "    frame = bufmgr.pin(a)\n"
+        "    return frame\n"
+    )
+    findings, _ = run_checks([path], checkers_named("pin-discipline"))
+    assert len(findings) == 1
+    assert findings[0].line == 2
+
+
+# ---------------------------------------------------------------------------
+# the real tree must be clean
+
+
+def test_src_tree_has_no_findings() -> None:
+    findings, errors = run_checks([REPO_ROOT / "src"], all_checkers())
+    assert errors == []
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_clean_tree_exits_zero(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "pin_good.py", "domain_good.py")
+    argv = ["--checker", "pin-discipline", "--checker", "code-domain", str(proj)]
+    assert main(argv) == 0
+
+
+def test_cli_findings_exit_one(tmp_path: Path, capsys: pytest.CaptureFixture) -> None:
+    proj = copy_fixtures(tmp_path, "pin_bad.py")
+    assert main(["--checker", "pin-discipline", str(proj)]) == 1
+    captured = capsys.readouterr()
+    assert "pin_bad.py:5:12" in captured.out
+    assert "4 findings" in captured.err
+
+
+def test_cli_missing_path_exits_two(tmp_path: Path) -> None:
+    assert main([str(tmp_path / "does-not-exist")]) == 2
+
+
+def test_cli_unknown_checker_exits_two(tmp_path: Path) -> None:
+    assert main(["--checker", "nonsense", str(tmp_path)]) == 2
+
+
+def test_cli_parse_error_exits_two(tmp_path: Path, capsys: pytest.CaptureFixture) -> None:
+    bad = tmp_path / "broken.py"
+    bad.write_text("def oops(:\n")
+    assert main([str(bad)]) == 2
+    assert "broken.py" in capsys.readouterr().err
+
+
+def test_cli_list_checkers(capsys: pytest.CaptureFixture) -> None:
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("pin-discipline", "code-domain", "exports", "annotations"):
+        assert name in out
+
+
+# ---------------------------------------------------------------------------
+# mypy gate (only when the tool is available; the container may not have it)
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_rejects_domain_misuse() -> None:
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", str(FIXTURES / "typing_misuse.py")],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode != 0
+    assert result.stdout.count("error:") >= 3
