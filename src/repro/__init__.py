@@ -47,7 +47,9 @@ from .join.spatial import RTreeProbeJoin, SynchronizedRTreeJoin
 from .join.statistics import SetStatistics, estimate_join_cardinality
 from .join.vpj import VerticalPartitionJoin
 from .join.xrstack import XRStackJoin
-from .storage.buffer import BufferManager
+from .obs.metrics import MetricsRegistry
+from .obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from .storage.buffer import BufferManager, BufferPoolExhaustedError
 from .storage.disk import DiskManager, PageCorruptionError, PageNotAllocatedError
 from .storage.elementset import ElementSet, SortOrder
 from .storage.faults import (
@@ -101,6 +103,12 @@ __all__ = [
     "SynchronizedRTreeJoin",
     "SetStatistics",
     "estimate_join_cardinality",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "MetricsRegistry",
+    "BufferPoolExhaustedError",
     "PageCorruptionError",
     "PageNotAllocatedError",
     "FaultConfig",

@@ -9,7 +9,14 @@ Commands:
 * ``save FILE.xml IMAGE`` — encode and persist element sets to a
   disk image;
 * ``image-query IMAGE //a//b`` — run a path query against a saved
-  image (no XML parsing, pure storage-engine work).
+  image (no XML parsing, pure storage-engine work);
+* ``bench`` — run an algorithm line-up over a synthetic Table-2
+  dataset and (optionally) emit a ``BENCH_*.json`` summary.
+
+Global observability flags (before the command): ``--trace`` prints the
+span-tree cost breakdown, ``--trace-out FILE`` dumps it as JSON lines,
+``--metrics-out FILE`` writes the metrics registry, e.g.
+``python -m repro --trace bench --algorithms VPJ``.
 """
 
 from __future__ import annotations
@@ -30,7 +37,38 @@ __all__ = [
     "cmd_stats",
     "cmd_save",
     "cmd_image_query",
+    "cmd_bench",
 ]
+
+
+def _make_tracer(args: argparse.Namespace):
+    """A live Tracer when any tracing flag is set, else None."""
+    if args.trace or args.trace_out:
+        from .obs.tracer import Tracer
+
+        return Tracer()
+    return None
+
+
+def _emit_observability(args: argparse.Namespace, tracer, metrics) -> None:
+    """Print/write whatever the global observability flags asked for."""
+    if tracer is not None and args.trace:
+        from .obs.export import format_span_tree
+
+        print(file=sys.stderr)
+        print(format_span_tree(tracer), file=sys.stderr)
+    if tracer is not None and args.trace_out:
+        from .obs.export import write_trace_jsonl
+
+        write_trace_jsonl(tracer, args.trace_out)
+        print(f"# wrote trace to {args.trace_out}", file=sys.stderr)
+    if metrics is not None and args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(metrics.as_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
 
 
 def _load(path: str):
@@ -73,11 +111,17 @@ def _fault_injector(args: argparse.Namespace):
 
 
 def cmd_query(args: argparse.Namespace) -> int:
+    from .obs.metrics import MetricsRegistry
+
     faults = _fault_injector(args)
+    tracer = _make_tracer(args)
+    metrics = MetricsRegistry() if args.metrics_out else None
     db = ContainmentDatabase(
         buffer_pages=args.buffer_pages,
         optimizer="cost" if args.cost_based else "rule",
         faults=faults,
+        tracer=tracer,
+        metrics=metrics,
     )
     doc = db.load_tree(_load(args.file), name=args.file)
     result = db.query(doc, args.path)
@@ -100,6 +144,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             f"retries={io.retries}, giveups={io.giveups}",
             file=sys.stderr,
         )
+    _emit_observability(args, tracer, metrics)
     return 0
 
 
@@ -188,10 +233,97 @@ def cmd_image_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments.harness import (
+        REGION_ALGORITHMS,
+        make_lineup,
+        run_lineup,
+    )
+    from .obs.export import bench_summary, write_bench_summary
+    from .obs.metrics import MetricsRegistry
+    from .workloads.synthetic import generate, spec_by_name
+
+    try:
+        spec = spec_by_name(args.dataset, large=args.large, small=args.small)
+    except KeyError:
+        print(f"error: unknown dataset {args.dataset!r}", file=sys.stderr)
+        return 1
+    data = generate(spec, seed=args.seed)
+    if args.algorithms:
+        algorithms = [
+            name.strip() for name in args.algorithms.split(",") if name.strip()
+        ]
+    else:
+        algorithms = make_lineup(single_height=not spec.multi_height)
+
+    tracer = _make_tracer(args)
+    metrics = MetricsRegistry()
+    lineup = run_lineup(
+        args.dataset,
+        data.a_codes,
+        data.d_codes,
+        data.tree_height,
+        buffer_pages=args.buffer_pages,
+        algorithms=algorithms,
+        tracer=tracer,
+        metrics=metrics,
+    )
+
+    have_baseline = any(
+        result.name in REGION_ALGORITHMS for result in lineup.results
+    )
+    print(
+        f"{'algorithm':<12} {'io':>8} {'reads':>8} {'writes':>8} "
+        f"{'rand':>8} {'wall_ms':>9}" + ("  speedup" if have_baseline else "")
+    )
+    for result in lineup.results:
+        total = result.report.total_io
+        line = (
+            f"{result.name:<12} {total.total:>8} {total.reads:>8} "
+            f"{total.writes:>8} {total.random_reads:>8} "
+            f"{result.report.wall_seconds * 1000.0:>9.2f}"
+        )
+        if have_baseline:
+            line += f"  {lineup.speedup(result.name):.2f}x"
+        print(line)
+    print(
+        f"# dataset {args.dataset}: |A|={len(data.a_codes)} "
+        f"|D|={len(data.d_codes)} H={data.tree_height} "
+        f"results={lineup.result_count}",
+        file=sys.stderr,
+    )
+
+    _emit_observability(args, tracer, metrics)
+    if args.bench_out:
+        summary = bench_summary(
+            f"bench-{args.dataset}",
+            [
+                (result.name, args.dataset, result.report)
+                for result in lineup.results
+            ],
+            metrics=metrics.as_dict(),
+        )
+        write_bench_summary(summary, args.bench_out)
+        print(f"# wrote {args.bench_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PBiTree containment-join toolkit (ICDE 2003 reproduction)",
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="collect a span tree and print the per-phase cost table",
+    )
+    parser.add_argument(
+        "--trace-out", default="",
+        help="write the span tree as JSON lines to this file",
+    )
+    parser.add_argument(
+        "--metrics-out", default="",
+        help="write the metrics registry as JSON to this file",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -245,6 +377,33 @@ def main(argv: list[str] | None = None) -> int:
     imq.add_argument("path")
     imq.add_argument("--buffer-pages", type=int, default=64)
     imq.set_defaults(func=cmd_image_query)
+
+    bch = sub.add_parser(
+        "bench", help="run an algorithm line-up over a synthetic dataset"
+    )
+    bch.add_argument(
+        "--dataset", default="MSSL",
+        help="Table-2 dataset shorthand (e.g. SLSL, SSSL, MSSL)",
+    )
+    bch.add_argument(
+        "--large", type=int, default=5_000,
+        help="element count of a 'large' set (paper: 50000)",
+    )
+    bch.add_argument(
+        "--small", type=int, default=500,
+        help="element count of a 'small' set",
+    )
+    bch.add_argument("--buffer-pages", type=int, default=50)
+    bch.add_argument("--seed", type=int, default=0)
+    bch.add_argument(
+        "--algorithms", default="",
+        help="comma-separated algorithm names (default: the Figure-6 line-up)",
+    )
+    bch.add_argument(
+        "--bench-out", default="",
+        help="write a schema-checked BENCH_*.json summary to this file",
+    )
+    bch.set_defaults(func=cmd_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

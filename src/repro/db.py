@@ -38,6 +38,8 @@ from .join.inljn import build_interval_index, build_start_index
 from .join.optimizer import CostBasedOptimizer
 from .join.planner import PBiTreeJoinFramework, SetProperties
 from .join.spatial import build_point_rtree
+from .obs.metrics import MetricsRegistry
+from .obs.tracer import NULL_TRACER, Tracer
 from .storage.buffer import BufferManager
 from .storage.disk import DiskManager
 from .storage.elementset import ElementSet
@@ -99,6 +101,8 @@ class ContainmentDatabase:
         faults: "FaultInjector | FaultConfig | None" = None,
         retry: Optional[RetryPolicy] = None,
         checksums: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """``optimizer`` selects the default planning mode: ``"rule"``
         (the paper's Table 1) or ``"cost"`` (the Section 6 cost-based
@@ -109,6 +113,11 @@ class ContainmentDatabase:
         ``retry`` tunes the buffer pool's transient-fault retry policy.
         ``checksums`` defaults to on whenever faults are injected, so
         torn pages are detected rather than silently returned.
+
+        ``tracer`` threads a span tree through every query's joins;
+        ``metrics`` attaches live disk counters and accumulates one
+        set of join counters per executed operator.  Both default to
+        disabled (no overhead).
         """
         if optimizer not in ("rule", "cost"):
             raise ValueError(f"unknown optimizer mode {optimizer!r}")
@@ -118,6 +127,11 @@ class ContainmentDatabase:
             checksums = faults is not None
         self.disk = DiskManager(page_size, checksums=checksums, faults=faults)
         self.bufmgr = BufferManager(self.disk, buffer_pages, policy, retry=retry)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(self.bufmgr)
+        self.metrics = metrics
+        if metrics is not None:
+            metrics.attach_disk(self.disk)
         self.optimizer_mode = optimizer
         self._framework = PBiTreeJoinFramework()
         self._cost_optimizer = CostBasedOptimizer()
@@ -249,9 +263,17 @@ class ContainmentDatabase:
             )
 
         pipeline = PathPipeline(
-            self.bufmgr, algorithm_factory=factory, direction=direction
+            self.bufmgr,
+            algorithm_factory=factory,
+            direction=direction,
+            tracer=self.tracer,
         )
-        result = pipeline.execute(steps)
+        with self.tracer.span("query", path=path):
+            result = pipeline.execute(steps)
+        if self.metrics is not None:
+            for report in result.reports:
+                self.metrics.record_report(report, dataset=document.name)
+            self.metrics.record_buffer(self.bufmgr)
         return QueryResult(
             nodes=self._decode(document, result.codes),
             reports=result.reports,
@@ -281,7 +303,10 @@ class ContainmentDatabase:
             )
             sink = JoinSink("collect")
             algorithm = self._plan(document, a_set, None, d_set, None)
-            reports.append(algorithm.run(a_set, d_set, sink))
+            report = algorithm.run(a_set, d_set, sink, tracer=self.tracer)
+            reports.append(report)
+            if self.metrics is not None:
+                self.metrics.record_report(report, dataset=document.name)
             a_set.destroy()
             d_set.destroy()
             return sink.pairs

@@ -33,6 +33,8 @@ from ..join.mhcj import MultiHeightRollupJoin
 from ..join.shcj import SingleHeightJoin
 from ..join.stacktree import StackTreeDescJoin
 from ..join.vpj import VerticalPartitionJoin
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
 from ..storage.buffer import BufferManager
 from ..storage.disk import DiskManager
 from ..storage.elementset import ElementSet
@@ -123,6 +125,7 @@ def run_algorithm(
     ancestors: ElementSet,
     descendants: ElementSet,
     sink: Optional[JoinSink] = None,
+    tracer: Optional[Tracer] = None,
 ) -> JoinReport:
     """Run one operator against cold inputs.
 
@@ -139,7 +142,9 @@ def run_algorithm(
     bufmgr.flush_all()
     bufmgr.evict_all()
     bufmgr.disk.stats.reset()
-    return algorithm.run(ancestors, descendants, sink or JoinSink("count"))
+    return algorithm.run(
+        ancestors, descendants, sink or JoinSink("count"), tracer=tracer
+    )
 
 
 @dataclass
@@ -188,17 +193,39 @@ class LineupResult:
         )
 
     def improvement_ratio(self, name: str) -> float:
-        """``(T_MIN_RGN - T_alg) / T_MIN_RGN`` on the I/O cost metric."""
+        """``(T_MIN_RGN - T_alg) / T_MIN_RGN`` on the I/O cost metric.
+
+        Degenerate baselines are made explicit instead of silently
+        clamped: a 0-I/O baseline against a 0-I/O algorithm is a tie
+        (0.0); against an algorithm that *did* pay I/O the improvement
+        is ``-inf`` (infinitely worse than free), never the old 0.0
+        that made a regression look like parity.
+        """
         min_rgn = self.min_rgn_io
+        alg = self.by_name(name).total_io
         if min_rgn == 0:
-            return 0.0
-        return (min_rgn - self.by_name(name).total_io) / min_rgn
+            return 0.0 if alg == 0 else float("-inf")
+        return (min_rgn - alg) / min_rgn
 
     def speedup(self, name: str) -> float:
+        """``T_MIN_RGN / T_alg`` on I/O; 0/0 is a tie (1.0), not inf."""
         alg = self.by_name(name).total_io
         if alg == 0:
-            return float("inf")
+            return 1.0 if self.min_rgn_io == 0 else float("inf")
         return self.min_rgn_io / alg
+
+    def wall_speedup(self, name: str) -> float:
+        """``T_MIN_RGN / T_alg`` on wall time, safe for sub-tick runs.
+
+        Tiny inputs can finish inside one timer tick on either side;
+        0/0 reports a tie (1.0) and only a genuinely free algorithm
+        against a non-free baseline reports ``inf``.
+        """
+        alg = self.by_name(name).wall_seconds
+        baseline = self.min_rgn_seconds
+        if alg <= 0.0:
+            return 1.0 if baseline <= 0.0 else float("inf")
+        return baseline / alg
 
 
 def run_lineup(
@@ -213,6 +240,8 @@ def run_lineup(
     collect: bool = False,
     faults: "FaultInjector | FaultConfig | None" = None,
     retry: Optional[RetryPolicy] = None,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> LineupResult:
     """Run the standard line-up over one dataset, each algorithm cold.
 
@@ -221,6 +250,11 @@ def run_lineup(
     unchanged (they are still cross-checked against each other), while
     a permanent fault aborts the line-up with a typed
     :class:`StorageFault` — never a silently wrong comparison.
+
+    ``tracer`` collects one ``join.<name>`` span tree per algorithm;
+    ``metrics`` accumulates per-algorithm counters (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.record_report`) plus the
+    final buffer-pool and fault gauges.
     """
     if algorithms is None:
         if single_height is None:
@@ -236,9 +270,17 @@ def run_lineup(
     for name in algorithms:
         algorithm = make_algorithm(name)
         sink = JoinSink("collect") if collect else None
-        report = run_algorithm(algorithm, ancestors, descendants, sink)
+        report = run_algorithm(
+            algorithm, ancestors, descendants, sink, tracer=tracer
+        )
         lineup.results.append(AlgorithmResult(name=name, report=report))
         counts.add(report.result_count)
+        if metrics is not None:
+            metrics.record_report(report, dataset=dataset_name)
+    if metrics is not None:
+        metrics.record_buffer(bench.bufmgr)
+        if bench.disk.faults is not None:
+            metrics.record_fault_stats(bench.disk.faults.stats)
     if len(counts) != 1:
         raise AssertionError(
             f"algorithms disagree on {dataset_name}: "

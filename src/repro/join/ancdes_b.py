@@ -83,10 +83,12 @@ class AncDesBPlusJoin(JoinAlgorithm):
         a_index = self.a_index
         d_index = self.d_index
         if a_index is None:
-            a_index = build_start_index(ancestors, bufmgr)
+            with self.trace("adb.build_index", side="A"):
+                a_index = build_start_index(ancestors, bufmgr)
             self._built.append(a_index)
         if d_index is None:
-            d_index = build_start_index(descendants, bufmgr)
+            with self.trace("adb.build_index", side="D"):
+                d_index = build_start_index(descendants, bufmgr)
             self._built.append(d_index)
         return a_index, d_index
 
@@ -96,38 +98,42 @@ class AncDesBPlusJoin(JoinAlgorithm):
         doc_key = pbitree.doc_order_key
         end_of = pbitree.end_of
 
-        a_cursor = _IndexCursor(a_index)
-        d_cursor = _IndexCursor(d_index)
-        stack: list[tuple[RegionCode, PBiCode]] = []  # (end, code)
+        merge_span = self.trace("adb.merge")
+        with merge_span:
+            a_cursor = _IndexCursor(a_index)
+            d_cursor = _IndexCursor(d_index)
+            stack: list[tuple[RegionCode, PBiCode]] = []  # (end, code)
 
-        while d_cursor.current is not None:
-            if not stack and a_cursor.current is None:
-                break  # no ancestor can match the remaining descendants
-            if not stack and a_cursor.current is not None:
-                a_start, a_code = a_cursor.current
-                d_start, _d_code = d_cursor.current
-                a_end = end_of(a_code)
-                if a_end < d_start:
-                    a_cursor.skip_to(a_end + 1)
-                    continue
-                if d_start < a_start:
-                    d_cursor.skip_to(a_start)
-                    continue
-            a_entry = a_cursor.current
-            d_start, d_code = d_cursor.current
-            if a_entry is not None and doc_key(a_entry[1]) <= doc_key(d_code):
-                a_start, a_code = a_entry
-                while stack and stack[-1][0] < a_start:
-                    stack.pop()
-                stack.append((end_of(a_code), a_code))
-                a_cursor.advance()
-            else:
-                while stack and stack[-1][0] < d_start:
-                    stack.pop()
-                for _end, s_code in stack:
-                    if s_code != d_code:
-                        emit(s_code, d_code)
-                d_cursor.advance()
+            while d_cursor.current is not None:
+                if not stack and a_cursor.current is None:
+                    break  # no ancestor can match remaining descendants
+                if not stack and a_cursor.current is not None:
+                    a_start, a_code = a_cursor.current
+                    d_start, _d_code = d_cursor.current
+                    a_end = end_of(a_code)
+                    if a_end < d_start:
+                        a_cursor.skip_to(a_end + 1)
+                        continue
+                    if d_start < a_start:
+                        d_cursor.skip_to(a_start)
+                        continue
+                a_entry = a_cursor.current
+                d_start, d_code = d_cursor.current
+                if a_entry is not None and doc_key(a_entry[1]) <= doc_key(d_code):
+                    a_start, a_code = a_entry
+                    while stack and stack[-1][0] < a_start:
+                        stack.pop()
+                    stack.append((end_of(a_code), a_code))
+                    a_cursor.advance()
+                else:
+                    while stack and stack[-1][0] < d_start:
+                        stack.pop()
+                    for _end, s_code in stack:
+                        if s_code != d_code:
+                            emit(s_code, d_code)
+                    d_cursor.advance()
+            merge_span.set("a_probes", a_cursor.probes)
+            merge_span.set("d_probes", d_cursor.probes)
         report = JoinReport(algorithm=self.name, result_count=sink.count)
         report.notes = (
             f"index probes: A={a_cursor.probes} D={d_cursor.probes}"

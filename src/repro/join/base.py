@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..core.pbitree import PBiCode
+from ..obs.tracer import NULL_TRACER, Span, Tracer
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from ..storage.faults import StorageFault
@@ -67,6 +68,11 @@ class JoinReport:
     wall_seconds: float = 0.0
     partitions: int = 0
     notes: str = ""
+    #: buffer-pool activity over the whole run (prep + join)
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    #: root span of the traced run, or None when tracing was disabled
+    trace: Optional[Span] = None
 
     @property
     def total_io(self) -> IOSnapshot:
@@ -105,11 +111,16 @@ class JoinAlgorithm:
 
     name = "abstract"
 
+    #: the tracer of the *current* run; NULL_TRACER between runs, so
+    #: ``self.trace(...)`` is always safe to call from ``_execute``
+    _tracer: Tracer = NULL_TRACER
+
     def run(
         self,
         ancestors: ElementSet,
         descendants: ElementSet,
         sink: Optional[JoinSink] = None,
+        tracer: Optional[Tracer] = None,
     ) -> JoinReport:
         if ancestors.tree_height != descendants.tree_height:
             raise ValueError(
@@ -119,15 +130,26 @@ class JoinAlgorithm:
         sink = sink if sink is not None else JoinSink("collect")
         bufmgr = ancestors.bufmgr
         stats = bufmgr.disk.stats
+        tracer = tracer if tracer is not None else NULL_TRACER
+        tracer.bind(bufmgr)
+        self._tracer = tracer
+        hits_before = bufmgr.hits
+        misses_before = bufmgr.misses
 
         start = time.perf_counter()
         before_prep = stats.snapshot()
+        # The root span covers exactly what the report charges (prepare
+        # + join, not cleanup), so its I/O delta equals ``total_pages``.
+        root = tracer.span(f"join.{self.name}")
         try:
-            prepared = self._prepare(ancestors, descendants, bufmgr)
-            prep_io = stats.delta(before_prep)
+            with root:
+                with tracer.span("prepare"):
+                    prepared = self._prepare(ancestors, descendants, bufmgr)
+                prep_io = stats.delta(before_prep)
 
-            before_join = stats.snapshot()
-            report = self._execute(prepared, sink, bufmgr)
+                before_join = stats.snapshot()
+                with tracer.span("execute"):
+                    report = self._execute(prepared, sink, bufmgr)
         except StorageFault as fault:
             # Fail fast, never return a silently truncated result: the
             # sink may hold partial output, so annotate the fault with
@@ -138,12 +160,25 @@ class JoinAlgorithm:
                 f"after {sink.count} pairs"
             )
             raise
+        finally:
+            self._tracer = NULL_TRACER
         report.join_io = stats.delta(before_join)
         report.prep_io = prep_io
         report.wall_seconds = time.perf_counter() - start
         report.result_count = sink.count
+        report.buffer_hits = bufmgr.hits - hits_before
+        report.buffer_misses = bufmgr.misses - misses_before
+        if tracer.enabled:
+            root.set("results", report.result_count)
+            if report.false_hits:
+                root.set("false_hits", report.false_hits)
+            report.trace = root
         self._cleanup(prepared, ancestors, descendants)
         return report
+
+    def trace(self, name: str, **attributes: object) -> Span:
+        """Open a sub-span on the current run's tracer (no-op untraced)."""
+        return self._tracer.span(name, **attributes)
 
     # -- hooks ----------------------------------------------------------
     def _prepare(

@@ -123,22 +123,27 @@ class IndexNestedLoopJoin(JoinAlgorithm):
     def _prepare(self, ancestors, descendants, bufmgr):
         outer = self._outer_side(ancestors, descendants)
         if outer == "A" and self.d_index is None:
-            self._built_index = build_start_index(descendants, bufmgr)
+            with self.trace("inljn.build", index="start", side="D"):
+                self._built_index = build_start_index(descendants, bufmgr)
         elif outer == "D" and self.a_index is None:
-            if self.ancestor_probe == "xr":
-                self._built_index = build_xr_index(ancestors, bufmgr)
-            else:
-                self._built_index = build_interval_index(ancestors, bufmgr)
+            with self.trace(
+                "inljn.build", index=self.ancestor_probe, side="A"
+            ):
+                if self.ancestor_probe == "xr":
+                    self._built_index = build_xr_index(ancestors, bufmgr)
+                else:
+                    self._built_index = build_interval_index(ancestors, bufmgr)
         return ancestors, descendants, outer
 
     def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
         ancestors, descendants, outer = prepared
-        if outer == "A":
-            index = self.d_index or self._built_index
-            self._probe_descendant_index(ancestors, index, sink)
-        else:
-            index = self.a_index or self._built_index
-            self._probe_ancestor_index(descendants, index, sink)
+        with self.trace("inljn.probe", outer=outer):
+            if outer == "A":
+                index = self.d_index or self._built_index
+                self._probe_descendant_index(ancestors, index, sink)
+            else:
+                index = self.a_index or self._built_index
+                self._probe_ancestor_index(descendants, index, sink)
         return JoinReport(algorithm=self.name, result_count=sink.count)
 
     @staticmethod

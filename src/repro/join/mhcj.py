@@ -18,15 +18,20 @@ pipeline, and failures are counted as **false hits** (Table 2(f)).
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from ..core import pbitree
+from ..obs.tracer import NULL_TRACER, Span
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from ..storage.heapfile import HeapFile
 from ..storage.record import CODE, PAIR
 from .base import JoinAlgorithm, JoinReport, JoinSink
 from .hash_join import grace_hash_join, in_memory_hash_join
+
+#: span factory threaded into the module-level helpers; the default is
+#: the no-op tracer's, so untraced callers pay nothing
+TraceFn = Callable[..., Span]
 
 __all__ = ["MultiHeightJoin", "MultiHeightRollupJoin", "choose_rollup_height"]
 
@@ -170,6 +175,7 @@ def _join_partitions(
     sink: JoinSink,
     bufmgr: BufferManager,
     report: JoinReport,
+    trace: TraceFn = NULL_TRACER.span,
 ) -> None:
     try:
         for height in sorted(partitions, reverse=True):
@@ -179,15 +185,16 @@ def _join_partitions(
                 for heap in files:
                     yield from heap.scan_pages()
 
-            _join_height_class(
-                pages(),
-                sum(heap.num_pages for heap in files),
-                descendants,
-                height,
-                sink,
-                bufmgr,
-                report,
-            )
+            with trace("mhcj.join_height", height=height):
+                _join_height_class(
+                    pages(),
+                    sum(heap.num_pages for heap in files),
+                    descendants,
+                    height,
+                    sink,
+                    bufmgr,
+                    report,
+                )
     finally:
         for files in partitions.values():
             for heap in files:
@@ -203,14 +210,18 @@ class MultiHeightJoin(JoinAlgorithm):
         ancestors, descendants = prepared
         report = JoinReport(algorithm=self.name, result_count=0)
         height_of = pbitree.height_of
-        partitions = _partition_by_height(
-            ancestors.scan_pages(),
-            bufmgr,
-            "mhcj.A",
-            lambda code: (height_of(code), code),
-        )
+        with self.trace("mhcj.partition") as part_span:
+            partitions = _partition_by_height(
+                ancestors.scan_pages(),
+                bufmgr,
+                "mhcj.A",
+                lambda code: (height_of(code), code),
+            )
+            part_span.set("partitions", len(partitions))
         report.partitions = len(partitions)
-        _join_partitions(partitions, descendants, sink, bufmgr, report)
+        _join_partitions(
+            partitions, descendants, sink, bufmgr, report, trace=self.trace
+        )
         return report
 
 
@@ -261,15 +272,16 @@ class MultiHeightRollupJoin(JoinAlgorithm):
                     ]
 
             pair_pages = -(-len(ancestors) // pair_capacity)
-            _join_height_class(
-                rolled_pages(),
-                pair_pages,
-                descendants,
-                target,
-                sink,
-                bufmgr,
-                report,
-            )
+            with self.trace("mhcj.rollup", target_height=target):
+                _join_height_class(
+                    rolled_pages(),
+                    pair_pages,
+                    descendants,
+                    target,
+                    sink,
+                    bufmgr,
+                    report,
+                )
             return report
 
         # General case: write rolled pair records, partitioned by
@@ -280,9 +292,13 @@ class MultiHeightRollupJoin(JoinAlgorithm):
                 return target, f_ancestor(code, target)
             return height, code
 
-        partitions = _partition_by_height(
-            ancestors.scan_pages(), bufmgr, "rollup.A", effective_height
-        )
+        with self.trace("mhcj.partition", target_height=target) as part_span:
+            partitions = _partition_by_height(
+                ancestors.scan_pages(), bufmgr, "rollup.A", effective_height
+            )
+            part_span.set("partitions", len(partitions))
         report.partitions = len(partitions)
-        _join_partitions(partitions, descendants, sink, bufmgr, report)
+        _join_partitions(
+            partitions, descendants, sink, bufmgr, report, trace=self.trace
+        )
         return report

@@ -41,8 +41,10 @@ class MPMGJoin(JoinAlgorithm):
     name = "MPMGJN"
 
     def _prepare(self, ancestors, descendants, bufmgr):
-        sorted_a, temp_a = ensure_sorted(ancestors, bufmgr)
-        sorted_d, temp_d = ensure_sorted(descendants, bufmgr)
+        with self.trace("mpmgjn.sort", side="A"):
+            sorted_a, temp_a = ensure_sorted(ancestors, bufmgr)
+        with self.trace("mpmgjn.sort", side="D"):
+            sorted_d, temp_d = ensure_sorted(descendants, bufmgr)
         return sorted_a, temp_a, sorted_d, temp_d
 
     def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
@@ -52,24 +54,29 @@ class MPMGJoin(JoinAlgorithm):
         start_of = pbitree.start_of
         end_of = pbitree.end_of
 
-        d_cursor = SetCursor(sorted_d)
-        for a_code in sorted_a.scan():
-            a_start = start_of(a_code)
-            a_end = end_of(a_code)
-            # skip descendants that start strictly before this ancestor:
-            # later ancestors start no earlier, so these can never match
-            while d_cursor.current is not None and start_of(d_cursor.current) < a_start:
-                d_cursor.advance()
-            mark = d_cursor.save()
-            while d_cursor.current is not None:
-                d_code = d_cursor.current
-                if start_of(d_code) > a_end:
-                    break
-                if is_ancestor(a_code, d_code):
-                    emit(a_code, d_code)
-                d_cursor.advance()
-            # rewind: the next ancestor may contain the same segment
-            d_cursor.restore(mark)
+        with self.trace("mpmgjn.merge"):
+            d_cursor = SetCursor(sorted_d)
+            for a_code in sorted_a.scan():
+                a_start = start_of(a_code)
+                a_end = end_of(a_code)
+                # skip descendants that start strictly before this
+                # ancestor: later ancestors start no earlier, so these
+                # can never match
+                while (
+                    d_cursor.current is not None
+                    and start_of(d_cursor.current) < a_start
+                ):
+                    d_cursor.advance()
+                mark = d_cursor.save()
+                while d_cursor.current is not None:
+                    d_code = d_cursor.current
+                    if start_of(d_code) > a_end:
+                        break
+                    if is_ancestor(a_code, d_code):
+                        emit(a_code, d_code)
+                    d_cursor.advance()
+                # rewind: the next ancestor may contain the same segment
+                d_cursor.restore(mark)
         return JoinReport(algorithm=self.name, result_count=sink.count)
 
     def _cleanup(self, prepared, ancestors, descendants) -> None:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from ..obs.tracer import NULL_TRACER, Tracer
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from .base import JoinAlgorithm, JoinReport, JoinSink
@@ -120,11 +121,13 @@ class PathPipeline:
         bufmgr: BufferManager,
         algorithm_factory: Optional[AlgorithmFactory] = None,
         direction: Optional[str] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``algorithm_factory(ancestors, descendants)`` supplies the
         operator per step (defaults to the Table 1 planner);
         ``direction`` forces ``"top-down"``/``"bottom-up"`` instead of
-        cost-based planning."""
+        cost-based planning; ``tracer`` threads a span tree through
+        planning and every join step."""
         if direction not in (None, "top-down", "bottom-up"):
             raise ValueError(f"unknown direction {direction!r}")
         self.bufmgr = bufmgr
@@ -132,6 +135,8 @@ class PathPipeline:
             lambda a_set, d_set: choose_algorithm(a_set, d_set)
         )
         self.forced_direction = direction
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.tracer.bind(bufmgr)
 
     # ------------------------------------------------------------------
     def execute(self, steps: Sequence[ElementSet]) -> PipelineResult:
@@ -152,7 +157,8 @@ class PathPipeline:
         else:
             io_stats = self.bufmgr.disk.stats
             before = io_stats.snapshot()
-            stats = [SetStatistics.from_set(step) for step in steps]
+            with self.tracer.span("pipeline.plan", steps=len(steps)):
+                stats = [SetStatistics.from_set(step) for step in steps]
             planning_io = io_stats.delta(before).total
             direction, td_cost, bu_cost = plan_direction(stats)
         estimated = td_cost if direction == "top-down" else bu_cost
@@ -175,7 +181,7 @@ class PathPipeline:
     ) -> tuple[JoinReport, JoinSink]:
         sink = JoinSink("collect")
         algorithm = self.algorithm_factory(ancestors, descendants)
-        report = algorithm.run(ancestors, descendants, sink)
+        report = algorithm.run(ancestors, descendants, sink, tracer=self.tracer)
         return report, sink
 
     def _materialize(self, codes, tree_height: int, name: str) -> ElementSet:

@@ -86,37 +86,41 @@ class SingleHeightJoin(JoinAlgorithm):
         # The build side is A (conventionally the smaller); if either
         # side fits in the pool an in-memory join avoids partitioning.
         if ancestors.num_pages <= bufmgr.num_pages - 2:
-            in_memory_hash_join(
-                ancestors.heap.scan_pages(),
-                descendants.heap.scan_pages(),
-                build_key,
-                probe_key,
-                emit_pair,
-            )
+            with self.trace("shcj.probe", mode="in-memory", build="A"):
+                in_memory_hash_join(
+                    ancestors.heap.scan_pages(),
+                    descendants.heap.scan_pages(),
+                    build_key,
+                    probe_key,
+                    emit_pair,
+                )
             report.notes = "in-memory (A fits)"
         elif descendants.num_pages <= bufmgr.num_pages - 2:
             # build over D's F-keys, probe with A
-            in_memory_hash_join(
-                descendants.heap.scan_pages(),
-                ancestors.heap.scan_pages(),
-                probe_key,
-                build_key,
-                lambda d_record, a_record: emit(a_record[0], d_record[0]),
-            )
+            with self.trace("shcj.probe", mode="in-memory", build="D"):
+                in_memory_hash_join(
+                    descendants.heap.scan_pages(),
+                    ancestors.heap.scan_pages(),
+                    probe_key,
+                    build_key,
+                    lambda d_record, a_record: emit(a_record[0], d_record[0]),
+                )
             report.notes = "in-memory (D fits)"
         else:
-            partitions = grace_hash_join(
-                bufmgr,
-                ancestors.heap.scan_pages(),
-                descendants.heap.scan_pages(),
-                CODE,
-                CODE,
-                build_key,
-                probe_key,
-                emit_pair,
-                name="shcj",
-                build_pages_hint=ancestors.num_pages,
-            )
+            with self.trace("shcj.grace") as grace_span:
+                partitions = grace_hash_join(
+                    bufmgr,
+                    ancestors.heap.scan_pages(),
+                    descendants.heap.scan_pages(),
+                    CODE,
+                    CODE,
+                    build_key,
+                    probe_key,
+                    emit_pair,
+                    name="shcj",
+                    build_pages_hint=ancestors.num_pages,
+                )
+                grace_span.set("partitions", partitions)
             report.partitions = partitions
             report.notes = "grace"
         return report

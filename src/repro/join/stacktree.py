@@ -32,8 +32,10 @@ __all__ = ["StackTreeDescJoin", "StackTreeAncJoin"]
 
 class _StackTreeBase(JoinAlgorithm):
     def _prepare(self, ancestors, descendants, bufmgr):
-        sorted_a, temp_a = ensure_sorted(ancestors, bufmgr)
-        sorted_d, temp_d = ensure_sorted(descendants, bufmgr)
+        with self.trace("stacktree.sort", side="A"):
+            sorted_a, temp_a = ensure_sorted(ancestors, bufmgr)
+        with self.trace("stacktree.sort", side="D"):
+            sorted_d, temp_d = ensure_sorted(descendants, bufmgr)
         return sorted_a, temp_a, sorted_d, temp_d
 
     def _cleanup(self, prepared, ancestors, descendants) -> None:
@@ -56,27 +58,29 @@ class StackTreeDescJoin(_StackTreeBase):
         end_of = pbitree.end_of
         start_of = pbitree.start_of
 
-        a_cursor = SetCursor(sorted_a)
-        d_cursor = SetCursor(sorted_d)
-        stack: list[tuple[RegionCode, PBiCode]] = []  # (end, code), top = innermost
+        with self.trace("stacktree.merge"):
+            a_cursor = SetCursor(sorted_a)
+            d_cursor = SetCursor(sorted_d)
+            # (end, code), top = innermost
+            stack: list[tuple[RegionCode, PBiCode]] = []
 
-        while d_cursor.current is not None:
-            a_code = a_cursor.current
-            d_code = d_cursor.current
-            if a_code is not None and doc_key(a_code) <= doc_key(d_code):
-                a_start = start_of(a_code)
-                while stack and stack[-1][0] < a_start:
-                    stack.pop()
-                stack.append((end_of(a_code), a_code))
-                a_cursor.advance()
-            else:
-                d_start = start_of(d_code)
-                while stack and stack[-1][0] < d_start:
-                    stack.pop()
-                for _end, s_code in stack:
-                    if s_code != d_code:
-                        emit(s_code, d_code)
-                d_cursor.advance()
+            while d_cursor.current is not None:
+                a_code = a_cursor.current
+                d_code = d_cursor.current
+                if a_code is not None and doc_key(a_code) <= doc_key(d_code):
+                    a_start = start_of(a_code)
+                    while stack and stack[-1][0] < a_start:
+                        stack.pop()
+                    stack.append((end_of(a_code), a_code))
+                    a_cursor.advance()
+                else:
+                    d_start = start_of(d_code)
+                    while stack and stack[-1][0] < d_start:
+                        stack.pop()
+                    for _end, s_code in stack:
+                        if s_code != d_code:
+                            emit(s_code, d_code)
+                    d_cursor.advance()
         return JoinReport(algorithm=self.name, result_count=sink.count)
 
 
@@ -111,37 +115,38 @@ class StackTreeAncJoin(_StackTreeBase):
         end_of = pbitree.end_of
         start_of = pbitree.start_of
 
-        a_cursor = SetCursor(sorted_a)
-        d_cursor = SetCursor(sorted_d)
-        stack: list[_AncStackEntry] = []
+        with self.trace("stacktree.merge"):
+            a_cursor = SetCursor(sorted_a)
+            d_cursor = SetCursor(sorted_d)
+            stack: list[_AncStackEntry] = []
 
-        def pop_entry() -> None:
-            entry = stack.pop()
-            pairs = [(entry.code, d) for d in entry.self_list]
-            pairs.extend(entry.inherit_list)
-            if stack:
-                stack[-1].inherit_list.extend(pairs)
-            else:
-                for a_code, d_code in pairs:
-                    sink.emit(a_code, d_code)
+            def pop_entry() -> None:
+                entry = stack.pop()
+                pairs = [(entry.code, d) for d in entry.self_list]
+                pairs.extend(entry.inherit_list)
+                if stack:
+                    stack[-1].inherit_list.extend(pairs)
+                else:
+                    for a_code, d_code in pairs:
+                        sink.emit(a_code, d_code)
 
-        while d_cursor.current is not None:
-            a_code = a_cursor.current
-            d_code = d_cursor.current
-            if a_code is not None and doc_key(a_code) <= doc_key(d_code):
-                a_start = start_of(a_code)
-                while stack and stack[-1].end < a_start:
-                    pop_entry()
-                stack.append(_AncStackEntry(a_code, end_of(a_code)))
-                a_cursor.advance()
-            else:
-                d_start = start_of(d_code)
-                while stack and stack[-1].end < d_start:
-                    pop_entry()
-                for entry in stack:
-                    if entry.code != d_code:
-                        entry.self_list.append(d_code)
-                d_cursor.advance()
-        while stack:
-            pop_entry()
+            while d_cursor.current is not None:
+                a_code = a_cursor.current
+                d_code = d_cursor.current
+                if a_code is not None and doc_key(a_code) <= doc_key(d_code):
+                    a_start = start_of(a_code)
+                    while stack and stack[-1].end < a_start:
+                        pop_entry()
+                    stack.append(_AncStackEntry(a_code, end_of(a_code)))
+                    a_cursor.advance()
+                else:
+                    d_start = start_of(d_code)
+                    while stack and stack[-1].end < d_start:
+                        pop_entry()
+                    for entry in stack:
+                        if entry.code != d_code:
+                            entry.self_list.append(d_code)
+                    d_cursor.advance()
+            while stack:
+                pop_entry()
         return JoinReport(algorithm=self.name, result_count=sink.count)

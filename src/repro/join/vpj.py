@@ -197,14 +197,18 @@ class VerticalPartitionJoin(JoinAlgorithm):
         budget = bufmgr.num_pages
 
         if min(a_pages, d_pages) <= max(1, budget - 2):
-            memory_containment_join(
-                a_files, d_files, sink, bufmgr, report, dedup_above_height
-            )
+            with self.trace("vpj.memjoin", depth=depth):
+                memory_containment_join(
+                    a_files, d_files, sink, bufmgr, report, dedup_above_height
+                )
             return
         if depth >= self.max_recursion or base_level >= tree_height - 1:
             # cannot split further (pathologically deep or duplicated
             # data): fall back to rollup, which handles any size
-            self._fallback(a_files, d_files, sink, bufmgr, report, tree_height)
+            with self.trace("vpj.fallback", depth=depth):
+                self._fallback(
+                    a_files, d_files, sink, bufmgr, report, tree_height
+                )
             return
 
         lca = self._sample_lca(a_files, d_files)
@@ -215,21 +219,26 @@ class VerticalPartitionJoin(JoinAlgorithm):
         anchor_height = tree_height - level - 1
         k0 = -(-min(a_pages, d_pages) // budget)
         num_buckets = min(max(2, k0), max(2, budget - 2))
-        partitions = self._partition(
-            a_files, d_files, anchor_height, num_buckets, lca, bufmgr
-        )
+        with self.trace(
+            "vpj.partition", depth=depth, anchor_height=anchor_height
+        ) as part_span:
+            partitions = self._partition(
+                a_files, d_files, anchor_height, num_buckets, lca, bufmgr
+            )
+            part_span.set("partitions", len(partitions))
         report.partitions += len(partitions)
         try:
             for partition in self._merge_small(partitions, budget):
                 if min(partition.a_pages, partition.d_pages) <= max(1, budget - 2):
-                    memory_containment_join(
-                        partition.a_files,
-                        partition.d_files,
-                        sink,
-                        bufmgr,
-                        report,
-                        dedup_above_height=partition.anchor_height,
-                    )
+                    with self.trace("vpj.memjoin", depth=depth):
+                        memory_containment_join(
+                            partition.a_files,
+                            partition.d_files,
+                            sink,
+                            bufmgr,
+                            report,
+                            dedup_above_height=partition.anchor_height,
+                        )
                 else:
                     self._join(
                         partition.a_files,
@@ -251,7 +260,8 @@ class VerticalPartitionJoin(JoinAlgorithm):
         temp_a = _concat_as_set(a_files, bufmgr, tree_height, "vpj.fb.A", dedup=True)
         temp_d = _concat_as_set(d_files, bufmgr, tree_height, "vpj.fb.D", dedup=False)
         inner = MultiHeightRollupJoin()
-        inner_report = inner.run(temp_a, temp_d, sink)
+        # the nested run's root span becomes a child of vpj.fallback
+        inner_report = inner.run(temp_a, temp_d, sink, tracer=self._tracer)
         report.false_hits += inner_report.false_hits
         temp_a.destroy()
         temp_d.destroy()

@@ -1,0 +1,51 @@
+"""Observability: span-tree tracing, metrics, and benchmark exporters.
+
+The paper's whole evaluation is argued in page-I/O counts and elapsed
+time; this package makes those numbers inspectable *inside* a run:
+
+* :mod:`repro.obs.tracer` — a :class:`Tracer` producing a span tree
+  per join phase (wall time, I/O delta, buffer hits/misses), with a
+  zero-cost :data:`NULL_TRACER` default;
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters /
+  gauges / histograms unifying ``IOStats``, the buffer pool, the fault
+  injector and per-operator output cardinalities;
+* :mod:`repro.obs.export` — JSON-lines trace dump, human-readable
+  span-tree table, and the schema-checked ``BENCH_*.json`` summary
+  writer (validated via ``python -m repro.obs FILE``).
+
+Dependency-free by design (standard library only), like the rest of
+the reproduction.
+"""
+
+from .export import (
+    BENCH_SCHEMA,
+    bench_summary,
+    format_span_tree,
+    spans_from_jsonl,
+    trace_to_jsonl,
+    validate_bench_summary,
+    write_bench_summary,
+    write_trace_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry
+from .tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "BENCH_SCHEMA",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "spans_from_jsonl",
+    "format_span_tree",
+    "bench_summary",
+    "validate_bench_summary",
+    "write_bench_summary",
+]

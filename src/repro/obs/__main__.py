@@ -1,0 +1,49 @@
+"""CLI: schema-check BENCH summary files.
+
+``python -m repro.obs BENCH_smoke.json [...]`` — exit 0 when every file
+is a valid :data:`~repro.obs.export.BENCH_SCHEMA` summary, 1 when any
+fails validation, 2 on unreadable/unparseable input.  CI runs this over
+the artifact the traced smoke benchmark emits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .export import BENCH_SCHEMA, validate_bench_summary
+
+__all__ = ["main"]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description=f"Validate BENCH summary files against {BENCH_SCHEMA}.",
+    )
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files to check")
+    options = parser.parse_args(argv)
+
+    status = 0
+    for name in options.files:
+        path = Path(name)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            return 2
+        problems = validate_bench_summary(data)
+        if problems:
+            status = 1
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+        else:
+            print(f"{path}: ok ({BENCH_SCHEMA})")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

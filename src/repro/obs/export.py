@@ -1,0 +1,260 @@
+"""Exporters: JSON-lines traces, span-tree tables, BENCH summaries.
+
+Three consumers, three formats:
+
+* **JSON lines** (:func:`trace_to_jsonl` / :func:`spans_from_jsonl`) —
+  one object per span with ``id``/``parent`` links, loss-lessly
+  round-trippable, for offline analysis of a traced run;
+* **span-tree table** (:func:`format_span_tree`) — the human-readable
+  per-phase cost breakdown printed by ``python -m repro --trace``;
+* **BENCH summary** (:func:`bench_summary` /
+  :func:`write_bench_summary` / :func:`validate_bench_summary`) — the
+  ``BENCH_<name>.json`` artifact a benchmark run leaves behind so the
+  perf trajectory has machine-readable points.  The schema is checked
+  on write and re-checkable in CI via ``python -m repro.obs``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+
+from ..storage.stats import IOSnapshot
+from .tracer import Span, Tracer
+
+if TYPE_CHECKING:
+    from ..join.base import JoinReport
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "trace_to_jsonl",
+    "write_trace_jsonl",
+    "spans_from_jsonl",
+    "format_span_tree",
+    "bench_summary",
+    "validate_bench_summary",
+    "write_bench_summary",
+]
+
+#: schema tag stamped into (and required of) every BENCH_*.json
+BENCH_SCHEMA = "repro.bench/v1"
+
+_IO_FIELDS = ("reads", "writes", "random_reads", "allocations", "retries", "giveups")
+
+
+def _roots_of(trace: Union[Tracer, Span, Sequence[Span]]) -> list[Span]:
+    if isinstance(trace, Tracer):
+        return list(trace.roots)
+    if isinstance(trace, Span):
+        return [trace]
+    return list(trace)
+
+
+# ---------------------------------------------------------------------------
+# JSON lines
+# ---------------------------------------------------------------------------
+def trace_to_jsonl(trace: Union[Tracer, Span, Sequence[Span]]) -> str:
+    """Serialise a span tree, one JSON object per line, pre-order."""
+    lines: list[str] = []
+    next_id = 0
+
+    def dump(span: Span, parent: Optional[int]) -> None:
+        nonlocal next_id
+        span_id = next_id
+        next_id += 1
+        record: dict[str, object] = {
+            "id": span_id,
+            "parent": parent,
+            "name": span.name,
+            "wall_seconds": span.wall_seconds,
+            "buffer_hits": span.buffer_hits,
+            "buffer_misses": span.buffer_misses,
+            "attributes": span.attributes,
+            "error": span.error,
+        }
+        for field in _IO_FIELDS:
+            record[field] = getattr(span.io, field)
+        lines.append(json.dumps(record, sort_keys=True, default=str))
+        for child in span.children:
+            dump(child, span_id)
+
+    for root in _roots_of(trace):
+        dump(root, None)
+    return "\n".join(lines)
+
+
+def write_trace_jsonl(
+    trace: Union[Tracer, Span, Sequence[Span]], path: Union[str, Path]
+) -> Path:
+    """Write :func:`trace_to_jsonl` output to ``path``."""
+    target = Path(path)
+    text = trace_to_jsonl(trace)
+    target.write_text(text + ("\n" if text else ""), encoding="utf-8")
+    return target
+
+
+def spans_from_jsonl(text: str) -> list[Span]:
+    """Rebuild the span forest from :func:`trace_to_jsonl` output."""
+    by_id: dict[int, Span] = {}
+    roots: list[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        span = Span(str(record["name"]))
+        span.wall_seconds = float(record["wall_seconds"])
+        span.buffer_hits = int(record["buffer_hits"])
+        span.buffer_misses = int(record["buffer_misses"])
+        span.attributes = dict(record["attributes"])
+        span.error = record["error"]
+        span.io = IOSnapshot(**{field: int(record[field]) for field in _IO_FIELDS})
+        by_id[int(record["id"])] = span
+        parent = record["parent"]
+        if parent is None:
+            roots.append(span)
+        else:
+            by_id[int(parent)].children.append(span)
+    return roots
+
+
+# ---------------------------------------------------------------------------
+# span-tree table
+# ---------------------------------------------------------------------------
+def format_span_tree(trace: Union[Tracer, Span, Sequence[Span]]) -> str:
+    """Render the span forest as an indented per-phase cost table."""
+    headers = (
+        "span", "wall_ms", "io", "reads", "writes",
+        "rand", "hits", "misses", "notes",
+    )
+    rows: list[tuple[str, ...]] = []
+    for root in _roots_of(trace):
+        for depth, span in root.walk():
+            notes = ", ".join(
+                f"{key}={value}" for key, value in sorted(span.attributes.items())
+            )
+            if span.error:
+                notes = f"error={span.error}" + (f", {notes}" if notes else "")
+            rows.append((
+                "  " * depth + span.name,
+                f"{span.wall_seconds * 1000.0:.2f}",
+                str(span.io.total),
+                str(span.io.reads),
+                str(span.io.writes),
+                str(span.io.random_reads),
+                str(span.buffer_hits),
+                str(span.buffer_misses),
+                notes,
+            ))
+    if not rows:
+        return "(no spans recorded)"
+    widths = [
+        max(len(headers[column]), *(len(row[column]) for row in rows))
+        for column in range(len(headers))
+    ]
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        cells = [row[0].ljust(widths[0])]
+        cells += [cell.rjust(width) for cell, width in zip(row[1:-1], widths[1:-1])]
+        cells.append(row[-1])
+        lines.append("  ".join(cells).rstrip())
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# BENCH_*.json summaries
+# ---------------------------------------------------------------------------
+def bench_summary(
+    name: str,
+    entries: Iterable[tuple[str, str, "JoinReport"]],
+    metrics: Optional[dict[str, object]] = None,
+) -> dict[str, object]:
+    """Build a ``BENCH_<name>.json``-compatible summary.
+
+    ``entries`` are ``(algorithm_label, dataset, report)`` triples —
+    one per benchmarked operator run.  ``metrics`` is an optional
+    :meth:`~repro.obs.metrics.MetricsRegistry.as_dict` payload.
+    """
+    algorithms: list[dict[str, object]] = []
+    for label, dataset, report in entries:
+        total = report.total_io
+        algorithms.append({
+            "name": label,
+            "dataset": dataset,
+            "total_io": total.total,
+            "reads": total.reads,
+            "writes": total.writes,
+            "random_reads": total.random_reads,
+            "wall_seconds": report.wall_seconds,
+            "results": report.result_count,
+            "false_hits": report.false_hits,
+            "buffer_hits": report.buffer_hits,
+            "buffer_misses": report.buffer_misses,
+        })
+    return {
+        "schema": BENCH_SCHEMA,
+        "bench": name,
+        "algorithms": algorithms,
+        "metrics": dict(metrics) if metrics else {},
+    }
+
+
+_ALGO_INT_KEYS = (
+    "total_io", "reads", "writes", "random_reads",
+    "results", "false_hits", "buffer_hits", "buffer_misses",
+)
+
+
+def validate_bench_summary(data: object) -> list[str]:
+    """Schema-check a BENCH summary; returns a list of problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"summary must be a JSON object, got {type(data).__name__}"]
+    if data.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA!r}, got {data.get('schema')!r}"
+        )
+    if not isinstance(data.get("bench"), str) or not data.get("bench"):
+        problems.append("bench must be a non-empty string")
+    metrics = data.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("metrics must be an object")
+    algorithms = data.get("algorithms")
+    if not isinstance(algorithms, list) or not algorithms:
+        problems.append("algorithms must be a non-empty list")
+        return problems
+    for index, entry in enumerate(algorithms):
+        where = f"algorithms[{index}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry.get("name"):
+            problems.append(f"{where}.name must be a non-empty string")
+        if not isinstance(entry.get("dataset"), str):
+            problems.append(f"{where}.dataset must be a string")
+        for key in _ALGO_INT_KEYS:
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                problems.append(f"{where}.{key} must be a non-negative integer")
+        wall = entry.get("wall_seconds")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+            problems.append(f"{where}.wall_seconds must be a non-negative number")
+    return problems
+
+
+def write_bench_summary(
+    summary: dict[str, object], path: Union[str, Path]
+) -> Path:
+    """Validate and write a BENCH summary; raises ``ValueError`` if invalid."""
+    problems = validate_bench_summary(summary)
+    if problems:
+        raise ValueError(
+            "refusing to write an invalid BENCH summary:\n  " + "\n  ".join(problems)
+        )
+    target = Path(path)
+    target.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,248 @@
+"""Span-tree tracer: where inside a join does the cost go?
+
+The paper argues every comparison in page I/Os and elapsed time
+(Section 4, Figures 6a-6h), but a single total per run cannot say
+*which phase* — partitioning, probing, merging, rollup, recursion —
+paid it.  A :class:`Tracer` produces a tree of :class:`Span` objects
+(``span("vpj.partition")``, ``span("shcj.probe")``, ...), each carrying
+its wall time, the :class:`~repro.storage.stats.IOSnapshot` delta
+observed while it was open, and the buffer-pool hit/miss delta.
+
+Tracing is strictly opt-in and zero-cost when disabled: the default
+tracer used by the join framework is :data:`NULL_TRACER`, whose
+``span()`` hands back one shared no-op span — no snapshots are taken,
+no objects are allocated, so Figure 6 reproductions are unaffected.
+
+Spans nest lexically::
+
+    tracer = Tracer()
+    with tracer.span("lineup") as span:
+        report = algorithm.run(ancestors, descendants, sink, tracer=tracer)
+        span.set("results", report.result_count)
+    print(format_span_tree(tracer.roots))   # see repro.obs.export
+
+A span's I/O delta is *inclusive* (it covers its children);
+:attr:`Span.self_io` subtracts the children back out.
+"""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from ..storage.stats import IOSnapshot
+
+if TYPE_CHECKING:
+    from ..storage.buffer import BufferManager
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+class Span:
+    """One traced phase: name, wall time, I/O delta, buffer hit/miss delta."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "children",
+        "wall_seconds",
+        "io",
+        "buffer_hits",
+        "buffer_misses",
+        "error",
+        "_tracer",
+        "_start",
+        "_io_before",
+        "_hits_before",
+        "_misses_before",
+    )
+
+    def __init__(self, name: str, tracer: "Optional[Tracer]" = None) -> None:
+        self.name = name
+        self.attributes: dict[str, object] = {}
+        self.children: list[Span] = []
+        self.wall_seconds = 0.0
+        self.io = IOSnapshot()
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+        self.error: Optional[str] = None
+        self._tracer = tracer
+        self._start = 0.0
+        self._io_before = IOSnapshot()
+        self._hits_before = 0
+        self._misses_before = 0
+
+    # -- context manager -----------------------------------------------
+    def __enter__(self) -> "Span":
+        if self._tracer is not None:
+            self._tracer._enter(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if exc_type is not None:
+            self.error = exc_type.__name__
+        if self._tracer is not None:
+            self._tracer._exit(self)
+
+    # -- recording ------------------------------------------------------
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute (``span.set("partitions", 12)``)."""
+        self.attributes[key] = value
+
+    # -- derived views --------------------------------------------------
+    @property
+    def total_pages(self) -> int:
+        """Inclusive page transfers (reads + writes) under this span."""
+        return self.io.total
+
+    @property
+    def self_io(self) -> IOSnapshot:
+        """This span's I/O minus everything attributed to child spans."""
+        io = self.io
+        for child in self.children:
+            io = io - child.io
+        return io
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Yield ``(depth, span)`` pre-order over this subtree."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> "Optional[Span]":
+        """First span named ``name`` in this subtree (pre-order), or None."""
+        for _depth, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Span {self.name!r} io={self.io.total} "
+            f"wall={self.wall_seconds:.4f}s children={len(self.children)}>"
+        )
+
+
+class Tracer:
+    """Collects a span tree; binds to a buffer pool for I/O attribution.
+
+    ``bind`` attaches the :class:`BufferManager` whose disk stats and
+    hit/miss counters every subsequent span snapshots.  Spans opened
+    before a pool is bound still measure wall time (their I/O deltas
+    stay zero) — the join framework binds the pool it runs against, so
+    in practice the first ``run(..., tracer=...)`` completes the wiring.
+    """
+
+    #: False on :class:`NullTracer`; lets callers skip expensive
+    #: attribute computation (``if tracer.enabled: span.set(...)``)
+    enabled = True
+
+    def __init__(self, bufmgr: "Optional[BufferManager]" = None) -> None:
+        self.bufmgr = bufmgr
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def bind(self, bufmgr: "BufferManager") -> None:
+        """Attach the pool to measure (first binding wins)."""
+        if self.bufmgr is None:
+            self.bufmgr = bufmgr
+
+    def span(self, name: str, **attributes: object) -> Span:
+        """Open a new span as a context manager."""
+        span = Span(name, tracer=self)
+        if attributes:
+            span.attributes.update(attributes)
+        return span
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def clear(self) -> None:
+        """Drop all collected spans (keeps the binding)."""
+        self.roots.clear()
+        self._stack.clear()
+
+    # -- span lifecycle (called by Span.__enter__/__exit__) -------------
+    def _enter(self, span: Span) -> None:
+        bufmgr = self.bufmgr
+        if bufmgr is not None:
+            span._io_before = bufmgr.disk.stats.snapshot()
+            span._hits_before = bufmgr.hits
+            span._misses_before = bufmgr.misses
+        span._start = time.perf_counter()
+        self._stack.append(span)
+
+    def _exit(self, span: Span) -> None:
+        span.wall_seconds = time.perf_counter() - span._start
+        bufmgr = self.bufmgr
+        if bufmgr is not None:
+            span.io = bufmgr.disk.stats.delta(span._io_before)
+            span.buffer_hits = bufmgr.hits - span._hits_before
+            span.buffer_misses = bufmgr.misses - span._misses_before
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        elif span in self._stack:  # defensive: mismatched exit order
+            self._stack.remove(span)
+        parent = self._stack[-1] if self._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+    def set(self, key: str, value: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan("null")
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: every ``span()`` is the same shared no-op span.
+
+    This is the join framework's default, so an untraced run performs
+    no snapshots, allocates no span objects and keeps no state — the
+    zero-cost-when-disabled guarantee the Figure 6 benchmarks rely on.
+    """
+
+    enabled = False
+
+    def bind(self, bufmgr: "BufferManager") -> None:
+        return None
+
+    def span(self, name: str, **attributes: object) -> Span:
+        return _NULL_SPAN
+
+    def _enter(self, span: Span) -> None:
+        return None
+
+    def _exit(self, span: Span) -> None:
+        return None
+
+
+#: process-wide disabled tracer (the default everywhere)
+NULL_TRACER = NullTracer()

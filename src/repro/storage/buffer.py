@@ -30,11 +30,32 @@ from .faults import (
     TransientIOError,
 )
 
-__all__ = ["BufferManager", "BufferPoolFullError", "Frame"]
+__all__ = [
+    "BufferManager",
+    "BufferPoolFullError",
+    "BufferPoolExhaustedError",
+    "Frame",
+]
 
 
 class BufferPoolFullError(RuntimeError):
     """Raised when every frame is pinned and a new page must be brought in."""
+
+
+class BufferPoolExhaustedError(BufferPoolFullError):
+    """Every frame is pinned: no replacement policy can find a victim.
+
+    Raised identically by the LRU and clock paths so callers can handle
+    pool exhaustion with one ``except`` clause; carries the pool size
+    and the active policy for the error report.
+    """
+
+    def __init__(self, num_pages: int, policy: str) -> None:
+        super().__init__(
+            f"all {num_pages} buffer frames are pinned ({policy} policy)"
+        )
+        self.num_pages = num_pages
+        self.policy = policy
 
 
 class Frame:
@@ -148,6 +169,12 @@ class BufferManager:
 
     # ------------------------------------------------------------------
     @property
+    def hit_rate(self) -> float:
+        """Fraction of pins served without disk I/O (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
     def num_pinned(self) -> int:
         return sum(1 for frame in self._frames.values() if frame.pin_count > 0)
 
@@ -221,15 +248,16 @@ class BufferManager:
             for page_id, frame in self._frames.items():
                 if frame.pin_count == 0:
                     return page_id
-            raise BufferPoolFullError(
-                f"all {self.num_pages} frames are pinned"
-            )
+            raise BufferPoolExhaustedError(self.num_pages, self.policy)
         return self._choose_victim_clock()
 
     def _choose_victim_clock(self) -> int:
         page_ids = list(self._frames)
-        if not page_ids:
-            raise BufferPoolFullError("empty pool cannot evict")
+        # Check exhaustion up front: with every frame pinned the sweeps
+        # below would spin without ever yielding a victim, and an empty
+        # pool would make the hand's modulo divide by zero.
+        if not any(frame.pin_count == 0 for frame in self._frames.values()):
+            raise BufferPoolExhaustedError(self.num_pages, self.policy)
         # Two sweeps: the first clears reference bits, the second takes
         # the first unpinned frame.
         for _ in range(2 * len(page_ids)):
@@ -244,8 +272,9 @@ class BufferManager:
                 continue
             return page_id
         # All unpinned frames had their bits cleared in sweep one; pick
-        # the first unpinned one now.
+        # the first unpinned one now (the up-front check guarantees one
+        # exists).
         for page_id, frame in self._frames.items():
             if frame.pin_count == 0:
                 return page_id
-        raise BufferPoolFullError(f"all {self.num_pages} frames are pinned")
+        raise BufferPoolExhaustedError(self.num_pages, self.policy)

@@ -13,14 +13,19 @@ deterministically for chaos testing.
 from __future__ import annotations
 
 import zlib
-from typing import Optional
+from typing import Callable, Optional
 
 from .faults import FaultInjector, StorageFault
 from .stats import IOStats
 
+#: live page-transfer callback: ``observer(operation, page_id)`` with
+#: operation one of ``"read"`` / ``"write"`` / ``"allocate"``
+IOObserver = Callable[[str, int], None]
+
 __all__ = [
     "DiskManager",
     "DEFAULT_PAGE_SIZE",
+    "IOObserver",
     "PageNotAllocatedError",
     "PageCorruptionError",
 ]
@@ -90,6 +95,7 @@ class DiskManager:
         self._checksums: dict[int, int] = {}
         self._next_page_id = 0
         self.faults: Optional[FaultInjector] = None
+        self._observer: Optional[IOObserver] = None
         if faults is not None:
             self.set_faults(faults)
 
@@ -108,6 +114,18 @@ class DiskManager:
             )
         self.faults = faults
 
+    def set_observer(self, observer: Optional[IOObserver]) -> None:
+        """Attach (or detach, with ``None``) a live page-transfer observer.
+
+        The observer is called after the corresponding :class:`IOStats`
+        counter is bumped — it sees exactly the transfers the stats
+        count.  One is used by
+        :meth:`repro.obs.metrics.MetricsRegistry.attach_disk` for
+        per-operation counters and the seek-distance histogram; the cost
+        when detached is a single ``None`` check per transfer.
+        """
+        self._observer = observer
+
     # ------------------------------------------------------------------
     def allocate(self, count: int = 1) -> int:
         """Allocate ``count`` contiguous pages; return the first page id."""
@@ -121,6 +139,8 @@ class DiskManager:
             if self.checksums:
                 self._checksums[page_id] = zero_crc
             self.stats.record_allocation()
+            if self._observer is not None:
+                self._observer("allocate", page_id)
         self._next_page_id = first + count
         return first
 
@@ -162,6 +182,8 @@ class DiskManager:
                     page_id, "read", expected_crc=expected, actual_crc=actual
                 )
         self.stats.record_read(page_id)
+        if self._observer is not None:
+            self._observer("read", page_id)
         return data
 
     def write(self, page_id: int, data: bytes) -> None:
@@ -178,6 +200,8 @@ class DiskManager:
         if self.checksums:
             self._checksums[page_id] = zlib.crc32(self._pages[page_id])
         self.stats.record_write(page_id)
+        if self._observer is not None:
+            self._observer("write", page_id)
 
     # ------------------------------------------------------------------
     @property

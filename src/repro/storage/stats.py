@@ -70,7 +70,7 @@ class IOStats:
         "allocations",
         "retries",
         "giveups",
-        "_last_read",
+        "_head",
     )
 
     def __init__(self) -> None:
@@ -80,16 +80,22 @@ class IOStats:
         self.allocations = 0
         self.retries = 0
         self.giveups = 0
-        self._last_read = -2
+        # Disk-head position after the last transfer (read *or* write).
+        # Sequentiality must be judged against the actual last disk
+        # access: a write moves the head too, so a read that is
+        # contiguous only with the last *read* — with writes interleaved
+        # in between — is a seek, not a sequential transfer.
+        self._head = -2
 
     def record_read(self, page_id: int) -> None:
         self.reads += 1
-        if page_id != self._last_read + 1:
+        if page_id != self._head + 1:
             self.random_reads += 1
-        self._last_read = page_id
+        self._head = page_id
 
     def record_write(self, page_id: int) -> None:
         self.writes += 1
+        self._head = page_id
 
     def record_allocation(self) -> None:
         self.allocations += 1
@@ -122,4 +128,4 @@ class IOStats:
         self.allocations = 0
         self.retries = 0
         self.giveups = 0
-        self._last_read = -2
+        self._head = -2

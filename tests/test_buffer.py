@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.storage.buffer import BufferManager, BufferPoolFullError
+from repro.storage.buffer import (
+    BufferManager,
+    BufferPoolExhaustedError,
+    BufferPoolFullError,
+)
 from repro.storage.disk import DiskManager
 
 
@@ -118,6 +122,46 @@ class TestEviction:
         pool.pin(c)                # must evict b
         assert pool.is_resident(a) and pool.is_resident(c)
         assert not pool.is_resident(b)
+
+
+class TestPoolExhaustion:
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_all_pinned_raises_typed_error(self, policy):
+        """Regression: the clock policy used to spin forever when every
+        frame was pinned; both policies now fail with a typed error
+        carrying the pool size and policy."""
+        disk, pool = make_pool(frames=2, policy=policy)
+        pids = [disk.allocate() for _ in range(3)]
+        pool.pin(pids[0])
+        pool.pin(pids[1])
+        with pytest.raises(BufferPoolExhaustedError) as excinfo:
+            pool.pin(pids[2])
+        assert excinfo.value.num_pages == 2
+        assert excinfo.value.policy == policy
+
+    def test_exhaustion_is_a_pool_full_error(self):
+        # existing `except BufferPoolFullError` handlers keep working
+        assert issubclass(BufferPoolExhaustedError, BufferPoolFullError)
+
+    @pytest.mark.parametrize("policy", ["lru", "clock"])
+    def test_recovers_after_unpin(self, policy):
+        disk, pool = make_pool(frames=2, policy=policy)
+        pids = [disk.allocate() for _ in range(3)]
+        pool.pin(pids[0])
+        pool.pin(pids[1])
+        with pytest.raises(BufferPoolExhaustedError):
+            pool.pin(pids[2])
+        pool.unpin(pids[0])
+        pool.pin(pids[2])  # a free frame exists again
+        assert pool.is_resident(pids[2])
+
+    def test_hit_rate_property(self):
+        disk, pool = make_pool()
+        assert pool.hit_rate == 0.0
+        pid = disk.allocate()
+        pool.pin(pid); pool.unpin(pid)
+        pool.pin(pid); pool.unpin(pid)
+        assert pool.hit_rate == 0.5
 
 
 class TestFlushing:

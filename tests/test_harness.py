@@ -11,8 +11,10 @@ from repro.experiments.harness import (
     run_algorithm,
     run_lineup,
 )
+from repro.experiments.harness import AlgorithmResult
 from repro.experiments.report import format_ratio, format_table
-from repro.join.base import JoinSink
+from repro.join.base import JoinReport, JoinSink
+from repro.storage.stats import IOSnapshot
 from repro.workloads import synthetic as syn
 
 
@@ -113,6 +115,58 @@ class TestRunLineup:
             algorithms=["STACKTREE", "VPJ"],
         )
         assert [r.name for r in lineup.results] == ["STACKTREE", "VPJ"]
+
+
+def _tiny_lineup(baseline_io, alg_io, baseline_wall=0.0, alg_wall=0.0):
+    """A two-entry lineup built by hand, small enough to hit 0-I/O runs."""
+
+    def result(name, io, wall):
+        report = JoinReport(
+            algorithm=name,
+            result_count=0,
+            join_io=IOSnapshot(reads=io),
+            wall_seconds=wall,
+        )
+        return AlgorithmResult(name=name, report=report)
+
+    lineup = LineupResult(dataset="tiny")
+    lineup.results.append(result("INLJN", baseline_io, baseline_wall))
+    lineup.results.append(result("VPJ", alg_io, alg_wall))
+    return lineup
+
+
+class TestDegenerateRatios:
+    """Regression: tiny inputs that fit entirely in the buffer pool can
+    finish with zero I/O (and sub-tick wall time), which used to divide
+    by zero inside improvement_ratio/speedup."""
+
+    def test_zero_baseline_zero_alg_is_a_tie(self):
+        lineup = _tiny_lineup(baseline_io=0, alg_io=0)
+        assert lineup.improvement_ratio("VPJ") == 0.0
+        assert lineup.speedup("VPJ") == 1.0
+
+    def test_zero_baseline_paying_alg_is_minus_inf(self):
+        lineup = _tiny_lineup(baseline_io=0, alg_io=4)
+        assert lineup.improvement_ratio("VPJ") == float("-inf")
+        assert lineup.speedup("VPJ") == 0.0
+
+    def test_free_alg_against_paying_baseline(self):
+        lineup = _tiny_lineup(baseline_io=8, alg_io=0)
+        assert lineup.improvement_ratio("VPJ") == 1.0
+        assert lineup.speedup("VPJ") == float("inf")
+
+    def test_normal_case_unchanged(self):
+        lineup = _tiny_lineup(baseline_io=10, alg_io=5)
+        assert lineup.improvement_ratio("VPJ") == pytest.approx(0.5)
+        assert lineup.speedup("VPJ") == pytest.approx(2.0)
+
+    def test_wall_speedup_sub_tick_guards(self):
+        both_zero = _tiny_lineup(0, 0, baseline_wall=0.0, alg_wall=0.0)
+        assert both_zero.wall_speedup("VPJ") == 1.0
+        free_alg = _tiny_lineup(0, 0, baseline_wall=0.5, alg_wall=0.0)
+        assert free_alg.wall_speedup("VPJ") == float("inf")
+        normal = _tiny_lineup(0, 0, baseline_wall=1.0, alg_wall=0.25)
+        assert normal.wall_speedup("VPJ") == pytest.approx(4.0)
 
 
 class TestReportFormatting:

@@ -1,0 +1,388 @@
+"""Observability tests: tracer spans, metrics registry and exporters."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import (
+    Workbench,
+    make_algorithm,
+    materialize,
+    run_algorithm,
+    run_lineup,
+)
+from repro.obs import (
+    BENCH_SCHEMA,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullTracer,
+    Tracer,
+    bench_summary,
+    format_span_tree,
+    spans_from_jsonl,
+    trace_to_jsonl,
+    validate_bench_summary,
+    write_bench_summary,
+    write_trace_jsonl,
+)
+from repro.obs.__main__ import main as obs_main
+from repro.storage.disk import DiskManager
+from repro.workloads import synthetic as syn
+
+
+def _run(name="VPJ", dataset="MSSL", large=1200, small=200,
+         buffer_pages=8, tracer=None, seed=5):
+    """One cold algorithm run over a synthetic dataset."""
+    spec = syn.spec_by_name(dataset, large=large, small=small)
+    ds = syn.generate(spec, seed=seed)
+    bench = Workbench.create(buffer_pages=buffer_pages, page_size=128)
+    a_set = materialize(bench.bufmgr, ds.a_codes, ds.tree_height, "A")
+    d_set = materialize(bench.bufmgr, ds.d_codes, ds.tree_height, "D")
+    report = run_algorithm(make_algorithm(name), a_set, d_set, tracer=tracer)
+    return report, ds
+
+
+class TestTracerBasics:
+    def test_span_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        assert [c.name for c in tracer.roots[0].children] == ["inner", "sibling"]
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current is None
+        with tracer.span("a") as a:
+            assert tracer.current is a
+            with tracer.span("b") as b:
+                assert tracer.current is b
+            assert tracer.current is a
+        assert tracer.current is None
+
+    def test_error_is_recorded(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert tracer.roots[0].error == "RuntimeError"
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("s", depth=3) as span:
+            span.set("partitions", 7)
+        assert tracer.roots[0].attributes == {"depth": 3, "partitions": 7}
+
+    def test_clear_keeps_binding(self):
+        bench = Workbench.create(buffer_pages=4, page_size=128)
+        tracer = Tracer()
+        tracer.bind(bench.bufmgr)
+        with tracer.span("x"):
+            pass
+        tracer.clear()
+        assert tracer.roots == []
+        assert tracer.bufmgr is bench.bufmgr
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+        root = tracer.roots[0]
+        assert root.find("c").name == "c"
+        assert root.find("zzz") is None
+        assert [depth for depth, _ in root.walk()] == [0, 1, 2]
+
+
+class TestTracedJoin:
+    def test_vpj_root_io_matches_report_total(self):
+        """Acceptance: the root span's I/O delta is the JoinReport total."""
+        tracer = Tracer()
+        report, _ = _run("VPJ", tracer=tracer)
+        root = tracer.roots[-1]
+        assert root.name == "join.VPJ"
+        assert root.io.total == report.total_pages
+        assert root.io.reads == report.total_io.reads
+        assert root.io.writes == report.total_io.writes
+        assert report.trace is root
+
+    def test_span_tree_matches_vpj_phases(self):
+        """A partitioning VPJ run shows the Algorithm 5 phases as spans."""
+        tracer = Tracer()
+        report, _ = _run(
+            "VPJ", dataset="MLLL", large=2500, buffer_pages=6, tracer=tracer
+        )
+        root = tracer.roots[-1]
+        names = [span.name for _depth, span in root.walk()]
+        assert names[0] == "join.VPJ"
+        assert [c.name for c in root.children] == ["prepare", "execute"]
+        assert report.partitions > 0
+        assert "vpj.partition" in names
+        assert "vpj.memjoin" in names
+        # the partition span carries its anchor height and bucket count
+        partition = root.find("vpj.partition")
+        assert partition.attributes["partitions"] >= 1
+        assert "anchor_height" in partition.attributes
+
+    def test_stacktree_phases(self):
+        tracer = Tracer()
+        _run("STACKTREE", tracer=tracer)
+        root = tracer.roots[-1]
+        prepare = root.find("prepare")
+        execute = root.find("execute")
+        assert [c.name for c in prepare.children] == [
+            "stacktree.sort", "stacktree.sort",
+        ]
+        assert [c.name for c in execute.children] == ["stacktree.merge"]
+
+    def test_child_io_stays_within_parent(self):
+        """Span I/O is inclusive: children never sum above their parent."""
+        tracer = Tracer()
+        _run("VPJ", dataset="MLLL", large=2500, buffer_pages=6, tracer=tracer)
+        for _depth, span in tracer.roots[-1].walk():
+            child_total = sum(child.io.total for child in span.children)
+            assert child_total <= span.io.total
+            assert span.self_io.total >= 0
+
+    def test_buffer_activity_recorded(self):
+        tracer = Tracer()
+        report, _ = _run("VPJ", tracer=tracer)
+        assert report.buffer_misses > 0
+        root = tracer.roots[-1]
+        assert root.buffer_misses == report.buffer_misses
+        assert root.buffer_hits == report.buffer_hits
+
+    def test_nested_runs_nest_spans(self):
+        """A tracer shared across runs stacks roots side by side."""
+        tracer = Tracer()
+        _run("STACKTREE", tracer=tracer)
+        # run_algorithm resets stats per run, so use a fresh workbench run
+        spec = syn.spec_by_name("MSSL", large=600, small=100)
+        ds = syn.generate(spec, seed=6)
+        bench = Workbench.create(buffer_pages=8, page_size=128)
+        a_set = materialize(bench.bufmgr, ds.a_codes, ds.tree_height, "A")
+        d_set = materialize(bench.bufmgr, ds.d_codes, ds.tree_height, "D")
+        run_algorithm(
+            make_algorithm("MHCJ+Rollup"), a_set, d_set, tracer=tracer
+        )
+        assert [root.name for root in tracer.roots] == [
+            "join.STACKTREE", "join.MHCJ+Rollup",
+        ]
+
+
+class TestDisabledTracer:
+    def test_untraced_run_has_no_trace(self):
+        report, _ = _run("VPJ", tracer=None)
+        assert report.trace is None
+
+    def test_null_tracer_hands_out_one_shared_span(self):
+        span_a = NULL_TRACER.span("x")
+        span_b = NULL_TRACER.span("y", depth=1)
+        assert span_a is span_b
+
+    def test_null_span_ignores_everything(self):
+        tracer = NullTracer()
+        with tracer.span("phase", k=1) as span:
+            span.set("key", "value")
+        assert span.attributes == {}
+        assert tracer.roots == []
+        assert tracer.current is None
+
+    def test_null_tracer_never_binds(self):
+        bench = Workbench.create(buffer_pages=4, page_size=128)
+        NULL_TRACER.bind(bench.bufmgr)
+        assert NULL_TRACER.bufmgr is None
+
+    def test_disabled_flag(self):
+        assert Tracer.enabled is True
+        assert NULL_TRACER.enabled is False
+
+
+class TestJsonlExport:
+    def test_round_trip_preserves_structure(self):
+        tracer = Tracer()
+        _run("VPJ", tracer=tracer)
+        text = trace_to_jsonl(tracer)
+        rebuilt = spans_from_jsonl(text)
+        assert len(rebuilt) == len(tracer.roots)
+        original = list(tracer.roots[-1].walk())
+        restored = list(rebuilt[-1].walk())
+        assert len(original) == len(restored)
+        for (depth_a, span_a), (depth_b, span_b) in zip(original, restored):
+            assert depth_a == depth_b
+            assert span_a.name == span_b.name
+            assert span_a.io == span_b.io
+            assert span_a.buffer_hits == span_b.buffer_hits
+            assert span_a.buffer_misses == span_b.buffer_misses
+            assert span_a.attributes == span_b.attributes
+
+    def test_jsonl_lines_are_valid_json_with_links(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        records = [json.loads(line) for line in trace_to_jsonl(tracer).splitlines()]
+        assert records[0]["parent"] is None
+        assert records[1]["parent"] == records[0]["id"]
+
+    def test_write_trace_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        path = write_trace_jsonl(tracer, tmp_path / "trace.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "only"
+
+
+class TestFormatSpanTree:
+    def test_empty_forest(self):
+        assert format_span_tree([]) == "(no spans recorded)"
+
+    def test_table_indents_children(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("child", partitions=2):
+                pass
+        text = format_span_tree(tracer)
+        lines = text.splitlines()
+        assert lines[0].startswith("span")
+        assert any(line.startswith("parent") for line in lines)
+        assert any(line.startswith("  child") for line in lines)
+        assert "partitions=2" in text
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        registry.histogram("h").observe(3)
+        registry.histogram("h").observe(100)
+        assert registry.counter("c").value == 5
+        assert registry.gauge("g").value == 2.5
+        histogram = registry.histogram("h")
+        assert histogram.count == 2
+        assert histogram.mean == pytest.approx(51.5)
+        assert len(registry) == 3
+        assert registry.names() == ["c", "g", "h"]
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_metrics_agree_with_vpj_report(self):
+        """Acceptance: registry totals equal the JoinReport I/O totals."""
+        report, _ = _run("VPJ")
+        registry = MetricsRegistry()
+        registry.record_report(report, dataset="MSSL")
+        assert registry.counter("join.VPJ.io").value == report.total_pages
+        assert registry.counter("join.VPJ.prep_io").value == report.prep_io.total
+        assert registry.counter("join.VPJ.join_io").value == report.join_io.total
+        assert registry.counter("join.VPJ.results").value == report.result_count
+        assert registry.counter("join.VPJ.MSSL.io").value == report.total_pages
+        assert registry.histogram("join.VPJ.io_per_run").count == 1
+
+    def test_run_lineup_populates_metrics(self):
+        spec = syn.spec_by_name("MSSL", large=800, small=150)
+        ds = syn.generate(spec, seed=7)
+        registry = MetricsRegistry()
+        lineup = run_lineup(
+            "MSSL", ds.a_codes, ds.d_codes, ds.tree_height,
+            buffer_pages=8, page_size=128,
+            algorithms=["STACKTREE", "VPJ"], metrics=registry,
+        )
+        vpj = lineup.by_name("VPJ").report
+        assert registry.counter("join.VPJ.io").value == vpj.total_pages
+        assert registry.gauge("buffer.hits").value >= 0
+
+    def test_record_io_snapshot(self):
+        registry = MetricsRegistry()
+        disk = DiskManager(page_size=128)
+        pid = disk.allocate(3)
+        disk.read(pid)
+        disk.read(pid + 2)
+        registry.record_io(disk.stats.snapshot())
+        assert registry.counter("io.reads").value == 2
+        assert registry.counter("io.random_reads").value == 2
+        assert registry.counter("io.allocations").value == 3
+
+    def test_attach_disk_observes_live_transfers(self):
+        registry = MetricsRegistry()
+        disk = DiskManager(page_size=128)
+        registry.attach_disk(disk)
+        pid = disk.allocate(4)
+        disk.read(pid)
+        disk.read(pid + 3)
+        disk.write(pid, bytes(128))
+        assert registry.counter("disk.reads").value == 2
+        assert registry.counter("disk.writes").value == 1
+        assert registry.counter("disk.allocations").value == 4
+        seeks = registry.histogram("disk.seek_distance")
+        # the second read seeks 3 pages, the write seeks back 3
+        assert seeks.count == 2
+        assert seeks.max == 3
+
+    def test_as_dict_and_render(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.histogram("b").observe(10)
+        payload = registry.as_dict()
+        assert payload["a"] == 2
+        assert payload["b"]["count"] == 1
+        assert "<=16" in payload["b"]["buckets"]
+        text = registry.render()
+        assert "a" in text and "histogram" in text
+
+
+class TestBenchSummary:
+    def _summary(self):
+        report, _ = _run("VPJ", large=600, small=100)
+        return bench_summary("smoke", [("VPJ", "MSSL", report)])
+
+    def test_valid_summary_passes(self):
+        summary = self._summary()
+        assert summary["schema"] == BENCH_SCHEMA
+        assert validate_bench_summary(summary) == []
+
+    def test_validator_catches_problems(self):
+        assert validate_bench_summary([]) != []
+        assert any(
+            "schema" in problem
+            for problem in validate_bench_summary({"schema": "nope"})
+        )
+        broken = self._summary()
+        broken["algorithms"][0]["total_io"] = -1
+        assert any(
+            "total_io" in problem for problem in validate_bench_summary(broken)
+        )
+
+    def test_write_refuses_invalid(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_bench_summary(
+                {"schema": "wrong"}, tmp_path / "BENCH_bad.json"
+            )
+
+    def test_write_and_cli_check(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_smoke.json"
+        write_bench_summary(self._summary(), path)
+        assert obs_main([str(path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_cli_flags_invalid_and_unreadable(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        assert obs_main([str(bad)]) == 1
+        assert obs_main([str(tmp_path / "missing.json")]) == 2
+        capsys.readouterr()

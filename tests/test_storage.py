@@ -91,6 +91,30 @@ class TestIOStats:
         assert snap.random_reads == 2  # first read + the jump to 9
         assert snap.sequential_reads == 3
 
+    def test_write_moves_the_disk_head(self):
+        """Regression: writes used to leave the head at the last *read*,
+        so a read contiguous with it was classified sequential even
+        though the intervening write had seeked the arm away."""
+        stats = IOStats()
+        stats.record_read(1)    # random (first access)
+        stats.record_write(50)  # head is now at page 50
+        stats.record_read(2)    # contiguous with read 1, but a seek from 50
+        assert stats.snapshot().random_reads == 2
+
+    def test_read_after_contiguous_write_is_sequential(self):
+        stats = IOStats()
+        stats.record_write(7)
+        stats.record_read(8)    # head sits at 7, so this is sequential
+        snap = stats.snapshot()
+        assert snap.reads == 1 and snap.random_reads == 0
+
+    def test_reset_forgets_the_head(self):
+        stats = IOStats()
+        stats.record_read(5)
+        stats.reset()
+        stats.record_read(6)    # first access after reset: random again
+        assert stats.snapshot().random_reads == 1
+
     def test_delta_and_subtraction(self):
         stats = IOStats()
         stats.record_read(0)
