@@ -1,0 +1,108 @@
+"""Parallel partition-task scaling: serial vs ``workers > 1``.
+
+Not a figure from the paper — the paper's Section 5 ("the partitions
+can be processed independently") motivates the parallel layer, and this
+benchmark validates its two contracts at benchmark scale:
+
+* **exactness** — a parallel run reports the identical result count and
+  the identical page-I/O totals as the serial run (the parent performs
+  all storage I/O; workers are pure CPU);
+* **scaling** — wall time does not regress, and on a multi-core box the
+  per-algorithm speedup becomes visible (single-core CI only checks the
+  no-regression bound, with generous slack for pool startup).
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.join.mhcj import MultiHeightRollupJoin
+from repro.join.vpj import VerticalPartitionJoin
+from repro.workloads import synthetic as syn
+
+from .common import (
+    DEFAULT_BUFFER_PAGES,
+    DEFAULT_PAGE_SIZE,
+    SEED,
+    large_size,
+    save_result,
+    small_size,
+)
+from repro import BufferManager, DiskManager, ElementSet, JoinSink
+
+ALGORITHMS = [
+    ("VPJ", lambda w: VerticalPartitionJoin(workers=w)),
+    ("MHCJ+Rollup", lambda w: MultiHeightRollupJoin(workers=w)),
+]
+WORKER_COUNTS = [1, 2, 4]
+ROWS = []
+
+
+def run_once(factory, workers, dataset):
+    disk = DiskManager(page_size=DEFAULT_PAGE_SIZE)
+    bufmgr = BufferManager(disk, DEFAULT_BUFFER_PAGES)
+    a_set = ElementSet.from_codes(
+        bufmgr, dataset.a_codes, dataset.tree_height, "A"
+    )
+    d_set = ElementSet.from_codes(
+        bufmgr, dataset.d_codes, dataset.tree_height, "D"
+    )
+    bufmgr.flush_all()
+    bufmgr.evict_all()
+    disk.stats.reset()
+    sink = JoinSink("count")
+    started = time.perf_counter()
+    report = factory(workers).run(a_set, d_set, sink)
+    return report, time.perf_counter() - started
+
+
+@pytest.mark.parametrize("name,factory", ALGORITHMS, ids=[n for n, _ in ALGORITHMS])
+def test_parallel_scaling(benchmark, name, factory):
+    spec = syn.spec_by_name("MLLL", large=large_size(), small=small_size())
+    dataset = syn.generate(spec, seed=SEED)
+    serial_report, serial_wall = run_once(factory, 1, dataset)
+
+    walls = {1: serial_wall}
+    for workers in WORKER_COUNTS[1:]:
+        report, wall = run_once(factory, workers, dataset)
+        walls[workers] = wall
+        # the exactness contract, at benchmark scale
+        assert report.result_count == serial_report.result_count
+        assert report.prep_io == serial_report.prep_io
+        assert report.join_io == serial_report.join_io
+
+    best = min(w for w in WORKER_COUNTS[1:])
+    benchmark.pedantic(
+        lambda: run_once(factory, best, dataset), rounds=1, iterations=1
+    )
+    cores = multiprocessing.cpu_count()
+    speedup = serial_wall / max(walls[4], 1e-9)
+    benchmark.extra_info.update(
+        {"cores": cores, "speedup_4w": round(speedup, 2)}
+    )
+    ROWS.append(
+        {
+            "algorithm": name,
+            "cores": cores,
+            **{f"wall_{w}w_ms": round(walls[w] * 1000, 1) for w in WORKER_COUNTS},
+            "speedup_4w": round(speedup, 2),
+        }
+    )
+    # pool startup must never dominate at benchmark scale; on a
+    # single-core box parallel == serial plus bounded overhead
+    assert walls[4] < serial_wall * 3 + 0.5, (
+        f"{name}: 4-worker run pathologically slower ({walls})"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def emit_table():
+    yield
+    if ROWS:
+        header = list(ROWS[0])
+        lines = ["\t".join(header)]
+        lines += [
+            "\t".join(str(row[key]) for key in header) for row in ROWS
+        ]
+        save_result("parallel_scaling", "\n".join(lines))

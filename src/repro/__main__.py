@@ -267,6 +267,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         algorithms=algorithms,
         tracer=tracer,
         metrics=metrics,
+        workers=args.workers if args.parallel_scope == "lineup" else 1,
+        algorithm_workers=(
+            args.workers if args.parallel_scope == "algorithm" else 1
+        ),
     )
 
     have_baseline = any(
@@ -402,6 +406,16 @@ def main(argv: list[str] | None = None) -> int:
     bch.add_argument(
         "--bench-out", default="",
         help="write a schema-checked BENCH_*.json summary to this file",
+    )
+    bch.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for parallel execution (default 1 = serial)",
+    )
+    bch.add_argument(
+        "--parallel-scope", choices=("lineup", "algorithm"), default="lineup",
+        help="what --workers fans out: whole per-algorithm line-up runs "
+        "(lineup) or each partitioned algorithm's internal partition "
+        "tasks (algorithm); see docs/parallel.md",
     )
     bch.set_defaults(func=cmd_bench)
 

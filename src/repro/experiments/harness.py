@@ -42,6 +42,7 @@ from ..storage.faults import FaultConfig, FaultInjector, RetryPolicy
 
 __all__ = [
     "REGION_ALGORITHMS",
+    "PARALLEL_ALGORITHMS",
     "materialize",
     "run_algorithm",
     "AlgorithmResult",
@@ -57,8 +58,18 @@ __all__ = [
 REGION_ALGORITHMS = ("INLJN", "STACKTREE", "ADB+")
 
 
-def make_algorithm(name: str) -> JoinAlgorithm:
-    """Instantiate an algorithm by its paper name."""
+#: algorithms that can fan partition tasks out over a worker pool
+PARALLEL_ALGORITHMS = ("MHCJ+Rollup", "VPJ")
+
+
+def make_algorithm(name: str, workers: int = 1) -> JoinAlgorithm:
+    """Instantiate an algorithm by its paper name.
+
+    ``workers`` is forwarded to the partitioned algorithms that can fan
+    independent partition tasks out over a worker pool
+    (:data:`PARALLEL_ALGORITHMS`); the other operators have no
+    independent partitions and ignore it.
+    """
     factories = {
         "INLJN": IndexNestedLoopJoin,
         "STACKTREE": StackTreeDescJoin,
@@ -68,9 +79,12 @@ def make_algorithm(name: str) -> JoinAlgorithm:
         "VPJ": VerticalPartitionJoin,
     }
     try:
-        return factories[name]()
+        factory = factories[name]
     except KeyError:
         raise ValueError(f"unknown algorithm {name!r}") from None
+    if workers > 1 and name in PARALLEL_ALGORITHMS:
+        return factory(workers=workers)
+    return factory()
 
 
 def make_lineup(single_height: bool) -> list[str]:
@@ -242,6 +256,9 @@ def run_lineup(
     retry: Optional[RetryPolicy] = None,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    workers: int = 1,
+    parallel_mode: Optional[str] = None,
+    algorithm_workers: int = 1,
 ) -> LineupResult:
     """Run the standard line-up over one dataset, each algorithm cold.
 
@@ -255,11 +272,26 @@ def run_lineup(
     ``metrics`` accumulates per-algorithm counters (see
     :meth:`~repro.obs.metrics.MetricsRegistry.record_report`) plus the
     final buffer-pool and fault gauges.
+
+    ``workers > 1`` fans the per-algorithm runs out over a process
+    pool; each worker builds its own cold workbench, so every report
+    equals that algorithm's serial report on a fresh bench (fault
+    injection then requires a picklable :class:`FaultConfig`, not a
+    live injector — each worker seeds a fresh one from it).
+    ``algorithm_workers`` is instead forwarded to the partitioned
+    operators themselves (see :func:`make_algorithm`); the two scopes
+    compose but are usually used one at a time.
     """
     if algorithms is None:
         if single_height is None:
             raise ValueError("pass algorithms or single_height")
         algorithms = make_lineup(single_height)
+    if workers > 1:
+        return _run_lineup_parallel(
+            dataset_name, a_codes, d_codes, tree_height, buffer_pages,
+            page_size, algorithms, collect, faults, retry, tracer, metrics,
+            workers, parallel_mode, algorithm_workers,
+        )
 
     bench = Workbench.create(buffer_pages, page_size, faults=faults, retry=retry)
     ancestors = materialize(bench.bufmgr, a_codes, tree_height, f"{dataset_name}.A")
@@ -268,7 +300,7 @@ def run_lineup(
     lineup = LineupResult(dataset=dataset_name)
     counts = set()
     for name in algorithms:
-        algorithm = make_algorithm(name)
+        algorithm = make_algorithm(name, workers=algorithm_workers)
         sink = JoinSink("collect") if collect else None
         report = run_algorithm(
             algorithm, ancestors, descendants, sink, tracer=tracer
@@ -281,6 +313,11 @@ def run_lineup(
         metrics.record_buffer(bench.bufmgr)
         if bench.disk.faults is not None:
             metrics.record_fault_stats(bench.disk.faults.stats)
+    _check_counts(dataset_name, lineup, counts)
+    return lineup
+
+
+def _check_counts(dataset_name: str, lineup: LineupResult, counts: set) -> None:
     if len(counts) != 1:
         raise AssertionError(
             f"algorithms disagree on {dataset_name}: "
@@ -289,7 +326,141 @@ def run_lineup(
             )
         )
     lineup.result_count = counts.pop()
+
+
+def _run_lineup_parallel(
+    dataset_name: str,
+    a_codes: Sequence[int],
+    d_codes: Sequence[int],
+    tree_height: int,
+    buffer_pages: int,
+    page_size: int,
+    algorithms: Sequence[str],
+    collect: bool,
+    faults: "FaultInjector | FaultConfig | None",
+    retry: Optional[RetryPolicy],
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+    workers: int,
+    parallel_mode: Optional[str],
+    algorithm_workers: int,
+) -> LineupResult:
+    """Fan the per-algorithm runs of one line-up over a worker pool.
+
+    Deterministic merge: results, metrics and trace roots are folded in
+    the caller's algorithm order, never in completion order.  Worker
+    span trees come back as JSON lines and are attached under one
+    ``parallel.fanout`` root on the parent tracer; a worker-side
+    :class:`StorageFault` is rebuilt typed in the parent and raised
+    from the first faulted algorithm in line-up order.
+    """
+    from ..obs.export import spans_from_jsonl
+    from ..parallel.pool import WorkerPool
+    from ..parallel.tasks import LineupTask, fault_from_payload, run_lineup_task
+
+    if isinstance(faults, FaultInjector):
+        raise ValueError(
+            "a live FaultInjector cannot be shipped to line-up workers; "
+            "pass its FaultConfig instead (each worker seeds a fresh "
+            "injector, matching a serial run on a fresh bench)"
+        )
+    for name in algorithms:
+        make_algorithm(name)  # reject unknown names before spawning
+    traced = tracer is not None and tracer.enabled
+    tasks = [
+        LineupTask(
+            dataset=dataset_name,
+            algorithm=name,
+            a_codes=list(a_codes),
+            d_codes=list(d_codes),
+            tree_height=tree_height,
+            buffer_pages=buffer_pages,
+            page_size=page_size,
+            collect=collect,
+            faults=faults,
+            retry=retry,
+            traced=traced,
+            algorithm_workers=algorithm_workers,
+        )
+        for name in algorithms
+    ]
+    pool = WorkerPool(workers, mode=parallel_mode)
+    try:
+        futures = [(task, pool.submit(run_lineup_task, task)) for task in tasks]
+        payloads = [
+            pool.resolve(future, run_lineup_task, task)
+            for task, future in futures
+        ]
+    finally:
+        pool.close()
+
+    lineup = LineupResult(dataset=dataset_name)
+    counts = set()
+    fan_span = None
+    if traced:
+        fan_span = tracer.span(
+            "parallel.fanout", tasks=len(tasks), workers=workers
+        )
+        fan_span.__enter__()
+    try:
+        for task, payload in zip(tasks, payloads):
+            if payload["fault"] is not None:
+                raise fault_from_payload(payload["fault"])
+            report = payload["report"]
+            if payload["trace"]:
+                roots = spans_from_jsonl(payload["trace"])
+                if fan_span is not None:
+                    fan_span.children.extend(roots)
+                if roots:
+                    report.trace = roots[0]
+            lineup.results.append(
+                AlgorithmResult(name=task.algorithm, report=report)
+            )
+            counts.add(report.result_count)
+            if metrics is not None:
+                metrics.record_report(report, dataset=dataset_name)
+    finally:
+        if fan_span is not None:
+            fan_span.__exit__(None, None, None)
+    if metrics is not None:
+        _record_merged_gauges(metrics, payloads)
+    _check_counts(dataset_name, lineup, counts)
     return lineup
+
+
+def _record_merged_gauges(metrics: MetricsRegistry, payloads) -> None:
+    """Sum worker-bench buffer/fault gauges into the parent registry.
+
+    The serial path records the shared bench's final state; here each
+    algorithm ran on its own bench, so the line-up-level gauges are the
+    sums (with the hit rate recomputed over the summed accesses).
+    """
+    hits = sum(p["buffer"]["hits"] for p in payloads)
+    misses = sum(p["buffer"]["misses"] for p in payloads)
+    accesses = hits + misses
+    metrics.gauge("buffer.hits").set(hits)
+    metrics.gauge("buffer.misses").set(misses)
+    metrics.gauge("buffer.hit_rate").set(hits / accesses if accesses else 0.0)
+    metrics.gauge("buffer.resident").set(
+        sum(p["buffer"]["resident"] for p in payloads)
+    )
+    metrics.gauge("buffer.pinned").set(
+        sum(p["buffer"]["pinned"] for p in payloads)
+    )
+    fault_stats = [p["fault_stats"] for p in payloads if p["fault_stats"]]
+    if fault_stats:
+        read_errors = sum(s["read_errors"] for s in fault_stats)
+        write_errors = sum(s["write_errors"] for s in fault_stats)
+        torn = sum(s["torn_reads"] for s in fault_stats)
+        latency = sum(s["latency_events"] for s in fault_stats)
+        # mirrors FaultStats.total_injected (scheduled faults are
+        # already counted under their kind)
+        metrics.gauge("faults.injected").set(
+            read_errors + write_errors + torn + latency
+        )
+        metrics.gauge("faults.read_errors").set(read_errors)
+        metrics.gauge("faults.write_errors").set(write_errors)
+        metrics.gauge("faults.torn_reads").set(torn)
 
 
 _T = TypeVar("_T")

@@ -74,11 +74,21 @@ def choose_algorithm(
         )
     if both_sorted:
         return StackTreeDescJoin()
-    if both_indexed or a_props.indexed or d_props.indexed:
-        return IndexNestedLoopJoin(
-            d_index=d_props.start_index, a_index=a_props.interval_index
-        )
-    # neither sorted nor indexed: the paper's new territory
+    # INLJN probes a Start B+-tree on D (outer = A) or a stab structure
+    # on A's regions (outer = D).  An input "indexed" only by the wrong
+    # index type for its side contributes nothing — picking INLJN on
+    # that evidence would run an index join with no usable index, so
+    # only a usable probe-side index counts, and the outer relation is
+    # pinned to the side the existing index can serve.
+    d_start = d_props.start_index
+    a_stab = a_props.interval_index
+    if d_start is not None and a_stab is not None:
+        return IndexNestedLoopJoin(d_index=d_start, a_index=a_stab)
+    if d_start is not None:
+        return IndexNestedLoopJoin(d_index=d_start, force_outer="A")
+    if a_stab is not None:
+        return IndexNestedLoopJoin(a_index=a_stab, force_outer="D")
+    # neither sorted nor usably indexed: the paper's new territory
     if a_props.single_height is not None:
         return SingleHeightJoin(height=a_props.single_height)
     budget = buffer_pages or ancestors.bufmgr.num_pages

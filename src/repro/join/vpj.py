@@ -32,6 +32,9 @@ from bisect import bisect_left, bisect_right
 from typing import Optional
 
 from ..core import pbitree
+from ..parallel.fanout import Fanout, open_fanout
+from ..parallel.pool import split_chunks
+from ..parallel.tasks import MemJoinTask, run_memjoin_task
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from ..storage.heapfile import HeapFile
@@ -46,8 +49,6 @@ def memory_containment_join(
     ancestors: "ElementSet | list[HeapFile]",
     descendants: "ElementSet | list[HeapFile]",
     sink: JoinSink,
-    bufmgr: BufferManager,
-    report: JoinReport,
     dedup_above_height: Optional[int] = None,
 ) -> None:
     """Algorithm 6: containment join when one side fits in memory.
@@ -154,27 +155,56 @@ class _Partition:
 
 
 class VerticalPartitionJoin(JoinAlgorithm):
-    """V-Partition-Join (Algorithm 5)."""
+    """V-Partition-Join (Algorithm 5).
+
+    ``workers > 1`` fans the memory-joinable co-partitions (after
+    purging and merging) out over a process pool: the parent still
+    performs every page access in serial order while extracting each
+    partition's code arrays, and the workers run the Algorithm 6 kernel
+    as pure CPU — so the merged accounting is byte-identical to a
+    serial run (see docs/parallel.md).  Partitioning itself and the
+    rollup fallback stay in the parent.
+    """
 
     name = "VPJ"
 
-    def __init__(self, max_recursion: int = 16) -> None:
+    def __init__(
+        self,
+        max_recursion: int = 16,
+        workers: int = 1,
+        parallel_mode: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.max_recursion = max_recursion
+        self.workers = workers
+        self.parallel_mode = parallel_mode
+        #: fanout of the current run; None while serial / between runs
+        self._fanout: Optional[Fanout] = None
 
     def _execute(self, prepared, sink: JoinSink, bufmgr: BufferManager) -> JoinReport:
         ancestors, descendants = prepared
         report = JoinReport(algorithm=self.name, result_count=0)
-        self._join(
-            ancestors,
-            descendants,
-            base_level=0,
-            dedup_above_height=None,
-            sink=sink,
-            bufmgr=bufmgr,
-            report=report,
-            tree_height=ancestors.tree_height,
-            depth=0,
-        )
+        fanout = open_fanout(self.workers, self.parallel_mode)
+        self._fanout = fanout
+        try:
+            self._join(
+                ancestors,
+                descendants,
+                base_level=0,
+                dedup_above_height=None,
+                sink=sink,
+                bufmgr=bufmgr,
+                report=report,
+                tree_height=ancestors.tree_height,
+                depth=0,
+            )
+            if fanout is not None:
+                fanout.drain_traced(sink, report, self._tracer)
+        finally:
+            self._fanout = None
+            if fanout is not None:
+                fanout.close()
         return report
 
     # ------------------------------------------------------------------
@@ -198,9 +228,7 @@ class VerticalPartitionJoin(JoinAlgorithm):
 
         if min(a_pages, d_pages) <= max(1, budget - 2):
             with self.trace("vpj.memjoin", depth=depth):
-                memory_containment_join(
-                    a_files, d_files, sink, bufmgr, report, dedup_above_height
-                )
+                self._memjoin(a_files, d_files, sink, dedup_above_height)
             return
         if depth >= self.max_recursion or base_level >= tree_height - 1:
             # cannot split further (pathologically deep or duplicated
@@ -231,12 +259,10 @@ class VerticalPartitionJoin(JoinAlgorithm):
             for partition in self._merge_small(partitions, budget):
                 if min(partition.a_pages, partition.d_pages) <= max(1, budget - 2):
                     with self.trace("vpj.memjoin", depth=depth):
-                        memory_containment_join(
+                        self._memjoin(
                             partition.a_files,
                             partition.d_files,
                             sink,
-                            bufmgr,
-                            report,
                             dedup_above_height=partition.anchor_height,
                         )
                 else:
@@ -255,16 +281,84 @@ class VerticalPartitionJoin(JoinAlgorithm):
             for partition in partitions.values():
                 partition.destroy()
 
+    def _memjoin(
+        self,
+        a_files: list[HeapFile],
+        d_files: list[HeapFile],
+        sink: JoinSink,
+        dedup_above_height: Optional[int],
+    ) -> None:
+        """Join one memory-sized co-partition, serially or fanned out."""
+        fanout = self._fanout
+        if fanout is None:
+            memory_containment_join(a_files, d_files, sink, dedup_above_height)
+            return
+        # Parallel path: replay the exact serial page-access order while
+        # extracting the partition's code arrays, then ship the pure-CPU
+        # Algorithm 6 kernel to the pool.  All storage I/O stays on this
+        # side of the fan-out, so the merged accounting equals serial.
+        a_pages = sum(f.num_pages for f in a_files)
+        d_pages = sum(f.num_pages for f in d_files)
+        d_fits = d_pages <= a_pages
+        if d_fits:
+            d_codes = [r[0] for heap in d_files for r in heap.scan()]
+            a_codes = [r[0] for heap in a_files for r in heap.scan()]
+        else:
+            a_codes = [r[0] for heap in a_files for r in heap.scan()]
+            d_codes = [r[0] for heap in d_files for r in heap.scan()]
+        if not a_codes or not d_codes:
+            return
+        traced = self._tracer.enabled
+        collect = sink.collects
+        if d_fits and dedup_above_height is not None:
+            # replicated-ancestor de-duplication must see the whole
+            # ancestor stream: one task for the whole co-partition
+            fanout.submit(run_memjoin_task, MemJoinTask(
+                label="vpj.memjoin.task",
+                a_codes=a_codes,
+                d_codes=d_codes,
+                d_fits=True,
+                dedup_above_height=dedup_above_height,
+                collect=collect,
+                traced=traced,
+            ))
+            return
+        # chunk the streamed side (the in-memory side ships whole);
+        # the A-fits branch de-duplicates replicas per worker by
+        # construction, so chunking its descendant stream is safe
+        streamed = a_codes if d_fits else d_codes
+        for index, chunk in enumerate(split_chunks(streamed, fanout.workers)):
+            fanout.submit(run_memjoin_task, MemJoinTask(
+                label=f"vpj.memjoin.task[{index}]",
+                a_codes=chunk if d_fits else a_codes,
+                d_codes=d_codes if d_fits else chunk,
+                d_fits=d_fits,
+                dedup_above_height=None,
+                collect=collect,
+                traced=traced,
+            ))
+
     def _fallback(self, a_files, d_files, sink, bufmgr, report, tree_height):
         """Join a partition that cannot be vertically split further."""
-        temp_a = _concat_as_set(a_files, bufmgr, tree_height, "vpj.fb.A", dedup=True)
-        temp_d = _concat_as_set(d_files, bufmgr, tree_height, "vpj.fb.D", dedup=False)
-        inner = MultiHeightRollupJoin()
-        # the nested run's root span becomes a child of vpj.fallback
-        inner_report = inner.run(temp_a, temp_d, sink, tracer=self._tracer)
-        report.false_hits += inner_report.false_hits
-        temp_a.destroy()
-        temp_d.destroy()
+        temp_a: Optional[ElementSet] = None
+        temp_d: Optional[ElementSet] = None
+        try:
+            temp_a = _concat_as_set(
+                a_files, bufmgr, tree_height, "vpj.fb.A", dedup=True
+            )
+            temp_d = _concat_as_set(
+                d_files, bufmgr, tree_height, "vpj.fb.D", dedup=False
+            )
+            inner = MultiHeightRollupJoin()
+            # the nested run's root span becomes a child of vpj.fallback
+            inner_report = inner.run(temp_a, temp_d, sink, tracer=self._tracer)
+            report.false_hits += inner_report.false_hits
+        finally:
+            # a mid-join fault must not leak the concatenated temp sets:
+            # destroy whatever was materialised before the fault
+            for temp in (temp_a, temp_d):
+                if temp is not None:
+                    temp.destroy()
 
     @staticmethod
     def _sample_lca(
@@ -424,13 +518,12 @@ class VerticalPartitionJoin(JoinAlgorithm):
                 if partition is None:
                     partition = _Partition(anchor_height)
                     partitions[bucket] = partition
-                files_for_side = getattr(partition, side)
-                if files_for_side:
-                    writer = files_for_side[-1].open_writer(resume=True)
-                else:
-                    heap = HeapFile(bufmgr, CODE, name=f"vpj.{side}.{bucket}")
-                    files_for_side.append(heap)
-                    writer = heap.open_writer()
+                # one writer per (bucket, side) per pass — the writers
+                # cache is never evicted, so each scatter contributes
+                # exactly one fresh heap file to the side's file list
+                heap = HeapFile(bufmgr, CODE, name=f"vpj.{side}.{bucket}")
+                getattr(partition, side).append(heap)
+                writer = heap.open_writer()
                 writers[bucket] = writer
             return writer
 

@@ -1,0 +1,387 @@
+"""Picklable partition tasks and their pure-CPU worker kernels.
+
+The accounting contract of the parallel subsystem (docs/parallel.md)
+is that a parallel run's merged page-I/O equals the serial run's
+*exactly*.  The design that makes this trivial rather than heroic: the
+parent replays the exact serial page-access order while extracting
+each partition's code arrays, and ships only those arrays.  Workers
+never open a :class:`~repro.storage.disk.DiskManager` for partition
+work — their kernels are pure CPU over the shipped lists — so all
+storage I/O, buffer hits/misses, retries and injected faults happen in
+the parent, in serial order.
+
+Line-up tasks (:class:`LineupTask`) are the one exception: each worker
+builds its *own complete workbench* (disk + buffer pool) from the
+shipped codes, because a line-up run is defined as "this algorithm,
+cold, on a fresh bench".  The worker sends the finished
+:class:`~repro.join.base.JoinReport` back (trace detached and shipped
+as JSON lines, which survive pickling losslessly), plus structured
+fault payloads — :class:`~repro.storage.faults.StorageFault` instances
+themselves use keyword-only constructors and do not round-trip through
+pickle.
+
+Every task dataclass here is frozen and built from ints, strings and
+lists of ints — safe for both ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, TypedDict
+
+from ..core import pbitree
+from ..core.pbitree import PBiCode
+from ..obs.export import trace_to_jsonl
+from ..obs.tracer import Tracer
+from ..storage.faults import (
+    FaultConfig,
+    PermanentIOError,
+    RetryPolicy,
+    StorageFault,
+    TransientIOError,
+)
+
+__all__ = [
+    "TaskResult",
+    "LineupTaskResult",
+    "MemJoinTask",
+    "HeightProbeTask",
+    "LineupTask",
+    "run_memjoin_task",
+    "run_height_probe_task",
+    "run_lineup_task",
+    "fault_to_payload",
+    "fault_from_payload",
+]
+
+
+class TaskResult(TypedDict):
+    """What every partition-task worker sends back to the parent."""
+
+    #: pairs emitted by this task's kernel
+    count: int
+    #: candidates that failed Lemma-1 verification (MHCJ rollup path)
+    false_hits: int
+    #: the emitted pairs, or ``None`` when the parent sink only counts
+    pairs: Optional[list[tuple[int, int]]]
+    #: worker-side span tree as JSON lines, or ``None`` when untraced
+    trace: Optional[str]
+
+
+class LineupTaskResult(TypedDict):
+    """One algorithm's cold run on a worker-private workbench."""
+
+    #: finished report (``trace`` detached), or ``None`` when faulted
+    report: Optional[Any]
+    #: structured :func:`fault_to_payload` payload, or ``None``
+    fault: Optional[dict[str, Any]]
+    #: worker tracer output as JSON lines, or ``None`` when untraced
+    trace: Optional[str]
+    #: final buffer-pool gauges of the worker's bench
+    buffer: dict[str, float]
+    #: injected-fault tallies of the worker's bench, or ``None``
+    fault_stats: Optional[dict[str, int]]
+
+
+# ---------------------------------------------------------------------------
+# VPJ: memory containment join over one co-partition
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class MemJoinTask:
+    """Algorithm 6 kernel over extracted code arrays.
+
+    ``d_fits`` selects the branch the parent chose from *page* counts
+    (the serial criterion — record counts could disagree with it):
+    True sorts the descendant codes and binary-searches each ancestor's
+    region; False builds per-height ancestor hash sets and probes each
+    descendant with ``F``.  ``dedup_above_height`` carries VPJ's
+    replicated-ancestor de-duplication; the parent only chunks the
+    ancestor stream when it is ``None`` (the dedup set must see the
+    whole stream).
+    """
+
+    label: str
+    a_codes: list[int]
+    d_codes: list[int]
+    d_fits: bool
+    dedup_above_height: Optional[int]
+    collect: bool
+    traced: bool
+
+
+def _memjoin_kernel(task: MemJoinTask, emit: Callable[[int, int], None]) -> None:
+    region_of = pbitree.region_of
+    height_of = pbitree.height_of
+    f_ancestor = pbitree.f_ancestor
+    if task.d_fits:
+        d_codes = sorted(task.d_codes)
+        dedup = task.dedup_above_height
+        seen_high: set[int] = set()
+        for a_code in task.a_codes:
+            if dedup is not None and height_of(PBiCode(a_code)) > dedup:
+                if a_code in seen_high:
+                    continue
+                seen_high.add(a_code)
+            start, end = region_of(PBiCode(a_code))
+            lo = bisect_left(d_codes, start)
+            hi = bisect_right(d_codes, end)
+            for d_code in d_codes[lo:hi]:
+                if a_code != d_code:
+                    emit(a_code, d_code)
+    else:
+        # hash sets de-duplicate replicated ancestors by construction
+        by_height: dict[int, set[int]] = {}
+        for a_code in task.a_codes:
+            by_height.setdefault(height_of(PBiCode(a_code)), set()).add(a_code)
+        heights = sorted(by_height, reverse=True)
+        for d_code in task.d_codes:
+            d_height = height_of(PBiCode(d_code))
+            for height in heights:
+                if height <= d_height:
+                    break
+                anc = f_ancestor(PBiCode(d_code), height)
+                if anc in by_height[height]:
+                    emit(anc, d_code)
+
+
+def run_memjoin_task(task: MemJoinTask) -> TaskResult:
+    """Execute one VPJ memory-join kernel; pure CPU, no storage."""
+    pairs: Optional[list[tuple[int, int]]] = [] if task.collect else None
+    count = 0
+
+    def emit(a_code: int, d_code: int) -> None:
+        nonlocal count
+        count += 1
+        if pairs is not None:
+            pairs.append((a_code, d_code))
+
+    trace: Optional[str] = None
+    if task.traced:
+        tracer = Tracer()
+        with tracer.span(
+            task.label,
+            a_records=len(task.a_codes),
+            d_records=len(task.d_codes),
+        ):
+            _memjoin_kernel(task, emit)
+        trace = trace_to_jsonl(tracer)
+    else:
+        _memjoin_kernel(task, emit)
+    return TaskResult(count=count, false_hits=0, pairs=pairs, trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# MHCJ: one height class's hash probe
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class HeightProbeTask:
+    """One (chunk of one) height class of MHCJ / MHCJ+Rollup.
+
+    ``a_pairs`` are ``(effective, original)`` records — ``effective``
+    is the (possibly rolled) code at ``height``.  Matches through
+    rolled records are verified with Lemma 1 against the original code;
+    failures count as false hits, exactly as the serial
+    ``_join_height_class``.  Either side may be the chunked one; the
+    kernel's output is identical regardless of which side streams.
+    """
+
+    label: str
+    height: int
+    a_pairs: list[tuple[int, int]]
+    d_codes: list[int]
+    collect: bool
+    traced: bool
+
+
+def _height_probe_kernel(
+    task: HeightProbeTask, emit: Callable[[int, int], None]
+) -> int:
+    height_of = pbitree.height_of
+    f_ancestor = pbitree.f_ancestor
+    is_ancestor = pbitree.is_ancestor
+    height = task.height
+    false_hits = 0
+    table: dict[int, list[tuple[int, int]]] = {}
+    for pair in task.a_pairs:
+        table.setdefault(pair[0], []).append(pair)
+    for d_code in task.d_codes:
+        if height_of(PBiCode(d_code)) >= height:
+            continue
+        anc = f_ancestor(PBiCode(d_code), height)
+        for effective, original in table.get(anc, ()):
+            if effective == original:
+                emit(original, d_code)
+            elif is_ancestor(PBiCode(original), PBiCode(d_code)):
+                emit(original, d_code)
+            else:
+                false_hits += 1
+    return false_hits
+
+
+def run_height_probe_task(task: HeightProbeTask) -> TaskResult:
+    """Execute one MHCJ height-class probe; pure CPU, no storage."""
+    pairs: Optional[list[tuple[int, int]]] = [] if task.collect else None
+    count = 0
+
+    def emit(a_code: int, d_code: int) -> None:
+        nonlocal count
+        count += 1
+        if pairs is not None:
+            pairs.append((a_code, d_code))
+
+    trace: Optional[str] = None
+    if task.traced:
+        tracer = Tracer()
+        with tracer.span(
+            task.label,
+            height=task.height,
+            a_records=len(task.a_pairs),
+            d_records=len(task.d_codes),
+        ):
+            false_hits = _height_probe_kernel(task, emit)
+        trace = trace_to_jsonl(tracer)
+    else:
+        false_hits = _height_probe_kernel(task, emit)
+    return TaskResult(count=count, false_hits=false_hits, pairs=pairs, trace=trace)
+
+
+# ---------------------------------------------------------------------------
+# harness: one algorithm's cold line-up run
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class LineupTask:
+    """One algorithm of a line-up, run cold on a worker-private bench.
+
+    ``faults`` must be a (picklable, frozen) :class:`FaultConfig`, not
+    a live injector: the worker builds a fresh seeded injector from it,
+    so a parallel line-up's fault schedule per algorithm equals a
+    serial run of that algorithm on a fresh bench with the same config.
+    """
+
+    dataset: str
+    algorithm: str
+    a_codes: list[int]
+    d_codes: list[int]
+    tree_height: int
+    buffer_pages: int
+    page_size: int
+    collect: bool
+    faults: Optional[FaultConfig]
+    retry: Optional[RetryPolicy]
+    traced: bool
+    algorithm_workers: int = 1
+
+
+def fault_to_payload(fault: StorageFault) -> dict[str, Any]:
+    """Flatten a fault for the trip back to the parent process.
+
+    ``StorageFault`` constructors take keyword-only arguments, which
+    default pickling of exceptions does not reproduce — a raised fault
+    crossing a process boundary would turn into a ``TypeError``.
+    """
+    return {
+        "type": type(fault).__name__,
+        "message": fault.args[0] if fault.args else "storage fault",
+        "page_id": fault.page_id,
+        "operation": fault.operation,
+        "transient": fault.transient,
+        "context": list(fault.context),
+        "algorithm": fault.algorithm,
+    }
+
+
+def fault_from_payload(payload: dict[str, Any]) -> StorageFault:
+    """Rebuild a typed fault from :func:`fault_to_payload` output."""
+    kinds: dict[str, type[StorageFault]] = {
+        "TransientIOError": TransientIOError,
+        "PermanentIOError": PermanentIOError,
+    }
+    kind = kinds.get(str(payload["type"]))
+    fault: StorageFault
+    if kind is not None and payload["page_id"] is not None:
+        fault = kind(
+            str(payload["message"]),
+            page_id=int(payload["page_id"]),
+            operation=str(payload["operation"]),
+        )
+    else:
+        fault = StorageFault(
+            str(payload["message"]),
+            page_id=payload["page_id"],
+            operation=payload["operation"],
+            transient=bool(payload["transient"]),
+        )
+    fault.context = list(payload["context"])
+    fault.algorithm = payload["algorithm"]
+    return fault
+
+
+def run_lineup_task(task: LineupTask) -> LineupTaskResult:
+    """Run one algorithm cold on a fresh workbench (worker side)."""
+    # imported lazily: the harness imports the join operators, which
+    # import this package — a module-level import would be circular
+    from ..experiments.harness import (
+        Workbench,
+        make_algorithm,
+        materialize,
+        run_algorithm,
+    )
+    from ..join.base import JoinSink
+
+    bench = Workbench.create(
+        task.buffer_pages, task.page_size, faults=task.faults, retry=task.retry
+    )
+    ancestors = materialize(
+        bench.bufmgr, task.a_codes, task.tree_height, f"{task.dataset}.A"
+    )
+    descendants = materialize(
+        bench.bufmgr, task.d_codes, task.tree_height, f"{task.dataset}.D"
+    )
+    algorithm = make_algorithm(task.algorithm, workers=task.algorithm_workers)
+    sink = JoinSink("collect" if task.collect else "count")
+    tracer = Tracer() if task.traced else None
+
+    def buffer_gauges() -> dict[str, float]:
+        return {
+            "hits": float(bench.bufmgr.hits),
+            "misses": float(bench.bufmgr.misses),
+            "resident": float(bench.bufmgr.num_resident),
+            "pinned": float(bench.bufmgr.num_pinned),
+        }
+
+    def fault_stats() -> Optional[dict[str, int]]:
+        injector = bench.disk.faults
+        if injector is None:
+            return None
+        stats = injector.stats
+        return {
+            "read_errors": stats.read_errors,
+            "write_errors": stats.write_errors,
+            "torn_reads": stats.torn_reads,
+            "latency_events": stats.latency_events,
+            "scheduled_fired": stats.scheduled_fired,
+        }
+
+    try:
+        report = run_algorithm(
+            algorithm, ancestors, descendants, sink, tracer=tracer
+        )
+    except StorageFault as fault:
+        return LineupTaskResult(
+            report=None,
+            fault=fault_to_payload(fault),
+            trace=trace_to_jsonl(tracer) if tracer is not None else None,
+            buffer=buffer_gauges(),
+            fault_stats=fault_stats(),
+        )
+    # the trace is shipped as JSON lines (span objects hold a tracer
+    # reference, which drags the whole workbench into the pickle)
+    report.trace = None
+    return LineupTaskResult(
+        report=report,
+        fault=None,
+        trace=trace_to_jsonl(tracer) if tracer is not None else None,
+        buffer=buffer_gauges(),
+        fault_stats=fault_stats(),
+    )

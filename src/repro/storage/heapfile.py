@@ -47,14 +47,23 @@ class HeapFile:
         records: Iterable[Sequence[int]],
         name: str = "",
     ) -> "HeapFile":
-        """Materialise ``records`` into a new heap file (charged as writes)."""
+        """Materialise ``records`` into a new heap file (charged as writes).
+
+        If the source iterable raises mid-build (e.g. an injected
+        storage fault while scanning another file), the partially
+        written heap is destroyed before the error propagates — the
+        caller never learns this heap existed, so it must not leak.
+        """
         heap = cls(bufmgr, codec, name)
         writer = heap.open_writer()
         try:
             for record in records:
                 writer.append(record)
-        finally:
+        except BaseException:
             writer.close()
+            heap.destroy()
+            raise
+        writer.close()
         return heap
 
     def open_writer(self, resume: bool = False) -> "HeapFileWriter":

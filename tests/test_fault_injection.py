@@ -417,3 +417,65 @@ class TestHarnessAndDbWiring:
         assert chaotic_db.disk.checksums  # auto-enabled with faults
         assert injector.reads_seen > 0
         assert chaotic_db.fault_stats is injector.stats
+
+
+# ----------------------------------------------------------------------
+# regression: VPJ's rollup fallback must not leak its temp sets
+# ----------------------------------------------------------------------
+class TestVpjFallbackCleanup:
+    """``VerticalPartitionJoin._fallback`` concatenates the partition
+    into two temporary element sets and hands them to an inner rollup
+    join.  A fault raised while building the second set or inside the
+    inner join used to leak the already-built sets' pages: cleanup sat
+    after the join instead of in a ``finally``.  The sweep below fires a
+    permanent read error at every phase of the fallback and checks the
+    disk returns to its pre-join page count every time.
+    """
+
+    def bench(self):
+        tree = random_tree(420, max_fanout=5, seed=31)
+        encoding = binarize(tree)
+        rng = random.Random(7)
+        a_codes = rng.sample(tree.codes, 260)
+        d_codes = rng.sample(tree.codes, 300)
+        injector = FaultInjector(seed=CHAOS_SEED)
+        disk = DiskManager(page_size=128, checksums=True, faults=injector)
+        bufmgr = BufferManager(disk, 4)  # both sides exceed budget - 2
+        a_set = ElementSet.from_codes(bufmgr, a_codes, encoding.tree_height, "A")
+        d_set = ElementSet.from_codes(bufmgr, d_codes, encoding.tree_height, "D")
+        bufmgr.flush_all()
+        bufmgr.evict_all()
+        return injector, disk, bufmgr, a_set, d_set
+
+    def fault_free_reads(self):
+        injector, disk, bufmgr, a_set, d_set = self.bench()
+        VerticalPartitionJoin(max_recursion=0).run(
+            a_set, d_set, JoinSink("count")
+        )
+        assert injector.stats.scheduled_fired == 0
+        return injector.reads_seen
+
+    def test_faulted_fallback_releases_every_temp_page(self):
+        total_reads = self.fault_free_reads()
+        assert total_reads > 8
+        # sweep the whole fallback: faults while concatenating temp A,
+        # while concatenating temp D, and inside the inner rollup join;
+        # the chaos seed rotates the sampled positions in CI
+        positions = sorted(
+            {1 + (CHAOS_SEED + step * total_reads // 7) % total_reads
+             for step in range(1, 7)}
+        )
+        for at in positions:
+            injector, disk, bufmgr, a_set, d_set = self.bench()
+            baseline = disk.num_allocated
+            injector.schedule("read-error", at=at, permanent=True)
+            with pytest.raises(StorageFault):
+                VerticalPartitionJoin(max_recursion=0).run(
+                    a_set, d_set, JoinSink("count")
+                )
+            assert injector.stats.scheduled_fired == 1
+            assert bufmgr.num_pinned == 0, f"pin leaked at read {at}"
+            assert disk.num_allocated == baseline, (
+                f"fallback leaked {disk.num_allocated - baseline} pages "
+                f"when faulted at read {at}"
+            )

@@ -1,0 +1,384 @@
+"""Differential suite for the parallel execution layer.
+
+The contract of ``repro.parallel`` is *exact equivalence*: a run with
+``workers > 1`` must produce the identical sorted pair set AND the
+identical page-I/O accounting as the serial run, because the parent
+performs every storage access in serial order and ships only pure-CPU
+kernels to the pool.  These tests enforce that bit-for-bit — pairs,
+``prep_io``/``join_io`` snapshots, buffer hits/misses and false-hit
+counts — over synthetic and XMark workloads, with and without fault
+injection, plus unit coverage of the pool/chunking/payload machinery.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    BufferManager,
+    DiskManager,
+    ElementSet,
+    FaultConfig,
+    FaultInjector,
+    JoinSink,
+    MultiHeightJoin,
+    MultiHeightRollupJoin,
+    PermanentIOError,
+    RetryPolicy,
+    StorageFault,
+    TransientIOError,
+    VerticalPartitionJoin,
+    binarize,
+)
+from repro.datatree.paths import select_by_tag
+from repro.experiments.harness import run_lineup
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.parallel import (
+    PARALLEL_MODE_ENV,
+    WorkerPool,
+    fault_from_payload,
+    fault_to_payload,
+    split_chunks,
+)
+from repro.workloads.synthetic import generate, spec_by_name
+from repro.workloads.xmark import generate_tree
+
+#: chaos seed rotates in CI like the fault-injection suite's
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+#: (name, factory) — factory(workers, mode) builds the operator
+PARALLEL_ALGORITHMS = [
+    (
+        "VPJ",
+        lambda w, m: VerticalPartitionJoin(workers=w, parallel_mode=m),
+    ),
+    (
+        "MHCJ+Rollup",
+        lambda w, m: MultiHeightRollupJoin(workers=w, parallel_mode=m),
+    ),
+    (
+        "MHCJ",
+        lambda w, m: MultiHeightJoin(workers=w, parallel_mode=m),
+    ),
+]
+ALGORITHM_IDS = [name for name, _ in PARALLEL_ALGORITHMS]
+
+
+def dataset(name="MLLL", large=2500, small=400, seed=7):
+    spec = spec_by_name(name, large=large, small=small)
+    return generate(spec, seed=seed)
+
+
+def run_cold(
+    algorithm,
+    a_codes,
+    d_codes,
+    tree_height,
+    frames=10,
+    faults=None,
+    retry=None,
+    tracer=None,
+):
+    """Fresh cold bench, collect pairs; returns (pairs, report, bufmgr)."""
+    disk = DiskManager(page_size=128, checksums=faults is not None, faults=faults)
+    bufmgr = BufferManager(disk, frames, retry=retry)
+    a_set = ElementSet.from_codes(bufmgr, a_codes, tree_height, "A")
+    d_set = ElementSet.from_codes(bufmgr, d_codes, tree_height, "D")
+    bufmgr.flush_all()
+    bufmgr.evict_all()
+    disk.stats.reset()
+    sink = JoinSink("collect")
+    report = algorithm.run(a_set, d_set, sink, tracer=tracer)
+    return sorted(sink.pairs), report, bufmgr
+
+
+def assert_equivalent(serial, parallel):
+    """The whole contract: identical pairs AND identical accounting."""
+    s_pairs, s_report, s_buf = serial
+    p_pairs, p_report, p_buf = parallel
+    assert p_pairs == s_pairs
+    assert p_report.prep_io == s_report.prep_io
+    assert p_report.join_io == s_report.join_io
+    assert p_report.false_hits == s_report.false_hits
+    assert p_report.result_count == s_report.result_count
+    assert (p_buf.hits, p_buf.misses) == (s_buf.hits, s_buf.misses)
+
+
+# ----------------------------------------------------------------------
+# unit coverage: chunking, pool, sink absorption, fault payloads
+# ----------------------------------------------------------------------
+class TestSplitChunks:
+    def test_concatenation_preserves_order(self):
+        items = list(range(17))
+        for parts in (1, 2, 3, 5, 17, 40):
+            chunks = split_chunks(items, parts)
+            assert [x for chunk in chunks for x in chunk] == items
+            assert all(chunk for chunk in chunks)  # no empty chunks
+
+    def test_near_even(self):
+        chunks = split_chunks(list(range(10)), 3)
+        sizes = sorted(len(chunk) for chunk in chunks)
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_input(self):
+        assert split_chunks([], 4) == []
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            split_chunks([1], 0)
+
+
+class TestWorkerPool:
+    def test_single_worker_is_inline(self):
+        pool = WorkerPool(1)
+        assert pool.mode == "inline"
+        future = pool.submit(lambda task: task * 2, 21)
+        assert pool.resolve(future, lambda task: task * 2, 21) == 42
+        pool.close()
+
+    def test_env_override_forces_inline(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_MODE_ENV, "inline")
+        pool = WorkerPool(4)
+        assert pool.mode == "inline"
+        pool.close()
+
+    def test_inline_exception_propagates(self):
+        pool = WorkerPool(2, mode="inline")
+
+        def boom(task):
+            raise RuntimeError(f"task {task}")
+
+        future = pool.submit(boom, 3)
+        with pytest.raises(RuntimeError, match="task 3"):
+            pool.resolve(future, boom, 3)
+        pool.close()
+
+
+class TestSinkAbsorb:
+    def test_counting_sink_ignores_missing_pairs(self):
+        sink = JoinSink("count")
+        assert not sink.collects
+        sink.absorb(5, None)
+        assert sink.count == 5
+
+    def test_collecting_sink_extends_pairs(self):
+        sink = JoinSink("collect")
+        sink.absorb(2, [(1, 2), (3, 4)])
+        assert sink.count == 2 and sink.pairs == [(1, 2), (3, 4)]
+
+    def test_collecting_sink_rejects_count_only_result(self):
+        sink = JoinSink("collect")
+        with pytest.raises(ValueError):
+            sink.absorb(2, None)
+
+
+class TestFaultPayloads:
+    @pytest.mark.parametrize("cls", [TransientIOError, PermanentIOError])
+    def test_round_trip_preserves_type_and_annotations(self, cls):
+        fault = cls("injected read error", page_id=17, operation="read")
+        fault.add_context("heap file 'A' page 3/9")
+        fault.algorithm = "VPJ"
+        rebuilt = fault_from_payload(fault_to_payload(fault))
+        assert type(rebuilt) is cls
+        assert rebuilt.page_id == 17 and rebuilt.operation == "read"
+        assert rebuilt.algorithm == "VPJ"
+        assert "heap file 'A' page 3/9" in str(rebuilt)
+
+    def test_unknown_type_degrades_to_base_fault(self):
+        payload = fault_to_payload(
+            TransientIOError("x", page_id=1, operation="read")
+        )
+        payload["type"] = "SomethingNew"
+        assert type(fault_from_payload(payload)) is StorageFault
+
+
+# ----------------------------------------------------------------------
+# the tentpole contract: parallel == serial, pairs and accounting
+# ----------------------------------------------------------------------
+class TestDifferentialSynthetic:
+    @pytest.mark.parametrize("name,factory", PARALLEL_ALGORITHMS, ids=ALGORITHM_IDS)
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_multi_height_workload(self, name, factory, workers):
+        data = dataset("MLLL")
+        serial = run_cold(
+            factory(1, None), data.a_codes, data.d_codes, data.tree_height
+        )
+        parallel = run_cold(
+            factory(workers, "inline"),
+            data.a_codes, data.d_codes, data.tree_height,
+        )
+        assert_equivalent(serial, parallel)
+
+    @pytest.mark.parametrize("name,factory", PARALLEL_ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_tiny_buffer_forces_partitioning(self, name, factory):
+        """Small pool → VPJ recursion / MHCJ grace branches exercised."""
+        data = dataset("MSSL", large=1800, small=350, seed=11)
+        serial = run_cold(
+            factory(1, None), data.a_codes, data.d_codes, data.tree_height,
+            frames=6,
+        )
+        parallel = run_cold(
+            factory(3, "inline"), data.a_codes, data.d_codes, data.tree_height,
+            frames=6,
+        )
+        assert_equivalent(serial, parallel)
+
+    @pytest.mark.parametrize("name,factory", PARALLEL_ALGORITHMS[:2], ids=ALGORITHM_IDS[:2])
+    def test_process_pool_smoke(self, name, factory):
+        """Real process pool (not inline) reaches the same answer."""
+        data = dataset("MLLL", large=1200, small=250, seed=5)
+        serial = run_cold(
+            factory(1, None), data.a_codes, data.d_codes, data.tree_height
+        )
+        parallel = run_cold(
+            factory(2, "process"), data.a_codes, data.d_codes, data.tree_height
+        )
+        assert_equivalent(serial, parallel)
+
+
+class TestDifferentialXMark:
+    def joins(self):
+        tree = generate_tree(scale=0.45, seed=CHAOS_SEED)
+        encoding = binarize(tree)
+        # B8: description//text — multi-height on both sides
+        a_codes = select_by_tag(tree, "description")
+        d_codes = select_by_tag(tree, "text")
+        return a_codes, d_codes, encoding.tree_height
+
+    @pytest.mark.parametrize("name,factory", PARALLEL_ALGORITHMS, ids=ALGORITHM_IDS)
+    def test_description_text_join(self, name, factory):
+        a_codes, d_codes, tree_height = self.joins()
+        serial = run_cold(factory(1, None), a_codes, d_codes, tree_height)
+        parallel = run_cold(factory(4, "inline"), a_codes, d_codes, tree_height)
+        assert_equivalent(serial, parallel)
+
+
+class TestDifferentialUnderFaults:
+    """Transient chaos: the fault schedule replays identically because
+    the parallel parent issues the exact same page-operation sequence."""
+
+    FAULTS = dict(read_error_rate=0.04, write_error_rate=0.02,
+                  torn_page_rate=0.02)
+
+    @pytest.mark.parametrize("name,factory", PARALLEL_ALGORITHMS[:2], ids=ALGORITHM_IDS[:2])
+    def test_transient_schedule_replays(self, name, factory):
+        data = dataset("MLLL", large=1500, small=300, seed=CHAOS_SEED + 3)
+        retry = RetryPolicy(max_attempts=6)
+        serial = run_cold(
+            factory(1, None), data.a_codes, data.d_codes, data.tree_height,
+            faults=FaultInjector(FaultConfig(seed=CHAOS_SEED, **self.FAULTS)),
+            retry=retry,
+        )
+        parallel = run_cold(
+            factory(3, "inline"), data.a_codes, data.d_codes, data.tree_height,
+            faults=FaultInjector(FaultConfig(seed=CHAOS_SEED, **self.FAULTS)),
+            retry=retry,
+        )
+        assert_equivalent(serial, parallel)
+        # the schedule really fired: retries are visible in both
+        assert parallel[1].total_io.retries == serial[1].total_io.retries
+
+
+# ----------------------------------------------------------------------
+# tracing: fanout span carries worker spans, root I/O delta unchanged
+# ----------------------------------------------------------------------
+class TestParallelTracing:
+    def test_fanout_span_and_exact_root_io(self):
+        data = dataset("MLLL", large=1500, small=300, seed=9)
+        serial_tracer = Tracer()
+        serial = run_cold(
+            VerticalPartitionJoin(), data.a_codes, data.d_codes,
+            data.tree_height, tracer=serial_tracer,
+        )
+        parallel_tracer = Tracer()
+        parallel = run_cold(
+            VerticalPartitionJoin(workers=2, parallel_mode="inline"),
+            data.a_codes, data.d_codes, data.tree_height,
+            tracer=parallel_tracer,
+        )
+        assert_equivalent(serial, parallel)
+        s_root = serial_tracer.roots[-1]
+        p_root = parallel_tracer.roots[-1]
+        assert p_root.io == s_root.io
+        fanout = p_root.find("parallel.fanout")
+        assert fanout is not None
+        # the fanout span opens after all storage work: no I/O on it
+        assert fanout.io.total == 0
+        assert fanout.children, "worker spans must be attached"
+        assert all("task" in child.name for child in fanout.children)
+
+
+# ----------------------------------------------------------------------
+# lineup-scope parallelism
+# ----------------------------------------------------------------------
+class TestParallelLineup:
+    def lineups(self, **kwargs):
+        data = dataset("MSSL", large=1500, small=300, seed=4)
+        return run_lineup(
+            "MSSL", data.a_codes, data.d_codes, data.tree_height,
+            buffer_pages=20, page_size=256, single_height=False, **kwargs,
+        )
+
+    def test_matches_serial_reports(self):
+        serial = self.lineups()
+        parallel = self.lineups(workers=2, parallel_mode="inline")
+        assert parallel.result_count == serial.result_count
+        for s, p in zip(serial.results, parallel.results):
+            assert p.name == s.name
+            assert p.report.result_count == s.report.result_count
+            assert p.report.total_io.reads == s.report.total_io.reads
+            assert p.report.total_io.writes == s.report.total_io.writes
+            assert (p.report.buffer_hits, p.report.buffer_misses) == (
+                s.report.buffer_hits, s.report.buffer_misses
+            )
+
+    def test_process_pool_smoke(self):
+        serial = self.lineups()
+        parallel = self.lineups(workers=2, parallel_mode="process")
+        assert parallel.result_count == serial.result_count
+
+    def test_live_injector_rejected(self):
+        with pytest.raises(ValueError, match="FaultConfig"):
+            self.lineups(
+                workers=2, parallel_mode="inline",
+                faults=FaultInjector(FaultConfig(seed=1)),
+            )
+
+    def test_fault_config_accepted_and_absorbed(self):
+        config = FaultConfig(seed=CHAOS_SEED, read_error_rate=0.02)
+        serial = self.lineups(faults=config, retry=RetryPolicy(max_attempts=6))
+        parallel = self.lineups(
+            workers=2, parallel_mode="inline",
+            faults=config, retry=RetryPolicy(max_attempts=6),
+        )
+        assert parallel.result_count == serial.result_count
+
+    def test_permanent_escalation_raises_typed_fault(self):
+        """Workers ship faults back as payloads; the parent re-raises a
+        typed StorageFault, never a pickling error or a silent zero."""
+        with pytest.raises(StorageFault):
+            self.lineups(
+                workers=2, parallel_mode="inline",
+                faults=FaultConfig(seed=CHAOS_SEED, read_error_rate=1.0),
+                retry=RetryPolicy(max_attempts=1),
+            )
+
+    def test_metrics_and_traces_merged(self):
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        parallel = self.lineups(
+            workers=2, parallel_mode="inline",
+            tracer=tracer, metrics=metrics,
+        )
+        assert parallel.results and parallel.results[0].report.trace is not None
+        fanout_roots = [r for r in tracer.roots if r.name == "parallel.fanout"]
+        assert fanout_roots and fanout_roots[-1].children
+        # merged gauges are sums over the workers' pools, with the hit
+        # rate recomputed from the summed counts — not averaged
+        hits = metrics.gauge("buffer.hits").value
+        misses = metrics.gauge("buffer.misses").value
+        assert hits > 0 and misses > 0
+        assert metrics.gauge("buffer.hit_rate").value == pytest.approx(
+            hits / (hits + misses)
+        )

@@ -23,7 +23,7 @@ from repro import (
     random_tree,
 )
 from repro.core import pbitree as pt
-from repro.join.inljn import build_start_index
+from repro.join.inljn import build_interval_index, build_start_index
 from repro.workloads import synthetic as syn
 
 
@@ -103,6 +103,89 @@ class TestTable1Matrix:
         a_set, d_set = make_sets(ds.a_codes, ds.d_codes, ds.tree_height, frames=4)
         algorithm = choose_algorithm(a_set, d_set)
         assert isinstance(algorithm, VerticalPartitionJoin)
+
+
+class TestIndexUsability:
+    """Regression: the "indexed" column of Table 1 only counts an index
+    INLJN can actually probe — a Start B+-tree on D (outer = A) or a
+    stab structure on A (outer = D).  The planner used to treat any
+    index on either input as qualifying, returning an
+    ``IndexNestedLoopJoin(d_index=None, a_index=None)`` that silently
+    rebuilt both indexes from scratch inside the operator.
+    """
+
+    def fixtures(self):
+        tree = random_tree(300, seed=20)
+        encoding = binarize(tree)
+        rng = random.Random(3)
+        a_codes = rng.sample(tree.codes, 100)
+        d_codes = rng.sample(tree.codes, 100)
+        return make_sets(a_codes, d_codes, encoding.tree_height, frames=32)
+
+    def test_wrong_type_indexes_fall_through_to_unindexed_cell(self):
+        """A Start index on A plus a stab index on D serve no INLJN
+        probe direction: plan as if unindexed (here: rollup/SHCJ)."""
+        a_set, d_set = self.fixtures()
+        a_start = build_start_index(a_set, a_set.bufmgr)
+        d_stab = build_interval_index(d_set, d_set.bufmgr)
+        algorithm = choose_algorithm(
+            a_set,
+            d_set,
+            SetProperties(start_index=a_start),
+            SetProperties(interval_index=d_stab),
+        )
+        assert not isinstance(algorithm, IndexNestedLoopJoin)
+        assert isinstance(algorithm, (MultiHeightRollupJoin, SingleHeightJoin))
+
+    def test_d_start_index_pins_outer_to_a(self):
+        a_set, d_set = self.fixtures()
+        d_index = build_start_index(d_set, d_set.bufmgr)
+        algorithm = choose_algorithm(
+            a_set, d_set, SetProperties(), SetProperties(start_index=d_index)
+        )
+        assert isinstance(algorithm, IndexNestedLoopJoin)
+        assert algorithm.d_index is d_index
+        assert algorithm.force_outer == "A"
+
+    def test_a_stab_index_pins_outer_to_d(self):
+        a_set, d_set = self.fixtures()
+        a_index = build_interval_index(a_set, a_set.bufmgr)
+        algorithm = choose_algorithm(
+            a_set, d_set, SetProperties(interval_index=a_index), SetProperties()
+        )
+        assert isinstance(algorithm, IndexNestedLoopJoin)
+        assert algorithm.a_index is a_index
+        assert algorithm.force_outer == "D"
+
+    def test_both_usable_indexes_unpinned(self):
+        a_set, d_set = self.fixtures()
+        a_index = build_interval_index(a_set, a_set.bufmgr)
+        d_index = build_start_index(d_set, d_set.bufmgr)
+        algorithm = choose_algorithm(
+            a_set,
+            d_set,
+            SetProperties(interval_index=a_index),
+            SetProperties(start_index=d_index),
+        )
+        assert isinstance(algorithm, IndexNestedLoopJoin)
+        assert algorithm.d_index is d_index
+        assert algorithm.a_index is a_index
+        assert algorithm.force_outer is None
+
+    def test_planned_join_is_correct_with_single_usable_index(self):
+        """End to end: the pinned-outer plan computes the right answer."""
+        tree = random_tree(220, seed=24)
+        encoding = binarize(tree)
+        rng = random.Random(6)
+        a_codes = rng.sample(tree.codes, 80)
+        d_codes = rng.sample(tree.codes, 80)
+        a_set, d_set = make_sets(a_codes, d_codes, encoding.tree_height, frames=32)
+        d_index = build_start_index(d_set, d_set.bufmgr)
+        framework = PBiTreeJoinFramework()
+        report, pairs = framework.join(
+            a_set, d_set, SetProperties(), SetProperties(start_index=d_index)
+        )
+        assert sorted(pairs) == sorted(brute_force_join(a_codes, d_codes))
 
 
 class TestPropertyInference:

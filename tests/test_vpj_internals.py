@@ -23,7 +23,6 @@ from repro import (
 )
 from repro.core import pbitree as pt
 from repro.join.vpj import VerticalPartitionJoin, memory_containment_join
-from repro.join.base import JoinReport
 
 
 @st.composite
@@ -148,8 +147,7 @@ class TestMemoryContainmentJoin:
 
         sink_d = JoinSink("collect")
         memory_containment_join(
-            [d_set.heap][:0] or [a_set.heap], [d_set.heap],
-            sink_d, bufmgr, JoinReport("m", 0),
+            [d_set.heap][:0] or [a_set.heap], [d_set.heap], sink_d,
         )
         assert sorted(sink_d.pairs) == expected
 
@@ -159,7 +157,7 @@ class TestMemoryContainmentJoin:
         sink_a = JoinSink("collect")
         memory_containment_join(
             [small_a.heap], [big_d.heap] * 3,  # d_pages > a_pages
-            sink_a, bufmgr2, JoinReport("m", 0),
+            sink_a,
         )
         triple_expected = sorted(
             brute_force_join(sa_codes, bd_codes) * 3
@@ -178,10 +176,40 @@ class TestMemoryContainmentJoin:
         d_set = ElementSet.from_codes(bufmgr, descendants, tree_height)
         sink = JoinSink("collect")
         memory_containment_join(
-            [a_set.heap], [d_set.heap], sink, bufmgr,
-            JoinReport("m", 0),
+            [a_set.heap], [d_set.heap], sink,
             dedup_above_height=pt.height_of(root) - 1,
         )
         assert sorted(sink.pairs) == sorted(
             (root, d) for d in descendants
         )
+
+class TestScatterFileDiscipline:
+    def test_one_heap_file_per_bucket_and_side(self):
+        """Each scatter pass contributes exactly one fresh heap file per
+        (bucket, side): the writers cache lives for the whole pass, so
+        the resume-a-partial-page path can never be reached from here —
+        a bucket must not fragment into per-eviction files."""
+        tree = random_tree(900, max_fanout=4, seed=17)
+        encoding = binarize(tree)
+        rng = random.Random(17)
+        a_codes = rng.sample(tree.codes, 450)
+        d_codes = rng.sample(tree.codes, 500)
+        disk = DiskManager(page_size=128)
+        bufmgr = BufferManager(disk, 6)  # heavy eviction pressure
+        a_set = ElementSet.from_codes(bufmgr, a_codes, encoding.tree_height)
+        d_set = ElementSet.from_codes(bufmgr, d_codes, encoding.tree_height)
+        vpj = VerticalPartitionJoin()
+        lca = vpj._sample_lca([a_set.heap], [d_set.heap])
+        anchor_height = encoding.tree_height - 4
+        partitions = vpj._partition(
+            [a_set.heap], [d_set.heap], anchor_height, 4, lca, bufmgr
+        )
+        assert partitions, "partitioning produced no co-partitions"
+        try:
+            for partition in partitions.values():
+                assert len(partition.a_files) == 1
+                assert len(partition.d_files) == 1
+                assert partition.a_records and partition.d_records
+        finally:
+            for partition in partitions.values():
+                partition.destroy()
