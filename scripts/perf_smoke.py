@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Perf smoke: prove the batched hot path actually pays for itself.
+
+Runs two workloads with batching on (default batch size) and off
+(``batch_size=0``, the scalar oracle):
+
+* the bulk code-conversion micro kernels of
+  :mod:`benchmarks.bench_coding_micro` (heights / regions / prefixes /
+  doc-order keys over one code array);
+* the Figure 6(b) multi-height line-up on one synthetic dataset.
+
+It emits a schema-valid ``BENCH_batched.json`` (``repro.bench/v1``)
+whose ``metrics`` object carries the scalar and batched wall times plus
+the derived ``speedup_micro`` / ``speedup_fig6b`` ratios, then compares
+those speedups against the committed baseline and exits non-zero when
+either regresses by more than ``--tolerance`` (default 10%).
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py --out BENCH_batched.json
+    PYTHONPATH=src python scripts/perf_smoke.py --update-baseline
+
+Wall-clock times differ across machines; the *speedup ratios* are what
+the baseline pins (same interpreter, same machine, two builds of the
+same loop), which keeps the gate meaningful on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import batch, pbitree as pt  # noqa: E402
+from repro.experiments.harness import run_lineup  # noqa: E402
+from repro.obs.export import bench_summary, write_bench_summary  # noqa: E402
+from repro.workloads import synthetic as syn  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_batched_baseline.json"
+
+MICRO_CODES = 50_000
+MICRO_REPEATS = 5
+FIG6B_DATASET = "MLLH"
+FIG6B_LARGE = 8_000
+FIG6B_SMALL = 80
+FIG6B_REPEATS = 3
+
+
+def _time_best(fn, repeats: int) -> float:
+    """Best-of-N wall time — the standard noise filter for smoke runs."""
+    best = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def micro_times() -> tuple[float, float]:
+    """Scalar vs batched bulk conversions over one code array."""
+    rng = random.Random(7)
+    codes = [rng.randrange(1, 1 << 62) for _ in range(MICRO_CODES)]
+
+    def scalar() -> None:
+        [pt.height_of(c) for c in codes]
+        [pt.region_of(c) for c in codes]
+        [pt.prefix_of(c) for c in codes]
+        [pt.doc_order_key(c) for c in codes]
+
+    def batched() -> None:
+        batch.heights(codes)
+        batch.regions(codes)
+        batch.prefixes(codes)
+        batch.doc_order_keys(codes)
+
+    return _time_best(scalar, MICRO_REPEATS), _time_best(batched, MICRO_REPEATS)
+
+
+def fig6b_times() -> tuple[float, float, object]:
+    """Whole-line-up wall time, scalar vs batched; returns the batched
+    line-up for the BENCH report rows.  The dataset is generated once,
+    outside the timed region — the gate measures join execution, not
+    workload synthesis."""
+    spec = syn.spec_by_name(FIG6B_DATASET, large=FIG6B_LARGE, small=FIG6B_SMALL)
+    dataset = syn.generate(spec, seed=2003)
+
+    def lineup_run(batch_size: int):
+        return run_lineup(
+            FIG6B_DATASET,
+            dataset.a_codes,
+            dataset.d_codes,
+            dataset.tree_height,
+            buffer_pages=50,
+            page_size=1024,
+            single_height=False,
+            batch_size=batch_size,
+        )
+
+    lineup_run(0)  # warm both code paths once
+    scalar_wall = _time_best(lambda: lineup_run(0), FIG6B_REPEATS)
+    lineup = lineup_run(batch.DEFAULT_BATCH_SIZE)
+    batched_wall = _time_best(
+        lambda: lineup_run(batch.DEFAULT_BATCH_SIZE), FIG6B_REPEATS
+    )
+    return scalar_wall, batched_wall, lineup
+
+
+def check_regressions(
+    metrics: dict[str, object], baseline_path: Path, tolerance: float
+) -> list[str]:
+    if not baseline_path.exists():
+        return [f"no baseline at {baseline_path} (run with --update-baseline)"]
+    baseline = json.loads(baseline_path.read_text())
+    problems = []
+    for key, reference in baseline.get("metrics", {}).items():
+        if not key.startswith("speedup_"):
+            continue
+        current = metrics.get(key)
+        floor = float(reference) * (1.0 - tolerance)
+        if not isinstance(current, (int, float)) or current < floor:
+            problems.append(
+                f"{key} regressed: {current} vs baseline {reference} "
+                f"(floor {floor:.2f} at {tolerance:.0%} tolerance)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_batched.json")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional speedup regression vs baseline (default 0.10)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the committed baseline instead of gating against it",
+    )
+    args = parser.parse_args(argv)
+
+    micro_scalar, micro_batched = micro_times()
+    fig_scalar, fig_batched, lineup = fig6b_times()
+
+    metrics: dict[str, object] = {
+        "batch_size": batch.DEFAULT_BATCH_SIZE,
+        "micro_scalar_seconds": round(micro_scalar, 6),
+        "micro_batched_seconds": round(micro_batched, 6),
+        "speedup_micro": round(micro_scalar / micro_batched, 3),
+        "fig6b_dataset": FIG6B_DATASET,
+        "fig6b_scalar_seconds": round(fig_scalar, 6),
+        "fig6b_batched_seconds": round(fig_batched, 6),
+        "speedup_fig6b": round(fig_scalar / fig_batched, 3),
+    }
+    summary = bench_summary(
+        "batched",
+        [
+            (result.name, FIG6B_DATASET, result.report)
+            for result in lineup.results
+        ],
+        metrics=metrics,
+    )
+    out_path = write_bench_summary(summary, args.out)
+    print(f"micro:  {micro_scalar * 1e3:8.2f} ms scalar  "
+          f"{micro_batched * 1e3:8.2f} ms batched  "
+          f"{metrics['speedup_micro']}x")
+    print(f"fig6b:  {fig_scalar * 1e3:8.2f} ms scalar  "
+          f"{fig_batched * 1e3:8.2f} ms batched  "
+          f"{metrics['speedup_fig6b']}x")
+    print(f"[wrote {out_path}]")
+
+    baseline_path = Path(args.baseline)
+    if args.update_baseline:
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        write_bench_summary(summary, baseline_path)
+        print(f"[baseline updated: {baseline_path}]")
+        return 0
+    problems = check_regressions(metrics, baseline_path, args.tolerance)
+    for problem in problems:
+        print(f"REGRESSION: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

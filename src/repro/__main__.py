@@ -271,6 +271,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         algorithm_workers=(
             args.workers if args.parallel_scope == "algorithm" else 1
         ),
+        batch_size=args.batch_size,
     )
 
     have_baseline = any(
@@ -416,6 +417,11 @@ def main(argv: list[str] | None = None) -> int:
         help="what --workers fans out: whole per-algorithm line-up runs "
         "(lineup) or each partitioned algorithm's internal partition "
         "tasks (algorithm); see docs/parallel.md",
+    )
+    bch.add_argument(
+        "--batch-size", type=int, default=None,
+        help="execution batch size for the vectorized hot path "
+        "(0 = scalar oracle; default: REPRO_BATCH_SIZE or 1024)",
     )
     bch.set_defaults(func=cmd_bench)
 

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, TypeVar
 
+from ..core import batch
 from ..join.ancdes_b import AncDesBPlusJoin
 from ..join.base import JoinAlgorithm, JoinReport, JoinSink
 from ..join.inljn import IndexNestedLoopJoin
@@ -259,6 +260,7 @@ def run_lineup(
     workers: int = 1,
     parallel_mode: Optional[str] = None,
     algorithm_workers: int = 1,
+    batch_size: Optional[int] = None,
 ) -> LineupResult:
     """Run the standard line-up over one dataset, each algorithm cold.
 
@@ -281,38 +283,54 @@ def run_lineup(
     ``algorithm_workers`` is instead forwarded to the partitioned
     operators themselves (see :func:`make_algorithm`); the two scopes
     compose but are usually used one at a time.
+
+    ``batch_size`` pins the execution batch size for the whole line-up
+    (0 = scalar oracle); ``None`` keeps the process-wide setting.  The
+    effective size is recorded as the ``batch.size`` metrics gauge and
+    shipped to line-up workers explicitly.
     """
     if algorithms is None:
         if single_height is None:
             raise ValueError("pass algorithms or single_height")
         algorithms = make_lineup(single_height)
+    if batch_size is None:
+        batch_size = batch.get_batch_size()
+    if metrics is not None:
+        metrics.gauge("batch.size").set(float(batch_size))
     if workers > 1:
         return _run_lineup_parallel(
             dataset_name, a_codes, d_codes, tree_height, buffer_pages,
             page_size, algorithms, collect, faults, retry, tracer, metrics,
-            workers, parallel_mode, algorithm_workers,
+            workers, parallel_mode, algorithm_workers, batch_size,
         )
 
-    bench = Workbench.create(buffer_pages, page_size, faults=faults, retry=retry)
-    ancestors = materialize(bench.bufmgr, a_codes, tree_height, f"{dataset_name}.A")
-    descendants = materialize(bench.bufmgr, d_codes, tree_height, f"{dataset_name}.D")
-
-    lineup = LineupResult(dataset=dataset_name)
-    counts = set()
-    for name in algorithms:
-        algorithm = make_algorithm(name, workers=algorithm_workers)
-        sink = JoinSink("collect") if collect else None
-        report = run_algorithm(
-            algorithm, ancestors, descendants, sink, tracer=tracer
+    with batch.batch_scope(batch_size):
+        bench = Workbench.create(
+            buffer_pages, page_size, faults=faults, retry=retry
         )
-        lineup.results.append(AlgorithmResult(name=name, report=report))
-        counts.add(report.result_count)
+        ancestors = materialize(
+            bench.bufmgr, a_codes, tree_height, f"{dataset_name}.A"
+        )
+        descendants = materialize(
+            bench.bufmgr, d_codes, tree_height, f"{dataset_name}.D"
+        )
+
+        lineup = LineupResult(dataset=dataset_name)
+        counts = set()
+        for name in algorithms:
+            algorithm = make_algorithm(name, workers=algorithm_workers)
+            sink = JoinSink("collect") if collect else None
+            report = run_algorithm(
+                algorithm, ancestors, descendants, sink, tracer=tracer
+            )
+            lineup.results.append(AlgorithmResult(name=name, report=report))
+            counts.add(report.result_count)
+            if metrics is not None:
+                metrics.record_report(report, dataset=dataset_name)
         if metrics is not None:
-            metrics.record_report(report, dataset=dataset_name)
-    if metrics is not None:
-        metrics.record_buffer(bench.bufmgr)
-        if bench.disk.faults is not None:
-            metrics.record_fault_stats(bench.disk.faults.stats)
+            metrics.record_buffer(bench.bufmgr)
+            if bench.disk.faults is not None:
+                metrics.record_fault_stats(bench.disk.faults.stats)
     _check_counts(dataset_name, lineup, counts)
     return lineup
 
@@ -344,6 +362,7 @@ def _run_lineup_parallel(
     workers: int,
     parallel_mode: Optional[str],
     algorithm_workers: int,
+    batch_size: int,
 ) -> LineupResult:
     """Fan the per-algorithm runs of one line-up over a worker pool.
 
@@ -381,6 +400,7 @@ def _run_lineup_parallel(
             retry=retry,
             traced=traced,
             algorithm_workers=algorithm_workers,
+            batch_size=batch_size,
         )
         for name in algorithms
     ]

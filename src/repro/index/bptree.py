@@ -25,6 +25,7 @@ import struct
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
+from ..core import batch as batch_module
 from ..storage.buffer import BufferManager
 
 __all__ = ["BPlusTree"]
@@ -66,36 +67,69 @@ class BPlusTree:
         self.height = 0
         self.num_entries = 0
         self.num_nodes = 0
+        #: decoded-node cache, populated only while batching is enabled.
+        #: Every hit still pins/unpins the page, so buffer and I/O
+        #: accounting stay identical to the uncached path; only the
+        #: repeated per-entry decode is skipped.  Writes invalidate.
+        self._node_cache: dict[int, _Node] = {}
 
     # ------------------------------------------------------------------
     # node (de)serialisation
     # ------------------------------------------------------------------
     def _read_node(self, page_id: int) -> _Node:
+        cached = self._node_cache.get(page_id)
+        if cached is not None:
+            # touch the page so buffer accounting matches a real read
+            self.bufmgr.pin(page_id)
+            self.bufmgr.unpin(page_id)
+            return cached
         frame = self.bufmgr.pin(page_id)
         try:
             data = frame.data
             node_type, count, link = _HEADER.unpack_from(data, 0)
             node = _Node(page_id, node_type == _LEAF)
-            offset = _HEADER_SIZE
+            batched = batch_module.batching_enabled()
             if node.is_leaf:
                 node.next_leaf = None if link == _NO_PAGE else link
-                for _ in range(count):
-                    key, value = _LEAF_ENTRY.unpack_from(data, offset)
-                    node.keys.append(key)
-                    node.values.append(value)
-                    offset += _LEAF_ENTRY.size
+                if batched and count:
+                    # one bulk unpack + extended slices instead of a
+                    # per-entry loop; formats are explicitly "<" so the
+                    # decode stays endianness-faithful
+                    flat = struct.unpack_from(
+                        "<" + "Q" * (2 * count), data, _HEADER_SIZE
+                    )
+                    node.keys = list(flat[0::2])
+                    node.values = list(flat[1::2])
+                else:
+                    offset = _HEADER_SIZE
+                    for _ in range(count):
+                        key, value = _LEAF_ENTRY.unpack_from(data, offset)
+                        node.keys.append(key)
+                        node.values.append(value)
+                        offset += _LEAF_ENTRY.size
             else:
                 node.children.append(link)
-                for _ in range(count):
-                    key, child, _pad = _INT_ENTRY.unpack_from(data, offset)
-                    node.keys.append(key)
-                    node.children.append(child)
-                    offset += _INT_ENTRY.size
+                if batched and count:
+                    flat = struct.unpack_from(
+                        "<" + "QII" * count, data, _HEADER_SIZE
+                    )
+                    node.keys = list(flat[0::3])
+                    node.children.extend(flat[1::3])
+                else:
+                    offset = _HEADER_SIZE
+                    for _ in range(count):
+                        key, child, _pad = _INT_ENTRY.unpack_from(data, offset)
+                        node.keys.append(key)
+                        node.children.append(child)
+                        offset += _INT_ENTRY.size
+            if batched:
+                self._node_cache[page_id] = node
             return node
         finally:
             self.bufmgr.unpin(page_id)
 
     def _write_node(self, node: _Node) -> None:
+        self._node_cache.pop(node.page_id, None)
         frame = self.bufmgr.pin(node.page_id)
         try:
             data = frame.data

@@ -19,6 +19,7 @@ plus the pages of the reported list prefixes.
 from __future__ import annotations
 
 import struct
+from operator import itemgetter
 from typing import Iterator, Sequence, cast
 
 from ..core.pbitree import PBiCode, RegionCode
@@ -86,15 +87,15 @@ class IntervalTree:
             lefts = [iv for iv in items if iv[1] < mid]
             rights = [iv for iv in items if iv[0] > mid]
 
-            left_sorted = sorted(here, key=lambda iv: iv[0])
-            right_sorted = sorted(here, key=lambda iv: -iv[1])
+            # itemgetter keys and bulk appends: same stable order (and
+            # page layout) as per-record appends, far fewer bytecodes
+            left_sorted = sorted(here, key=itemgetter(0))
+            right_sorted = sorted(here, key=itemgetter(1), reverse=True)
             l_off = offset[0]
-            for interval in left_sorted:
-                writer.append(interval)
+            writer.append_many(left_sorted)
             offset[0] += len(left_sorted)
             r_off = offset[0]
-            for interval in right_sorted:
-                writer.append(interval)
+            writer.append_many(right_sorted)
             offset[0] += len(right_sorted)
 
             index = len(nodes)

@@ -5,12 +5,20 @@ generator is not enough: the cursor exposes ``save()``/``restore()``
 over (page index, slot) positions.  Restoring to a page that has been
 evicted re-reads it through the buffer pool — which is precisely how the
 re-scanning cost of MPMGJN becomes visible in the I/O counters.
+
+Batched extensions (``next_batch``/``iter_batches``/``seek`` plus the
+cached per-page ``page_starts``/``page_doc_keys`` arrays) consume runs
+of codes without the per-element ``advance()`` call.  They load pages
+through exactly the same ``_load_page`` path, in exactly the order the
+scalar loop would, so I/O and buffer accounting are identical; only the
+Python-level per-element overhead disappears.
 """
 
 from __future__ import annotations
 
-from typing import Optional, cast
+from typing import Iterator, Optional, Sequence, cast
 
+from ..core import batch
 from ..core.pbitree import PBiCode
 from ..storage.elementset import ElementSet
 from ..storage.faults import StorageFault
@@ -21,27 +29,51 @@ __all__ = ["SetCursor"]
 class SetCursor:
     """Forward cursor over the codes of an element set."""
 
-    __slots__ = ("elements", "_page_index", "_slot", "_page", "current")
+    __slots__ = (
+        "elements",
+        "_page_index",
+        "_slot",
+        "_page",
+        "_starts",
+        "_doc_keys",
+        "current",
+    )
 
     def __init__(self, elements: ElementSet) -> None:
         self.elements = elements
         self._page_index = 0
         self._slot = -1
-        self._page: Optional[list[PBiCode]] = None
+        self._page: Optional[Sequence[PBiCode]] = None
+        self._starts: Optional[Sequence[int]] = None
+        self._doc_keys: Optional[Sequence[int]] = None
         #: code under the cursor, or None when exhausted
         self.current: Optional[PBiCode] = None
         self.advance()
 
     def _load_page(self) -> None:
         heap = self.elements.heap
+        self._starts = None
+        self._doc_keys = None
         if self._page_index < heap.num_pages:
             try:
-                # one cast per page: element-set heaps store single-code
-                # rows, so record[0] is a PBiCode by construction
-                self._page = cast(
-                    "list[PBiCode]",
-                    [record[0] for record in heap.read_page(self._page_index)],
-                )
+                if batch.batching_enabled():
+                    # element-set heaps store single-code rows, so the
+                    # page's flat field array (copied out of the pin by
+                    # read_page_array) is its code array
+                    self._page = cast(
+                        "Sequence[PBiCode]",
+                        heap.read_page_array(self._page_index),
+                    )
+                else:
+                    # one cast per page: record[0] is a PBiCode by
+                    # construction
+                    self._page = cast(
+                        "list[PBiCode]",
+                        [
+                            record[0]
+                            for record in heap.read_page(self._page_index)
+                        ],
+                    )
             except StorageFault as fault:
                 # Leave the cursor in a defined (exhausted) state and
                 # fail fast — a half-loaded page must never be scanned.
@@ -70,6 +102,101 @@ class SetCursor:
             self.current = self._page[self._slot]
         return self.current
 
+    # ------------------------------------------------------------------
+    # batched access
+    # ------------------------------------------------------------------
+    @property
+    def page(self) -> Optional[Sequence[PBiCode]]:
+        """The loaded page's code array (None when exhausted)."""
+        return self._page
+
+    @property
+    def slot(self) -> int:
+        """Index of ``current`` within :attr:`page`."""
+        return self._slot
+
+    def page_starts(self) -> Sequence[int]:
+        """Region-``Start`` of every code on the current page (cached).
+
+        Merge joins binary-search these instead of comparing one
+        element at a time; the array is computed once per page load.
+        """
+        if self._starts is None:
+            assert self._page is not None
+            self._starts = batch.starts(self._page)
+        return self._starts
+
+    def page_doc_keys(self) -> Sequence[int]:
+        """Packed document-order key of every current-page code (cached).
+
+        The packed keys are order- and tie-equivalent to the scalar
+        ``doc_order_key`` tuples (see :func:`repro.core.batch.doc_order_keys`),
+        so bisecting them reproduces tuple-comparison decisions exactly.
+        """
+        if self._doc_keys is None:
+            assert self._page is not None
+            self._doc_keys = batch.doc_order_keys(self._page)
+        return self._doc_keys
+
+    def seek(self, slot: int) -> None:
+        """Jump to ``slot`` on the current page (rolls to later pages).
+
+        Equivalent to calling :meth:`advance` ``slot - self.slot``
+        times when the intervening codes are on the current page;
+        ``slot == len(page)`` rolls forward through empty pages to the
+        next code exactly as :meth:`advance` would, loading the same
+        pages in the same order.
+        """
+        self._slot = slot
+        while self._page is not None and self._slot >= len(self._page):
+            self._page_index += 1
+            self._slot = 0
+            self._load_page()
+        if self._page is None:
+            self.current = None
+        else:
+            self.current = self._page[self._slot]
+
+    def next_batch(self, limit: int) -> list[PBiCode]:
+        """Consume up to ``limit`` codes starting with ``current``.
+
+        Returns the codes in scan order and leaves the cursor on the
+        first unconsumed code — byte-identical page access to ``limit``
+        :meth:`advance` calls collecting ``current`` each time.
+        """
+        out: list[PBiCode] = []
+        while limit > 0 and self._page is not None:
+            page = self._page
+            end = min(self._slot + limit, len(page))
+            taken = end - self._slot
+            out.extend(page[self._slot : end])
+            limit -= taken
+            self._slot = end
+            while self._page is not None and self._slot >= len(self._page):
+                self._page_index += 1
+                self._slot = 0
+                self._load_page()
+        if self._page is None:
+            self.current = None
+        else:
+            self.current = self._page[self._slot]
+        return out
+
+    def iter_batches(
+        self, size: Optional[int] = None
+    ) -> Iterator[list[PBiCode]]:
+        """Yield successive :meth:`next_batch` chunks until exhausted.
+
+        ``size=None`` uses the configured batch size; a non-positive
+        size falls back to one chunk per remaining page.
+        """
+        if size is None:
+            size = batch.get_batch_size()
+        while self._page is not None:
+            limit = size if size > 0 else len(self._page) - self._slot
+            yield self.next_batch(limit)
+
+    # ------------------------------------------------------------------
     def save(self) -> tuple[int, int]:
         """Snapshot the current position."""
         return self._page_index, self._slot

@@ -26,6 +26,7 @@ from ..storage.record import RecordCodec
 
 __all__ = [
     "in_memory_hash_join",
+    "in_memory_hash_join_codes",
     "GracePartitioner",
     "grace_hash_join",
 ]
@@ -33,6 +34,9 @@ __all__ = [
 Record = tuple[int, ...]
 KeyFunc = Callable[[Record], Optional[int]]
 EmitFunc = Callable[[Record, Record], None]
+#: bulk key function: one call per page of codes, one key per code,
+#: ``0`` marking a filtered record (codes are >= 1, so 0 is in-band)
+BulkKeyFunc = Callable[[Sequence[int]], Sequence[int]]
 
 
 def in_memory_hash_join(
@@ -70,6 +74,43 @@ def in_memory_hash_join(
             if bucket is not None:
                 for build_record in bucket:
                     emit(build_record, record)
+
+
+def in_memory_hash_join_codes(
+    build_pages: Iterable[Sequence[int]],
+    probe_pages: Iterable[Sequence[int]],
+    build_keys: BulkKeyFunc,
+    probe_keys: BulkKeyFunc,
+    emit: Callable[[int, int], None],
+) -> None:
+    """Batched build/probe hash join over pages of single-code records.
+
+    The bulk-key variant of :func:`in_memory_hash_join`: keys for a
+    whole page are computed by one kernel call (see
+    :mod:`repro.core.batch`) instead of one Python call per record.  A
+    key of ``0`` marks a filtered record — PBiTree codes are >= 1, so
+    ``0`` can never be a build key and filtered probe records miss the
+    table without an explicit branch.  Bucket insertion order, probe
+    order and emit order are identical to the scalar function's, so the
+    two are drop-in interchangeable.
+    """
+    table: dict[int, list[int]] = {}
+    for codes in build_pages:
+        for key, code in zip(build_keys(codes), codes):
+            if not key:
+                continue
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [code]
+            else:
+                bucket.append(code)
+    get = table.get
+    for codes in probe_pages:
+        for key, code in zip(probe_keys(codes), codes):
+            bucket = get(key)
+            if bucket is not None:
+                for build_code in bucket:
+                    emit(build_code, code)
 
 
 class GracePartitioner:

@@ -23,11 +23,15 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from ..core import pbitree
+from ..core import batch, pbitree
 from ..core.pbitree import PBiCode, RegionCode
 from ..index.bptree import BPlusTree
 from ..index.interval_tree import IntervalTree
-from ..sort.external_sort import external_sort
+from ..sort.external_sort import (
+    bulk_doc_order_keys,
+    external_sort,
+    sort_codes_doc_order,
+)
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from .base import JoinAlgorithm, JoinReport, JoinSink
@@ -47,14 +51,27 @@ def build_start_index(
     elements: ElementSet, bufmgr: BufferManager, name: str = ""
 ) -> BPlusTree:
     """B+-tree on region ``Start`` (value = code), built by sort + bulk load."""
+    batched = batch.batching_enabled()
     sorted_heap = external_sort(
         elements.heap,
         key=lambda record: pbitree.doc_order_key(PBiCode(record[0])),
+        run_sort=sort_codes_doc_order if batched else None,
+        bulk_key=bulk_doc_order_keys if batched else None,
     )
-    entries = (
-        (pbitree.start_of(PBiCode(record[0])), record[0])
-        for record in sorted_heap.scan()
-    )
+    if batch.batching_enabled():
+
+        def bulk_entries():
+            # one starts() kernel call per page; the zipped ints are
+            # materialised while the page is pinned
+            for fields in sorted_heap.scan_page_arrays():
+                yield from zip(batch.starts(fields), fields)
+
+        entries = bulk_entries()
+    else:
+        entries = (
+            (pbitree.start_of(PBiCode(record[0])), record[0])
+            for record in sorted_heap.scan()
+        )
     index = BPlusTree.bulk_load(bufmgr, entries, name=name or f"{elements.name}.start")
     sorted_heap.destroy()
     return index
@@ -153,6 +170,19 @@ class IndexNestedLoopJoin(JoinAlgorithm):
         emit = sink.emit
         is_ancestor = pbitree.is_ancestor
         region_of = pbitree.region_of
+        if batch.batching_enabled():
+            # bulk-collect each range scan's candidates, then verify
+            # them with one descendants_in kernel call per ancestor
+            for a_page in ancestors.scan_pages():
+                for a_code, (start, end) in zip(
+                    a_page, batch.regions(a_page)
+                ):
+                    candidates = [
+                        value for _key, value in index.range_scan(start, end)
+                    ]
+                    for d_code in batch.descendants_in(a_code, candidates):
+                        emit(a_code, d_code)
+            return
         for a_code in ancestors.scan():
             start, end = region_of(a_code)
             for _key, value in index.range_scan(start, end):
@@ -168,6 +198,15 @@ class IndexNestedLoopJoin(JoinAlgorithm):
         emit = sink.emit
         is_ancestor = pbitree.is_ancestor
         start_of = pbitree.start_of
+        if batch.batching_enabled():
+            # bulk starts per page, stab candidates verified with one
+            # ancestors_in kernel call per descendant
+            for d_page in descendants.scan_pages():
+                for d_code, point in zip(d_page, batch.starts(d_page)):
+                    candidates = [a for _s, _e, a in index.stab(point)]
+                    for a_code in batch.ancestors_in(d_code, candidates):
+                        emit(a_code, d_code)
+            return
         for d_code in descendants.scan():
             point = start_of(d_code)
             for _s, _e, a_code in index.stab(point):

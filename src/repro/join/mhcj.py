@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence
 
-from ..core import pbitree
+from ..core import batch, pbitree
 from ..obs.tracer import NULL_TRACER, Span
 from ..parallel.fanout import Fanout, open_fanout
 from ..parallel.pool import split_chunks
@@ -97,18 +97,70 @@ def _join_height_class(
         else:
             report.false_hits += 1
 
+    batched = batch.batching_enabled()
     if a_num_pages <= bufmgr.num_pages - 2:
-        in_memory_hash_join(
-            a_pages, descendants.heap.scan_pages(), build_key, probe_key, emit_pair
-        )
+        if batched:
+            # build effective -> originals (bucket insertion order =
+            # scan order, as in the scalar build), then probe each
+            # descendant page with one verified-kernel call
+            table: dict[int, list[int]] = {}
+            for page in a_pages:
+                for effective, original in page:
+                    bucket = table.get(effective)
+                    if bucket is None:
+                        table[effective] = [original]
+                    else:
+                        bucket.append(original)
+            for d_codes in descendants.scan_code_arrays():
+                report.false_hits += batch.height_class_probe(
+                    table, height, d_codes, emit
+                )
+        else:
+            in_memory_hash_join(
+                a_pages,
+                descendants.heap.scan_pages(),
+                build_key,
+                probe_key,
+                emit_pair,
+            )
     elif descendants.num_pages <= bufmgr.num_pages - 2:
-        in_memory_hash_join(
-            descendants.heap.scan_pages(),
-            a_pages,
-            probe_key,
-            build_key,
-            lambda d_record, a_record: emit_pair(a_record, d_record),
-        )
+        if batched:
+            # build F-key -> descendants with one bulk-key call per
+            # page, probe with the ancestor pairs; rolled matches are
+            # verified a whole bucket at a time
+            d_table: dict[int, list[int]] = {}
+            for d_codes in descendants.scan_code_arrays():
+                keys = batch.probe_keys(d_codes, height)
+                for key, d_code in zip(keys, d_codes):
+                    if not key:
+                        continue
+                    d_bucket = d_table.get(key)
+                    if d_bucket is None:
+                        d_table[key] = [d_code]
+                    else:
+                        d_bucket.append(d_code)
+            get = d_table.get
+            for page in a_pages:
+                for effective, original in page:
+                    d_bucket = get(effective)
+                    if d_bucket is None:
+                        continue
+                    if effective == original:
+                        for d_code in d_bucket:
+                            emit(original, d_code)
+                    else:
+                        matched = batch.descendants_in(original, d_bucket)
+                        for d_code in matched:
+                            emit(original, d_code)
+                        report.false_hits += len(d_bucket) - len(matched)
+        else:
+            in_memory_hash_join(
+                descendants.heap.scan_pages(),
+                a_pages,
+                probe_key,
+                build_key,
+                lambda d_record, a_record: emit_pair(a_record, d_record),
+            )
     else:
         grace_hash_join(
             bufmgr,
@@ -144,12 +196,21 @@ def _fanout_height_class(
     partition files must be written through the parent's buffer pool.
     """
     budget = bufmgr.num_pages
+
+    def extract_d_codes() -> list[int]:
+        if batch.batching_enabled():
+            flat: list[int] = []
+            for fields in descendants.heap.scan_page_arrays():
+                flat.extend(fields)
+            return flat
+        return [r[0] for page in descendants.heap.scan_pages() for r in page]
+
     if a_num_pages <= budget - 2:
         a_pairs = [(r[0], r[1]) for page in a_pages_fn() for r in page]
-        d_codes = [r[0] for page in descendants.heap.scan_pages() for r in page]
+        d_codes = extract_d_codes()
         chunked_d = True
     elif descendants.num_pages <= budget - 2:
-        d_codes = [r[0] for page in descendants.heap.scan_pages() for r in page]
+        d_codes = extract_d_codes()
         a_pairs = [(r[0], r[1]) for page in a_pages_fn() for r in page]
         chunked_d = False
     else:
@@ -164,6 +225,7 @@ def _fanout_height_class(
             d_codes=chunk if chunked_d else d_codes,
             collect=collect,
             traced=traced,
+            batch_size=batch.get_batch_size(),
         ))
     return True
 
@@ -353,6 +415,13 @@ class MultiHeightRollupJoin(JoinAlgorithm):
                 pair_capacity = ancestors.heap.capacity // 2 or 1
 
                 def rolled_pages():
+                    if batch.batching_enabled():
+                        # one rollup_pairs kernel call per page over the
+                        # zero-copy code view (consumed within the
+                        # iteration, so the pin lifetime holds)
+                        for codes in ancestors.scan_code_arrays():
+                            yield batch.rollup_pairs(codes, target)
+                        return
                     for codes in ancestors.scan_pages():
                         yield [
                             (

@@ -20,7 +20,10 @@ chain) is broken by height so ancestors are consumed first.
 
 from __future__ import annotations
 
-from ..core import pbitree
+from bisect import bisect_left, bisect_right
+from typing import Callable
+
+from ..core import batch, pbitree
 from ..core.pbitree import PBiCode, RegionCode
 from ..storage.buffer import BufferManager
 from .base import JoinAlgorithm, JoinReport, JoinSink
@@ -64,24 +67,90 @@ class StackTreeDescJoin(_StackTreeBase):
             # (end, code), top = innermost
             stack: list[tuple[RegionCode, PBiCode]] = []
 
-            while d_cursor.current is not None:
-                a_code = a_cursor.current
-                d_code = d_cursor.current
-                if a_code is not None and doc_key(a_code) <= doc_key(d_code):
-                    a_start = start_of(a_code)
-                    while stack and stack[-1][0] < a_start:
-                        stack.pop()
-                    stack.append((end_of(a_code), a_code))
-                    a_cursor.advance()
-                else:
-                    d_start = start_of(d_code)
-                    while stack and stack[-1][0] < d_start:
-                        stack.pop()
-                    for _end, s_code in stack:
-                        if s_code != d_code:
-                            emit(s_code, d_code)
-                    d_cursor.advance()
+            if batch.batching_enabled():
+                self._merge_batched(a_cursor, d_cursor, stack, emit)
+            else:
+                while d_cursor.current is not None:
+                    a_code = a_cursor.current
+                    d_code = d_cursor.current
+                    if a_code is not None and doc_key(a_code) <= doc_key(
+                        d_code
+                    ):
+                        a_start = start_of(a_code)
+                        while stack and stack[-1][0] < a_start:
+                            stack.pop()
+                        stack.append((end_of(a_code), a_code))
+                        a_cursor.advance()
+                    else:
+                        d_start = start_of(d_code)
+                        while stack and stack[-1][0] < d_start:
+                            stack.pop()
+                        for _end, s_code in stack:
+                            if s_code != d_code:
+                                emit(s_code, d_code)
+                        d_cursor.advance()
         return JoinReport(algorithm=self.name, result_count=sink.count)
+
+    @staticmethod
+    def _merge_batched(
+        a_cursor: SetCursor,
+        d_cursor: SetCursor,
+        stack: list[tuple[RegionCode, PBiCode]],
+        emit: Callable[[PBiCode, PBiCode], None],
+    ) -> None:
+        """Consume ancestor/descendant *runs* instead of single elements.
+
+        The scalar loop alternates one comparison per element; here each
+        iteration bisects the cached packed doc-key arrays to find the
+        whole run of ancestors at or before the current descendant (one
+        push loop over zipped code/start/end slices) or the whole run of
+        descendants before the next ancestor (one drain loop).  Packed
+        keys are order- and tie-equivalent to ``doc_order_key`` tuples,
+        so run boundaries fall exactly where the scalar comparisons
+        would flip, and emit order, stack contents and page loads are
+        all identical.
+        """
+        while d_cursor.current is not None:
+            if a_cursor.current is not None:
+                d_key = d_cursor.page_doc_keys()[d_cursor.slot]
+                a_keys = a_cursor.page_doc_keys()
+                i = a_cursor.slot
+                j = bisect_right(a_keys, d_key, lo=i)
+                if j > i:
+                    # push the ancestor run a_page[i:j]
+                    a_page = a_cursor.page
+                    assert a_page is not None
+                    run_starts = a_cursor.page_starts()[i:j]
+                    run = a_page[i:j]
+                    for a_code, a_start, a_end in zip(
+                        run, run_starts, batch.ends(run)
+                    ):
+                        while stack and stack[-1][0] < a_start:
+                            stack.pop()
+                        stack.append((RegionCode(a_end), a_code))
+                    a_cursor.seek(j)
+                    continue
+                # a_keys[i] > d_key: a descendant run comes next
+                a_key: int | None = a_keys[i]
+            else:
+                a_key = None
+            d_page = d_cursor.page
+            assert d_page is not None
+            d_keys = d_cursor.page_doc_keys()
+            d_starts = d_cursor.page_starts()
+            i = d_cursor.slot
+            j = (
+                bisect_left(d_keys, a_key, lo=i)
+                if a_key is not None
+                else len(d_keys)
+            )
+            for d_code, d_start in zip(d_page[i:j], d_starts[i:j]):
+                while stack and stack[-1][0] < d_start:
+                    stack.pop()
+                for _end, s_code in stack:
+                    if s_code != d_code:
+                        emit(s_code, d_code)
+            d_cursor.seek(j)
 
 
 class _AncStackEntry:

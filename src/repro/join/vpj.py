@@ -31,7 +31,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Optional
 
-from ..core import pbitree
+from ..core import batch, pbitree
 from ..parallel.fanout import Fanout, open_fanout
 from ..parallel.pool import split_chunks
 from ..parallel.tasks import MemJoinTask, run_memjoin_task
@@ -74,6 +74,33 @@ def memory_containment_join(
     region_of = pbitree.region_of
     height_of = pbitree.height_of
     f_ancestor = pbitree.f_ancestor
+
+    if batch.batching_enabled():
+        # same branch choice, page order and emission order as the
+        # scalar loops below, with the per-element algebra delegated to
+        # the verified kernels (one call per page)
+        if d_pages <= a_pages:
+            d_list: list[int] = []
+            for heap in d_files:
+                for fields in heap.scan_page_arrays():
+                    d_list.extend(fields)
+            d_sorted = sorted(d_list)
+            seen_high: set[int] = set()
+            for heap in a_files:
+                for fields in heap.scan_page_arrays():
+                    batch.region_probe(
+                        fields, d_sorted, emit, dedup_above_height, seen_high
+                    )
+        else:
+            by_height_sets: dict[int, set[int]] = {}
+            for heap in a_files:
+                for fields in heap.scan_page_arrays():
+                    batch.build_height_tables(fields, by_height_sets)
+            order = sorted(by_height_sets, reverse=True)
+            for heap in d_files:
+                for fields in heap.scan_page_arrays():
+                    batch.height_probe(by_height_sets, order, fields, emit)
+        return
 
     if d_pages <= a_pages:
         d_codes = sorted(
@@ -121,6 +148,22 @@ def _as_files(elements: "ElementSet | list[HeapFile]") -> list[HeapFile]:
     if isinstance(elements, ElementSet):
         return [elements.heap]
     return list(elements)
+
+
+def _extract_codes(files: list[HeapFile]) -> list[int]:
+    """Flatten single-code heap files into one list, in page order.
+
+    The batched path extends straight from each page's zero-copy field
+    view (one C-level loop per page); both paths read the same pages in
+    the same order.
+    """
+    if batch.batching_enabled():
+        out: list[int] = []
+        for heap in files:
+            for fields in heap.scan_page_arrays():
+                out.extend(fields)
+        return out
+    return [r[0] for heap in files for r in heap.scan()]
 
 
 class _Partition:
@@ -301,11 +344,11 @@ class VerticalPartitionJoin(JoinAlgorithm):
         d_pages = sum(f.num_pages for f in d_files)
         d_fits = d_pages <= a_pages
         if d_fits:
-            d_codes = [r[0] for heap in d_files for r in heap.scan()]
-            a_codes = [r[0] for heap in a_files for r in heap.scan()]
+            d_codes = _extract_codes(d_files)
+            a_codes = _extract_codes(a_files)
         else:
-            a_codes = [r[0] for heap in a_files for r in heap.scan()]
-            d_codes = [r[0] for heap in d_files for r in heap.scan()]
+            a_codes = _extract_codes(a_files)
+            d_codes = _extract_codes(d_files)
         if not a_codes or not d_codes:
             return
         traced = self._tracer.enabled
@@ -321,6 +364,7 @@ class VerticalPartitionJoin(JoinAlgorithm):
                 dedup_above_height=dedup_above_height,
                 collect=collect,
                 traced=traced,
+                batch_size=batch.get_batch_size(),
             ))
             return
         # chunk the streamed side (the in-memory side ships whole);
@@ -336,6 +380,7 @@ class VerticalPartitionJoin(JoinAlgorithm):
                 dedup_above_height=None,
                 collect=collect,
                 traced=traced,
+                batch_size=batch.get_batch_size(),
             ))
 
     def _fallback(self, a_files, d_files, sink, bufmgr, report, tree_height):

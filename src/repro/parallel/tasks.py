@@ -30,7 +30,7 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Any, Callable, Optional, TypedDict
 
-from ..core import pbitree
+from ..core import batch, pbitree
 from ..core.pbitree import PBiCode
 from ..obs.export import trace_to_jsonl
 from ..obs.tracer import Tracer
@@ -99,6 +99,10 @@ class MemJoinTask:
     replicated-ancestor de-duplication; the parent only chunks the
     ancestor stream when it is ``None`` (the dedup set must see the
     whole stream).
+
+    ``batch_size`` is shipped explicitly because ``spawn`` workers do
+    not inherit the parent's :mod:`repro.core.batch` module state; 0
+    selects the scalar kernel (the differential oracle).
     """
 
     label: str
@@ -108,9 +112,26 @@ class MemJoinTask:
     dedup_above_height: Optional[int]
     collect: bool
     traced: bool
+    batch_size: int = batch.DEFAULT_BATCH_SIZE
 
 
 def _memjoin_kernel(task: MemJoinTask, emit: Callable[[int, int], None]) -> None:
+    if task.batch_size > 0:
+        if task.d_fits:
+            batch.region_probe(
+                task.a_codes,
+                sorted(task.d_codes),
+                emit,
+                task.dedup_above_height,
+                set(),
+            )
+        else:
+            tables: dict[int, set[int]] = {}
+            batch.build_height_tables(task.a_codes, tables)
+            batch.height_probe(
+                tables, sorted(tables, reverse=True), task.d_codes, emit
+            )
+        return
     region_of = pbitree.region_of
     height_of = pbitree.height_of
     f_ancestor = pbitree.f_ancestor
@@ -192,11 +213,21 @@ class HeightProbeTask:
     d_codes: list[int]
     collect: bool
     traced: bool
+    batch_size: int = batch.DEFAULT_BATCH_SIZE
 
 
 def _height_probe_kernel(
     task: HeightProbeTask, emit: Callable[[int, int], None]
 ) -> int:
+    if task.batch_size > 0:
+        table: dict[int, list[int]] = {}
+        for effective, original in task.a_pairs:
+            bucket = table.get(effective)
+            if bucket is None:
+                table[effective] = [original]
+            else:
+                bucket.append(original)
+        return batch.height_class_probe(table, task.height, task.d_codes, emit)
     height_of = pbitree.height_of
     f_ancestor = pbitree.f_ancestor
     is_ancestor = pbitree.is_ancestor
@@ -271,6 +302,9 @@ class LineupTask:
     retry: Optional[RetryPolicy]
     traced: bool
     algorithm_workers: int = 1
+    #: the parent's batch size, shipped explicitly (``spawn`` workers
+    #: do not inherit module state); applied to the worker's whole run
+    batch_size: int = batch.DEFAULT_BATCH_SIZE
 
 
 def fault_to_payload(fault: StorageFault) -> dict[str, Any]:
@@ -329,6 +363,9 @@ def run_lineup_task(task: LineupTask) -> LineupTaskResult:
     )
     from ..join.base import JoinSink
 
+    # worker processes start with the module default; mirror the
+    # parent's configured batch size before any operator runs
+    batch.set_batch_size(task.batch_size)
     bench = Workbench.create(
         task.buffer_pages, task.page_size, faults=task.faults, retry=task.retry
     )

@@ -15,16 +15,46 @@ implementation:
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
+from ..core import batch, pbitree
 from ..storage.buffer import BufferManager
 from ..storage.elementset import ElementSet
 from ..storage.heapfile import HeapFile
-from ..core import pbitree
 
-__all__ = ["external_sort", "external_sort_set", "merge_cost_estimate"]
+__all__ = [
+    "bulk_doc_order_keys",
+    "external_sort",
+    "external_sort_set",
+    "merge_cost_estimate",
+    "sort_codes_doc_order",
+]
 
 KeyFunc = Callable[[tuple[int, ...]], object]
+#: in-place-equivalent run sorter: takes the buffered records, returns
+#: them sorted by the same order ``key`` defines
+RunSortFunc = Callable[[list[tuple[int, ...]]], list[tuple[int, ...]]]
+#: page-at-a-time merge keys: takes one page of records, returns one
+#: order-equivalent integer key per record
+BulkKeyFunc = Callable[[list[tuple[int, ...]]], list[int]]
+
+
+def sort_codes_doc_order(
+    records: list[tuple[int, ...]],
+) -> list[tuple[int, ...]]:
+    """Run sorter for single-code records in document order.
+
+    Decorate-sort-undecorate through the packed doc-order key (one
+    kernel call) instead of a Python ``key`` callback per record.  The
+    packed key orders and ties exactly like ``doc_order_key`` tuples,
+    so runs come out identical to the scalar sort's.
+    """
+    return [(c,) for c in batch.sort_doc_order([r[0] for r in records])]
+
+
+def bulk_doc_order_keys(records: list[tuple[int, ...]]) -> list[int]:
+    """Bulk merge keys for single-code records in document order."""
+    return batch.doc_order_keys([record[0] for record in records])
 
 
 def external_sort(
@@ -32,12 +62,18 @@ def external_sort(
     key: KeyFunc,
     buffer_pages: int | None = None,
     destroy_input: bool = False,
+    run_sort: Optional[RunSortFunc] = None,
+    bulk_key: Optional[BulkKeyFunc] = None,
 ) -> HeapFile:
     """Sort ``heap`` by ``key`` using at most ``buffer_pages`` frames.
 
     Returns a new heap file holding the sorted records.  When
     ``destroy_input`` is set, the input file (and intermediate runs) are
-    deallocated as soon as they have been consumed.
+    deallocated as soon as they have been consumed.  ``run_sort``
+    optionally replaces the per-record ``key`` callback for the initial
+    in-memory run sort; ``bulk_key`` optionally replaces it in the merge
+    passes (one kernel call per input page instead of one Python call
+    per record).  Both must produce exactly the order ``key`` defines.
     """
     bufmgr = heap.bufmgr
     budget = buffer_pages if buffer_pages is not None else bufmgr.num_pages
@@ -45,12 +81,14 @@ def external_sort(
     if budget < 3:
         raise ValueError("external sort needs at least 3 buffer pages")
 
-    runs = _build_runs(heap, key, budget)
+    runs = _build_runs(heap, key, budget, run_sort)
     if destroy_input:
         heap.destroy()
     fan_in = budget - 1
     while len(runs) > 1:
-        runs = _merge_pass(bufmgr, runs, key, fan_in, heap.codec, heap.name)
+        runs = _merge_pass(
+            bufmgr, runs, key, fan_in, heap.codec, heap.name, bulk_key
+        )
     if not runs:
         return HeapFile(bufmgr, heap.codec, name=f"{heap.name}[sorted]")
     result = runs[0]
@@ -58,7 +96,12 @@ def external_sort(
     return result
 
 
-def _build_runs(heap: HeapFile, key: KeyFunc, budget: int) -> list[HeapFile]:
+def _build_runs(
+    heap: HeapFile,
+    key: KeyFunc,
+    budget: int,
+    run_sort: Optional[RunSortFunc] = None,
+) -> list[HeapFile]:
     """Read ``budget`` pages at a time, sort in memory, write runs."""
     bufmgr = heap.bufmgr
     runs: list[HeapFile] = []
@@ -68,11 +111,15 @@ def _build_runs(heap: HeapFile, key: KeyFunc, budget: int) -> list[HeapFile]:
         buffered.extend(records)
         pages_in_memory += 1
         if pages_in_memory >= budget:
-            runs.append(_write_run(bufmgr, heap, buffered, key, len(runs)))
+            runs.append(
+                _write_run(bufmgr, heap, buffered, key, len(runs), run_sort)
+            )
             buffered = []
             pages_in_memory = 0
     if buffered:
-        runs.append(_write_run(bufmgr, heap, buffered, key, len(runs)))
+        runs.append(
+            _write_run(bufmgr, heap, buffered, key, len(runs), run_sort)
+        )
     return runs
 
 
@@ -82,8 +129,12 @@ def _write_run(
     records: list[tuple[int, ...]],
     key: KeyFunc,
     run_index: int,
+    run_sort: Optional[RunSortFunc] = None,
 ) -> HeapFile:
-    records.sort(key=key)
+    if run_sort is not None:
+        records = run_sort(records)
+    else:
+        records.sort(key=key)
     return HeapFile.from_records(
         bufmgr, heap.codec, records, name=f"{heap.name}[run{run_index}]"
     )
@@ -96,14 +147,23 @@ def _merge_pass(
     fan_in: int,
     codec,
     name: str,
+    bulk_key: Optional[BulkKeyFunc] = None,
 ) -> list[HeapFile]:
     merged: list[HeapFile] = []
     for group_start in range(0, len(runs), fan_in):
         group = runs[group_start:group_start + fan_in]
-        merged.append(_merge_runs(bufmgr, group, key, codec, name))
+        merged.append(_merge_runs(bufmgr, group, key, codec, name, bulk_key))
         for run in group:
             run.destroy()
     return merged
+
+
+def _decorated_scan(
+    run: HeapFile, bulk_key: BulkKeyFunc
+) -> Iterator[tuple[int, tuple[int, ...]]]:
+    """Scan a run as ``(key, record)`` pairs, keys computed per page."""
+    for page in run.scan_pages():
+        yield from zip(bulk_key(page), page)
 
 
 def _merge_runs(
@@ -112,15 +172,25 @@ def _merge_runs(
     key: KeyFunc,
     codec,
     name: str,
+    bulk_key: Optional[BulkKeyFunc] = None,
 ) -> HeapFile:
     """k-way merge; one page of each run is resident at a time."""
     output = HeapFile(bufmgr, codec, name=f"{name}[merge]")
     writer = output.open_writer()
-    iterators = [run.scan() for run in runs]
-    merged = heapq.merge(*iterators, key=key)
     try:
-        for record in merged:
-            writer.append(record)
+        if bulk_key is not None:
+            # decorate page-at-a-time; equal keys fall back to record
+            # comparison, which is fine (an integer bulk_key may only
+            # tie on identical records)
+            decorated = heapq.merge(
+                *(_decorated_scan(run, bulk_key) for run in runs)
+            )
+            for _merge_key, record in decorated:
+                writer.append(record)
+        else:
+            merged = heapq.merge(*(run.scan() for run in runs), key=key)
+            for record in merged:
+                writer.append(record)
     finally:
         # close even when a run scan faults, or the pinned output page
         # leaks and masks the fault during run cleanup
@@ -138,11 +208,14 @@ def external_sort_set(
     This is the "custom sorting routine" of Section 3.1: codes are
     converted to region order on the fly inside the sort key.
     """
+    batched = batch.batching_enabled()
     sorted_heap = external_sort(
         elements.heap,
         key=lambda record: pbitree.doc_order_key(record[0]),
         buffer_pages=buffer_pages,
         destroy_input=destroy_input,
+        run_sort=sort_codes_doc_order if batched else None,
+        bulk_key=bulk_doc_order_keys if batched else None,
     )
     return ElementSet(
         sorted_heap,

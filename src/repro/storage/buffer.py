@@ -95,6 +95,8 @@ class BufferManager:
         self._clock_hand = 0
         self.hits = 0
         self.misses = 0
+        #: template for zero-filling recycled frame buffers in one memcpy
+        self._zero_page = bytes(disk.page_size)
 
     # ------------------------------------------------------------------
     # public interface
@@ -110,8 +112,8 @@ class BufferManager:
                 self._frames.move_to_end(page_id)
             return frame
         self.misses += 1
-        self._make_room()
-        data = bytearray(self._read_with_retry(page_id))
+        recycled = self._make_room()
+        data = self._read_with_retry(page_id, recycled)
         frame = Frame(page_id, data)
         self._frames[page_id] = frame
         return frame
@@ -132,8 +134,13 @@ class BufferManager:
         is charged; the write is charged on eviction or flush.
         """
         page_id = self.disk.allocate()
-        self._make_room()
-        frame = Frame(page_id, bytearray(self.disk.page_size))
+        recycled = self._make_room()
+        if recycled is None:
+            data = bytearray(self.disk.page_size)
+        else:
+            data = recycled
+            data[:] = self._zero_page
+        frame = Frame(page_id, data)
         frame.dirty = True
         self._frames[page_id] = frame
         return frame
@@ -188,16 +195,31 @@ class BufferManager:
     # ------------------------------------------------------------------
     # fault-tolerant disk access
     # ------------------------------------------------------------------
-    def _read_with_retry(self, page_id: int) -> bytes:
+    def _read_with_retry(
+        self, page_id: int, into: Optional[bytearray] = None
+    ) -> bytearray:
+        """Read a page into a frame buffer (one copy, recycled if given).
+
+        ``into`` is the evicted victim's buffer when replacement freed
+        one: the page image is copied into it by slice assignment — the
+        load's only copy — instead of allocating a fresh ``bytearray``
+        per miss.  The frame always owns a private mutable buffer; the
+        disk's stored ``bytes`` are never aliased.
+        """
         attempt = 1
         while True:
             try:
-                return self.disk.read(page_id)
+                data = self.disk.read(page_id)
             except PermanentIOError:
                 self.disk.stats.record_giveup()
                 raise
             except (TransientIOError, PageCorruptionError) as fault:
                 attempt = self._next_attempt("read", page_id, attempt, fault)
+                continue
+            if into is None:
+                return bytearray(data)
+            into[:] = data
+            return into
 
     def _write_with_retry(self, page_id: int, data: bytes) -> None:
         attempt = 1
@@ -234,14 +256,24 @@ class BufferManager:
     # ------------------------------------------------------------------
     # replacement
     # ------------------------------------------------------------------
-    def _make_room(self) -> None:
+    def _make_room(self) -> Optional[bytearray]:
+        """Evict a victim if the pool is full; hand back its buffer.
+
+        The returned ``bytearray`` is recycled as the incoming frame's
+        buffer, making a steady-state miss allocation-free (one slice-
+        assignment copy of the page image, no fresh page-sized object).
+        Zero-copy page views are only held while a page is pinned, and
+        pinned frames are never victims, so recycling cannot mutate a
+        live view.
+        """
         if len(self._frames) < self.num_pages:
-            return
+            return None
         victim = self._choose_victim()
         frame = self._frames[victim]
         if frame.dirty:
             self._write_with_retry(victim, bytes(frame.data))
         del self._frames[victim]
+        return frame.data
 
     def _choose_victim(self) -> int:
         if self.policy == "lru":

@@ -9,9 +9,9 @@ tree by tag.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional, cast
+from typing import Iterable, Iterator, Optional, Sequence, cast
 
-from ..core import pbitree
+from ..core import batch, pbitree
 from ..core.pbitree import Height, PBiCode
 from ..datatree.node import DataTree
 from .buffer import BufferManager
@@ -77,7 +77,15 @@ class ElementSet:
                 heights.add(pbitree.height_of(code))
                 yield (code,)
 
-        heap = HeapFile.from_records(bufmgr, CODE, records(), name=name)
+        if batch.batching_enabled():
+            # materialised list → bulk page packing in the heap writer
+            code_list = list(codes)
+            heights.update(batch.heights(code_list))
+            heap = HeapFile.from_records(
+                bufmgr, CODE, [(code,) for code in code_list], name=name
+            )
+        else:
+            heap = HeapFile.from_records(bufmgr, CODE, records(), name=name)
         return cls(
             heap,
             tree_height,
@@ -124,11 +132,32 @@ class ElementSet:
             yield from page
 
     def scan_pages(self) -> Iterator[list[PBiCode]]:
-        """Yield the code list of each page."""
+        """Yield the code list of each page.
+
+        With batching enabled the list is built in one pass from the
+        page's zero-copy field view (a single C-level loop) instead of
+        materialising a tuple per record; contents and page-access
+        order are identical either way.
+        """
+        if batch.batching_enabled():
+            for fields in self.heap.scan_page_arrays():
+                yield cast("list[PBiCode]", list(fields))
+            return
         for records in self.heap.scan_pages():
             # one cast per page, not one constructor per record: stored
             # codes are PBiCode by the from_codes invariant
             yield cast("list[PBiCode]", [record[0] for record in records])
+
+    def scan_code_arrays(self) -> Iterator[Sequence[PBiCode]]:
+        """Yield each page's codes as a zero-copy ``Q``-cast view.
+
+        Element-set heaps store one code per record, so the flat field
+        view *is* the page's code array.  The view aliases the pinned
+        frame: it is valid only within the loop iteration (the pin is
+        released when the generator resumes) — copy to keep it.
+        """
+        for fields in self.heap.scan_page_arrays():
+            yield cast("Sequence[PBiCode]", fields)
 
     def to_list(self) -> list[PBiCode]:
         return list(self.scan())

@@ -8,8 +8,10 @@ All access goes through the buffer manager, one pinned page at a time.
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterable, Iterator, Sequence
 
+from ..core import batch as batch_module
 from . import page as page_layout
 from .buffer import BufferManager
 from .faults import StorageFault
@@ -57,8 +59,11 @@ class HeapFile:
         heap = cls(bufmgr, codec, name)
         writer = heap.open_writer()
         try:
-            for record in records:
-                writer.append(record)
+            if isinstance(records, Sequence):
+                writer.append_many(records)
+            else:
+                for record in records:
+                    writer.append(record)
         except BaseException:
             writer.close()
             heap.destroy()
@@ -120,6 +125,32 @@ class HeapFile:
             finally:
                 bufmgr.unpin(page_id)
 
+    def scan_page_arrays(self) -> Iterator[Sequence[int]]:
+        """Yield each page's flat field array in order (zero-copy decode).
+
+        The yielded view aliases the pinned frame and is valid only for
+        the duration of that loop iteration (the pin is released when
+        the generator resumes); consumers that outlive the iteration
+        must copy, e.g. ``array("Q", fields)``.  Page-access order,
+        pin discipline and fault annotation are identical to
+        :meth:`scan_pages`, so the I/O accounting of a batched scan is
+        byte-identical to the scalar one.
+        """
+        bufmgr = self.bufmgr
+        codec = self.codec
+        for position, page_id in enumerate(self.page_ids):
+            try:
+                frame = bufmgr.pin(page_id)
+            except StorageFault as fault:
+                fault.add_context(
+                    f"heap file {self.name!r} page {position}/{self.num_pages}"
+                )
+                raise
+            try:
+                yield page_layout.read_record_array(frame.data, codec)
+            finally:
+                bufmgr.unpin(page_id)
+
     def read_page(self, index: int) -> list[tuple[int, ...]]:
         """Decode one page by position in the file."""
         page_id = self.page_ids[index]
@@ -130,6 +161,33 @@ class HeapFile:
             raise
         try:
             return page_layout.read_records(frame.data, self.codec)
+        finally:
+            self.bufmgr.unpin(page_id)
+
+    def read_page_array(self, index: int) -> "array[int]":
+        """One page's flat field array, copied so it outlives the pin.
+
+        The copy is a single ``memcpy`` into an ``array("Q")`` — cursors
+        cache whole pages past the unpin (frames may be evicted and
+        their buffers recycled underneath a borrowed view), so unlike
+        :meth:`scan_page_arrays` this cannot hand out the raw view.
+        """
+        page_id = self.page_ids[index]
+        try:
+            frame = self.bufmgr.pin(page_id)
+        except StorageFault as fault:
+            fault.add_context(f"heap file {self.name!r} page {index}")
+            raise
+        try:
+            fields = page_layout.read_record_array(frame.data, self.codec)
+            copy = array("Q")
+            if isinstance(fields, memoryview):
+                # bulk memcpy; the view is produced on little-endian
+                # hosts only, matching frombytes' native interpretation
+                copy.frombytes(fields.cast("B"))
+            else:
+                copy.extend(fields)
+            return copy
         finally:
             self.bufmgr.unpin(page_id)
 
@@ -182,31 +240,75 @@ class HeapFileWriter:
                 if not adopted:
                     heap.bufmgr.unpin(page_id)
 
+    def _start_page(self) -> None:
+        """Roll to a fresh output page, linking the previous one."""
+        heap = self.heap
+        self._finish_page()
+        self._frame = heap.bufmgr.new_page()
+        if heap.page_ids:
+            # link previous page to this one for self-description
+            prev = heap.page_ids[-1]
+            if heap.bufmgr.is_resident(prev):
+                prev_frame = heap.bufmgr.pin(prev)
+                try:
+                    page_layout.set_next_page(
+                        prev_frame.data, self._frame.page_id
+                    )
+                finally:
+                    heap.bufmgr.unpin(prev, dirty=True)
+        heap.page_ids.append(self._frame.page_id)
+        self._count = 0
+        self._offset = page_layout.PAGE_HEADER_SIZE
+
     def append(self, record: Sequence[int]) -> None:
         if self._closed:
             raise ValueError("writer is closed")
         heap = self.heap
         if self._frame is None or self._count >= heap.capacity:
-            self._finish_page()
-            self._frame = heap.bufmgr.new_page()
-            if heap.page_ids:
-                # link previous page to this one for self-description
-                prev = heap.page_ids[-1]
-                if heap.bufmgr.is_resident(prev):
-                    prev_frame = heap.bufmgr.pin(prev)
-                    try:
-                        page_layout.set_next_page(
-                            prev_frame.data, self._frame.page_id
-                        )
-                    finally:
-                        heap.bufmgr.unpin(prev, dirty=True)
-            heap.page_ids.append(self._frame.page_id)
-            self._count = 0
-            self._offset = page_layout.PAGE_HEADER_SIZE
+            self._start_page()
+        assert self._frame is not None
         heap.codec.pack_into(self._frame.data, self._offset, record)
         self._offset += heap.codec.record_size
         self._count += 1
         heap.num_records += 1
+
+    def append_many(self, records: Sequence[Sequence[int]]) -> None:
+        """Append a materialised record list, packing page-at-a-time.
+
+        Page- and byte-identical to calling :meth:`append` per record —
+        same page roll order, same links, same write accounting — but
+        each page's worth of records is encoded with one
+        :meth:`RecordCodec.pack_many` plus a single slice assignment.
+        With batching disabled this *is* the scalar loop (differential
+        oracle).  Takes a sequence, not a lazy iterable: a source that
+        performed page I/O mid-append would see a different access
+        interleaving than the scalar path.
+        """
+        # tiny lists (common for per-node index lists) don't amortise
+        # the bulk path's setup; the layout is identical either way
+        if len(records) < 8 or not batch_module.batching_enabled():
+            for record in records:
+                self.append(record)
+            return
+        if self._closed:
+            raise ValueError("writer is closed")
+        heap = self.heap
+        size = heap.codec.record_size
+        pack_many = heap.codec.pack_many
+        position = 0
+        total = len(records)
+        while position < total:
+            if self._frame is None or self._count >= heap.capacity:
+                self._start_page()
+            assert self._frame is not None
+            fit = min(heap.capacity - self._count, total - position)
+            payload = pack_many(records[position : position + fit])
+            end = self._offset + fit * size
+            self._frame.data[self._offset : end] = payload
+            self._offset = end
+            self._count += fit
+            heap.num_records += fit
+            position += fit
 
     def _finish_page(self) -> None:
         if self._frame is not None:

@@ -14,6 +14,7 @@ hot paths stay allocation-free.
 from __future__ import annotations
 
 import struct
+from typing import Sequence
 
 from .record import RecordCodec
 
@@ -25,6 +26,7 @@ __all__ = [
     "get_next_page",
     "set_next_page",
     "read_records",
+    "read_record_array",
     "write_records",
 ]
 
@@ -65,6 +67,19 @@ def read_records(data: bytes | bytearray, codec: RecordCodec) -> list[tuple[int,
     """Decode all records on a page."""
     count = get_record_count(data)
     return list(codec.iter_unpack(memoryview(data)[PAGE_HEADER_SIZE:], count))
+
+
+def read_record_array(
+    data: bytes | bytearray, codec: RecordCodec
+) -> "Sequence[int]":
+    """Zero-copy flat field view of a page (the batched decode path).
+
+    One ``memoryview.cast("Q")`` over the payload instead of one tuple
+    per record.  The view aliases the frame's buffer — valid only while
+    the page stays pinned; see :meth:`RecordCodec.unpack_array`.
+    """
+    count = get_record_count(data)
+    return codec.unpack_array(memoryview(data)[PAGE_HEADER_SIZE:], count)
 
 
 def write_records(

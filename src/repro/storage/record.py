@@ -11,11 +11,18 @@ number of levels).
 from __future__ import annotations
 
 import struct
+import sys
 from typing import Iterable, Iterator, Sequence
 
 __all__ = ["RecordCodec", "CODE", "PAIR", "TRIPLE", "MAX_CODE_BITS"]
 
 MAX_CODE_BITS = 63
+
+#: the record format is explicitly little-endian ("<Q"); a zero-copy
+#: ``memoryview.cast("Q")`` reads native order, so the cast is only a
+#: faithful decode on little-endian hosts (everything else falls back
+#: to the scalar struct path)
+_NATIVE_LE = sys.byteorder == "little"
 
 
 class RecordCodec:
@@ -43,7 +50,45 @@ class RecordCodec:
         return self._struct.iter_unpack(view)
 
     def pack_many(self, records: Iterable[Sequence[int]]) -> bytes:
-        return b"".join(self._struct.pack(*record) for record in records)
+        """Pack records into one preallocated buffer (single allocation).
+
+        One ``bytearray`` sized up front plus ``pack_into`` per record
+        replaces the quadratic-ish ``b"".join`` of per-record ``pack``
+        results (every record used to allocate its own 8-to-24-byte
+        ``bytes`` object just to be copied once more by the join).
+        """
+        if not isinstance(records, (list, tuple)):
+            records = list(records)
+        pack_into = self._struct.pack_into
+        size = self.record_size
+        buffer = bytearray(len(records) * size)
+        offset = 0
+        for record in records:
+            pack_into(buffer, offset, *record)
+            offset += size
+        return bytes(buffer)
+
+    def unpack_array(
+        self, payload: "bytes | bytearray | memoryview", count: int
+    ) -> "Sequence[int]":
+        """Zero-copy flat view of the first ``count`` records' fields.
+
+        Returns a ``memoryview`` cast to unsigned 64-bit elements —
+        ``count * arity`` integers, record fields interleaved — without
+        materialising per-record tuples.  The view aliases ``payload``:
+        it is only valid while the underlying buffer frame stays pinned
+        (copy into ``array("Q", view)`` to outlive the pin).  On
+        big-endian hosts the cast would misread the little-endian
+        record format, so the scalar decode runs instead.
+        """
+        if _NATIVE_LE:
+            view = memoryview(payload)[: count * self.record_size]
+            return view.cast("Q")
+        return [
+            field
+            for record in self.iter_unpack(bytes(payload), count)
+            for field in record
+        ]
 
 
 #: One PBiTree code per record — element sets.

@@ -1,0 +1,434 @@
+"""Differential tests for the batched execution hot path.
+
+The batched kernels (:mod:`repro.core.batch`), the zero-copy page
+decode (:meth:`RecordCodec.unpack_array`, ``scan_code_arrays``) and the
+batched cursor API (``next_batch`` / ``iter_batches`` / ``seek``) all
+keep their scalar counterparts alive as a differential oracle.  This
+suite pins the contract: *identical* results — same values, same order,
+same JoinReport accounting — whether batching is on or off.
+
+Boundary codes (height 0 leaves at the far right of the coding space,
+the height-62 root of a maximal tree) ride along in every random array
+so the 63-bit packing tricks are exercised at their edges.
+"""
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    BufferManager,
+    DiskManager,
+    ElementSet,
+    FaultConfig,
+    FaultInjector,
+    JoinSink,
+    RetryPolicy,
+    binarize,
+    random_tree,
+)
+from repro.core import batch, pbitree as pt
+from repro.experiments.harness import make_lineup, run_lineup
+from repro.join.cursor import SetCursor
+from repro.storage.record import CODE, MAX_CODE_BITS, PAIR, RecordCodec
+
+MAX_CODE = (1 << MAX_CODE_BITS) - 1
+
+#: edges of the coding space: the smallest leaf, the lowest inner nodes,
+#: the root of a height-62 (maximal) tree, and the rightmost leaf
+BOUNDARY_CODES = [1, 2, 3, 1 << 62, (1 << 62) + (1 << 61), MAX_CODE]
+
+code_arrays = st.lists(
+    st.one_of(
+        st.integers(min_value=1, max_value=MAX_CODE),
+        st.sampled_from(BOUNDARY_CODES),
+    ),
+    max_size=50,
+)
+
+
+# ----------------------------------------------------------------------
+# kernel vs scalar pbitree oracle
+# ----------------------------------------------------------------------
+class TestKernelsMatchScalar:
+    @given(codes=code_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_unary_kernels(self, codes):
+        assert batch.heights(codes) == [pt.height_of(c) for c in codes]
+        assert batch.starts(codes) == [pt.start_of(c) for c in codes]
+        assert batch.ends(codes) == [pt.end_of(c) for c in codes]
+        assert batch.regions(codes) == [pt.region_of(c) for c in codes]
+        assert batch.prefixes(codes) == [pt.prefix_of(c) for c in codes]
+
+    @given(codes=code_arrays, height=st.integers(0, 62))
+    @settings(max_examples=60, deadline=None)
+    def test_rollup_kernels(self, codes, height):
+        eligible = [c for c in codes if pt.height_of(c) <= height]
+        assert batch.rollup(eligible, height) == [
+            pt.f_ancestor(c, height) for c in eligible
+        ]
+        assert batch.rollup_pairs(codes, height) == [
+            (pt.f_ancestor(c, height), c)
+            if pt.height_of(c) < height
+            else (c, c)
+            for c in codes
+        ]
+        # SHCJ probe keys: F(c, height) below the class, 0 (no key) at
+        # or above it — the scalar key function returns None there
+        assert batch.probe_keys(codes, height) == [
+            pt.f_ancestor(c, height) if pt.height_of(c) < height else 0
+            for c in codes
+        ]
+
+    @given(codes=code_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_doc_order_keys_are_order_equivalent(self, codes):
+        packed = batch.doc_order_keys(codes)
+        tuples = [pt.doc_order_key(c) for c in codes]
+        for (pa, ta), (pb, tb) in zip(
+            zip(packed, tuples), list(zip(packed, tuples))[1:]
+        ):
+            assert (pa < pb) == (ta < tb)
+            assert (pa == pb) == (ta == tb)
+
+    @given(codes=code_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_sort_doc_order(self, codes):
+        assert batch.sort_doc_order(codes) == sorted(
+            codes, key=pt.doc_order_key
+        )
+
+    @given(codes=code_arrays, anchor=st.integers(1, MAX_CODE))
+    @settings(max_examples=60, deadline=None)
+    def test_containment_kernels(self, codes, anchor):
+        descendants = [c for c in codes if pt.is_ancestor(anchor, c)]
+        ancestors = [c for c in codes if pt.is_ancestor(c, anchor)]
+        assert batch.descendants_in(anchor, codes) == descendants
+        assert batch.ancestors_in(anchor, codes) == ancestors
+        assert batch.count_matches(anchor, codes) == len(descendants)
+
+    @given(
+        codes=code_arrays,
+        low=st.integers(0, MAX_CODE),
+        high=st.integers(0, MAX_CODE),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_range_filter(self, codes, low, high):
+        assert batch.range_filter(codes, low, high) == [
+            c for c in codes if low <= c <= high
+        ]
+
+
+# ----------------------------------------------------------------------
+# zero-copy record decode
+# ----------------------------------------------------------------------
+class TestRecordDecode:
+    @given(
+        codes=st.lists(st.integers(0, MAX_CODE), max_size=40),
+        arity=st.sampled_from([1, 2, 3]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pack_many_unpack_array_roundtrip(self, codes, arity):
+        codec = RecordCodec(arity)
+        records = [
+            tuple(codes[i : i + arity])
+            for i in range(0, len(codes) - arity + 1, arity)
+        ]
+        payload = codec.pack_many(records)
+        assert payload == b"".join(codec.pack(r) for r in records)
+        flat = codec.unpack_array(payload, len(records))
+        assert list(flat) == [field for r in records for field in r]
+
+    def test_unpack_array_is_a_view(self):
+        payload = bytearray(CODE.pack_many([(7,), (9,)]))
+        view = CODE.unpack_array(payload, 2)
+        if isinstance(view, memoryview):
+            payload[0] = 8  # mutating the page mutates the view
+            assert view[0] == 8
+            view.release()
+
+    def test_pack_many_accepts_generator(self):
+        records = [(i, i + 1) for i in range(5)]
+        assert PAIR.pack_many(iter(records)) == PAIR.pack_many(records)
+
+
+def make_set(codes, tree_height, frames=8, page_size=128, name="S"):
+    disk = DiskManager(page_size=page_size)
+    bufmgr = BufferManager(disk, frames)
+    return ElementSet.from_codes(bufmgr, codes, tree_height, name)
+
+
+class TestPageDecode:
+    @given(codes=code_arrays)
+    @settings(max_examples=25, deadline=None)
+    def test_scan_code_arrays_matches_scan_pages(self, codes):
+        elements = make_set(codes, 62)
+        scalar = [c for page in elements.scan_pages() for c in page]
+        batched = [c for page in elements.scan_code_arrays() for c in page]
+        assert batched == scalar == codes
+
+    @pytest.mark.parametrize("codes", [[], [5], BOUNDARY_CODES])
+    def test_edge_page_shapes(self, codes):
+        """Empty sets, a single-record page, and boundary codes."""
+        elements = make_set(codes, 62)
+        assert [
+            c for page in elements.scan_code_arrays() for c in page
+        ] == codes
+        assert elements.to_list() == codes
+
+
+# ----------------------------------------------------------------------
+# batched cursor vs scalar advance()
+# ----------------------------------------------------------------------
+def cursor_inputs():
+    return st.tuples(
+        st.lists(st.integers(1, MAX_CODE), min_size=0, max_size=60),
+        st.integers(1, 17),
+    )
+
+
+class TestBatchedCursor:
+    @given(inputs=cursor_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_next_batch_matches_advance(self, inputs):
+        codes, size = inputs
+        elements = make_set(codes, 62)
+        scalar, batched = SetCursor(elements), SetCursor(elements)
+        while True:
+            expected = []
+            for _ in range(size):
+                if scalar.current is None:
+                    break
+                expected.append(scalar.current)
+                scalar.advance()
+            got = batched.next_batch(size)
+            assert got == expected
+            assert batched.current == scalar.current
+            assert batched.exhausted == scalar.exhausted
+            if not got:
+                break
+
+    @given(inputs=cursor_inputs())
+    @settings(max_examples=30, deadline=None)
+    def test_iter_batches_covers_the_set(self, inputs):
+        codes, size = inputs
+        elements = make_set(codes, 62)
+        flat = [
+            c for chunk in SetCursor(elements).iter_batches(size) for c in chunk
+        ]
+        assert flat == codes
+        # size 0 falls back to page-at-a-time chunks
+        flat = [
+            c for chunk in SetCursor(elements).iter_batches(0) for c in chunk
+        ]
+        assert flat == codes
+
+    @given(inputs=cursor_inputs(), skip=st.integers(0, 70))
+    @settings(max_examples=30, deadline=None)
+    def test_save_restore_mid_batch(self, inputs, skip):
+        codes, size = inputs
+        elements = make_set(codes, 62)
+        cursor = SetCursor(elements)
+        cursor.next_batch(skip)
+        mark = cursor.save()
+        first = cursor.next_batch(size)
+        cursor.restore(mark)
+        assert cursor.next_batch(size) == first
+
+    @given(codes=st.lists(st.integers(1, MAX_CODE), max_size=60))
+    @settings(max_examples=20, deadline=None)
+    def test_seek_matches_advance(self, codes):
+        elements = make_set(codes, 62)
+        scalar, seeking = SetCursor(elements), SetCursor(elements)
+        while scalar.current is not None:
+            scalar.advance()
+            seeking.seek(seeking.slot + 1)
+            assert seeking.current == scalar.current
+
+    @pytest.mark.parametrize("batch_size", [0, 3, 1024])
+    def test_fault_replay_through_batched_cursor(self, batch_size):
+        """Transient read faults replay identically under batching."""
+        rng = random.Random(11)
+        codes = [rng.randrange(1, MAX_CODE) for _ in range(300)]
+
+        def scan(faults):
+            disk = DiskManager(page_size=128, checksums=True, faults=faults)
+            bufmgr = BufferManager(disk, 4, retry=RetryPolicy())
+            elements = ElementSet.from_codes(bufmgr, codes, 62, "F")
+            bufmgr.flush_all()
+            bufmgr.evict_all()
+            with batch.batch_scope(batch_size):
+                cursor = SetCursor(elements)
+                out = []
+                while True:
+                    chunk = cursor.next_batch(7)
+                    if not chunk:
+                        return out, disk
+                    out.extend(chunk)
+
+        quiet, _ = scan(None)
+        noisy, disk = scan(
+            FaultInjector(
+                FaultConfig(seed=3, read_error_rate=0.1, torn_page_rate=0.05)
+            )
+        )
+        assert noisy == quiet == codes
+        assert disk.stats.retries > 0
+
+
+# ----------------------------------------------------------------------
+# buffer-pool frame recycling (satellite: dropped redundant page copy)
+# ----------------------------------------------------------------------
+class TestFrameRecycling:
+    def test_frames_own_mutable_recycled_buffers(self):
+        disk = DiskManager(page_size=64)
+        bufmgr = BufferManager(disk, 2)
+        pages = []
+        for fill in range(4):
+            frame = bufmgr.new_page()
+            frame.data[:] = bytes([fill]) * 64
+            bufmgr.unpin(frame.page_id, dirty=True)
+            pages.append(frame.page_id)
+
+        # reloading an evicted page recycles the victim's buffer ...
+        victim_buffers = {id(f.data) for f in bufmgr._frames.values()}
+        frame = bufmgr.pin(pages[0])
+        assert id(frame.data) in victim_buffers
+        # ... and the frame still owns a mutable, correct bytearray
+        assert isinstance(frame.data, bytearray)
+        assert frame.data == bytes([0]) * 64
+        frame.data[0] = 99
+        bufmgr.unpin(pages[0], dirty=True)
+        bufmgr.flush_all()
+        bufmgr.evict_all()
+        assert bufmgr.pin(pages[0]).data[0] == 99
+        bufmgr.unpin(pages[0])
+
+    def test_every_resident_page_roundtrips_after_churn(self):
+        disk = DiskManager(page_size=64)
+        bufmgr = BufferManager(disk, 3)
+        pages = []
+        for fill in range(10):
+            frame = bufmgr.new_page()
+            frame.data[:] = bytes([fill]) * 64
+            bufmgr.unpin(frame.page_id, dirty=True)
+            pages.append(frame.page_id)
+        order = list(range(10)) * 3
+        random.Random(7).shuffle(order)
+        for fill in order:
+            frame = bufmgr.pin(pages[fill])
+            assert frame.data == bytes([fill]) * 64
+            bufmgr.unpin(pages[fill])
+
+
+# ----------------------------------------------------------------------
+# end-to-end: JoinReports are field-for-field identical
+# ----------------------------------------------------------------------
+def normalize(report):
+    return dataclasses.replace(report, wall_seconds=0.0, trace=None)
+
+
+def lineup_inputs(single_height):
+    tree = random_tree(300, max_fanout=5, seed=23)
+    encoding = binarize(tree)
+    rng = random.Random(9)
+    a_codes = rng.sample(tree.codes, 160)
+    d_codes = rng.sample(tree.codes, 200)
+    if single_height:
+        heights = batch.heights(a_codes)
+        modal = max(set(heights), key=heights.count)
+        a_codes = [c for c in a_codes if pt.height_of(c) == modal]
+    return a_codes, d_codes, encoding.tree_height
+
+
+class TestLineupDifferential:
+    @pytest.mark.parametrize("single_height", [True, False])
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_scalar_and_batched_reports_identical(
+        self, single_height, workers
+    ):
+        a_codes, d_codes, tree_height = lineup_inputs(single_height)
+        runs = {}
+        for batch_size in (0, batch.DEFAULT_BATCH_SIZE):
+            lineup = run_lineup(
+                "diff",
+                a_codes,
+                d_codes,
+                tree_height,
+                buffer_pages=8,
+                page_size=128,
+                algorithms=make_lineup(single_height),
+                collect=True,
+                workers=workers,
+                batch_size=batch_size,
+            )
+            runs[batch_size] = lineup
+        scalar, batched = runs[0], runs[batch.DEFAULT_BATCH_SIZE]
+        assert batched.result_count == scalar.result_count
+        for s_result, b_result in zip(scalar.results, batched.results):
+            assert b_result.name == s_result.name
+            assert normalize(b_result.report) == normalize(s_result.report), (
+                f"{s_result.name} diverges between scalar and batched runs"
+            )
+
+    def test_result_pairs_identical_in_order(self):
+        """Emit *order*, not just the multiset, matches the scalar run."""
+        a_codes, d_codes, tree_height = lineup_inputs(False)
+        from repro import (
+            MPMGJoin,
+            MultiHeightRollupJoin,
+            StackTreeDescJoin,
+            VerticalPartitionJoin,
+        )
+
+        for cls in (
+            MPMGJoin,
+            StackTreeDescJoin,
+            MultiHeightRollupJoin,
+            VerticalPartitionJoin,
+        ):
+            pairs = {}
+            for batch_size in (0, batch.DEFAULT_BATCH_SIZE):
+                with batch.batch_scope(batch_size):
+                    elements_a = make_set(a_codes, tree_height, name="A")
+                    elements_d = ElementSet.from_codes(
+                        elements_a.heap.bufmgr, d_codes, tree_height, "D"
+                    )
+                    sink = JoinSink("collect")
+                    cls().run(elements_a, elements_d, sink)
+                    pairs[batch_size] = list(sink.pairs)
+            assert pairs[batch.DEFAULT_BATCH_SIZE] == pairs[0], cls.__name__
+
+
+# ----------------------------------------------------------------------
+# batch-size switch plumbing
+# ----------------------------------------------------------------------
+class TestBatchSwitch:
+    def test_scope_nesting_restores(self):
+        outer = batch.get_batch_size()
+        with batch.batch_scope(0):
+            assert not batch.batching_enabled()
+            with batch.batch_scope(64):
+                assert batch.get_batch_size() == 64
+            assert batch.get_batch_size() == 0
+        assert batch.get_batch_size() == outer
+
+    def test_lineup_records_batch_size_gauge(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        a_codes, d_codes, tree_height = lineup_inputs(False)
+        metrics = MetricsRegistry()
+        run_lineup(
+            "gauge",
+            a_codes,
+            d_codes,
+            tree_height,
+            buffer_pages=8,
+            page_size=128,
+            algorithms=("STACKTREE",),
+            metrics=metrics,
+            batch_size=256,
+        )
+        assert metrics.gauge("batch.size").value == 256.0
