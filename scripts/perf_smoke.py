@@ -15,6 +15,17 @@ the derived ``speedup_micro`` / ``speedup_fig6b`` ratios, then compares
 those speedups against the committed baseline and exits non-zero when
 either regresses by more than ``--tolerance`` (default 10%).
 
+A third section does the same for the flat-array static indexes
+(:mod:`repro.index.flat`): it probes pre-built pointer and flat index
+pairs with the INLJN probe loops, emits ``BENCH_flat.json`` carrying
+the per-side ratios and the gated combined ``speedup_flat_probe``, and
+additionally enforces a hard floor of ``FLAT_MIN_SPEEDUP`` on that
+combined speedup.  The B+-tree range side is reported but not gated
+(``flat_range_ratio``): the pointer tree's node cache already amortises
+its decode, so that side sits at parity and would only add noise to
+the gate — the win lives in the stab side, which the pointer interval
+tree re-decodes on every visit.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py --out BENCH_batched.json
@@ -28,6 +39,7 @@ same loop), which keeps the gate meaningful on shared CI runners.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import random
 import sys
@@ -38,11 +50,26 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import batch, pbitree as pt  # noqa: E402
-from repro.experiments.harness import run_lineup  # noqa: E402
+from repro.experiments.harness import (  # noqa: E402
+    Workbench,
+    materialize,
+    run_algorithm,
+    run_lineup,
+)
+from repro.index import flat  # noqa: E402
+from repro.join.base import JoinSink  # noqa: E402
+from repro.join.inljn import (  # noqa: E402
+    IndexNestedLoopJoin,
+    build_interval_index,
+    build_start_index,
+)
 from repro.obs.export import bench_summary, write_bench_summary  # noqa: E402
 from repro.workloads import synthetic as syn  # noqa: E402
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_batched_baseline.json"
+DEFAULT_FLAT_BASELINE = (
+    REPO_ROOT / "benchmarks" / "results" / "BENCH_flat_baseline.json"
+)
 
 MICRO_CODES = 50_000
 MICRO_REPEATS = 5
@@ -50,6 +77,14 @@ FIG6B_DATASET = "MLLH"
 FIG6B_LARGE = 8_000
 FIG6B_SMALL = 80
 FIG6B_REPEATS = 3
+FLAT_DATASET = "MLLH"
+FLAT_LARGE = 6_000
+FLAT_SMALL = 60
+FLAT_REPEATS = 5
+FLAT_BUFFER_PAGES = 400
+FLAT_PAGE_SIZE = 1024
+#: hard floor on the combined flat-probe speedup, independent of baseline
+FLAT_MIN_SPEEDUP = 1.3
 
 
 def _time_best(fn, repeats: int) -> float:
@@ -111,6 +146,97 @@ def fig6b_times() -> tuple[float, float, object]:
     return scalar_wall, batched_wall, lineup
 
 
+def flat_section() -> tuple[dict[str, object], list[tuple[str, str, object]]]:
+    """Pointer vs flat probe wall times over pre-built static indexes.
+
+    Returns the flat BENCH metrics plus ``(label, dataset, report)``
+    rows for the summary: one INLJN run per probe direction per index
+    family.  Each flat report is asserted field-for-field equal to its
+    pointer twin (modulo wall time) before anything is written — the
+    perf gate never reports a speedup of a path that changed results
+    or I/O accounting.
+    """
+    spec = syn.spec_by_name(FLAT_DATASET, large=FLAT_LARGE, small=FLAT_SMALL)
+    dataset = syn.generate(spec, seed=2003)
+    bench = Workbench.create(FLAT_BUFFER_PAGES, FLAT_PAGE_SIZE)
+    ancestors = materialize(
+        bench.bufmgr, dataset.a_codes, dataset.tree_height, f"{FLAT_DATASET}.A"
+    )
+    descendants = materialize(
+        bench.bufmgr, dataset.d_codes, dataset.tree_height, f"{FLAT_DATASET}.D"
+    )
+    with flat.flat_scope(False):
+        d_pointer = build_start_index(descendants, bench.bufmgr, "D.start.ptr")
+        a_pointer = build_interval_index(ancestors, bench.bufmgr, "A.iv.ptr")
+    with flat.flat_scope(True):
+        d_flat = build_start_index(descendants, bench.bufmgr, "D.start.flat")
+        a_flat = build_interval_index(ancestors, bench.bufmgr, "A.iv.flat")
+
+    probe_range = IndexNestedLoopJoin._probe_descendant_index
+    probe_stab = IndexNestedLoopJoin._probe_ancestor_index
+
+    def range_count(index) -> int:
+        sink = JoinSink("count")
+        probe_range(ancestors, index, sink)
+        return sink.count
+
+    def stab_count(index) -> int:
+        sink = JoinSink("count")
+        probe_stab(descendants, index, sink)
+        return sink.count
+
+    with batch.batch_scope(batch.DEFAULT_BATCH_SIZE):
+        # differential sanity before timing anything
+        if range_count(d_flat) != range_count(d_pointer):
+            raise AssertionError("flat range probe changed the result count")
+        if stab_count(a_flat) != stab_count(a_pointer):
+            raise AssertionError("flat stab probe changed the result count")
+        range_pointer = _time_best(lambda: range_count(d_pointer), FLAT_REPEATS)
+        range_flat = _time_best(lambda: range_count(d_flat), FLAT_REPEATS)
+        stab_pointer = _time_best(lambda: stab_count(a_pointer), FLAT_REPEATS)
+        stab_flat = _time_best(lambda: stab_count(a_flat), FLAT_REPEATS)
+
+    rows: list[tuple[str, str, object]] = []
+    reports: dict[tuple[str, str], object] = {}
+    for enabled, family in ((False, "pointer"), (True, "flat")):
+        for outer in ("A", "D"):
+            with batch.batch_scope(batch.DEFAULT_BATCH_SIZE), \
+                    flat.flat_scope(enabled):
+                report = run_algorithm(
+                    IndexNestedLoopJoin(force_outer=outer),
+                    ancestors,
+                    descendants,
+                )
+            reports[(family, outer)] = report
+            rows.append((f"INLJN[{family},outer={outer}]", FLAT_DATASET, report))
+    for outer in ("A", "D"):
+        pointer_report = dataclasses.replace(
+            reports[("pointer", outer)], wall_seconds=0.0, trace=None
+        )
+        flat_report = dataclasses.replace(
+            reports[("flat", outer)], wall_seconds=0.0, trace=None
+        )
+        if flat_report != pointer_report:
+            raise AssertionError(
+                f"flat INLJN (outer={outer}) diverged from the pointer "
+                f"oracle's JoinReport"
+            )
+
+    metrics: dict[str, object] = {
+        "flat_dataset": FLAT_DATASET,
+        "flat_range_pointer_seconds": round(range_pointer, 6),
+        "flat_range_flat_seconds": round(range_flat, 6),
+        "flat_range_ratio": round(range_pointer / range_flat, 3),
+        "flat_stab_pointer_seconds": round(stab_pointer, 6),
+        "flat_stab_flat_seconds": round(stab_flat, 6),
+        "flat_stab_ratio": round(stab_pointer / stab_flat, 3),
+        "speedup_flat_probe": round(
+            (range_pointer + stab_pointer) / (range_flat + stab_flat), 3
+        ),
+    }
+    return metrics, rows
+
+
 def check_regressions(
     metrics: dict[str, object], baseline_path: Path, tolerance: float
 ) -> list[str]:
@@ -135,18 +261,21 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default="BENCH_batched.json")
     parser.add_argument("--baseline", default=str(DEFAULT_BASELINE))
+    parser.add_argument("--flat-out", default="BENCH_flat.json")
+    parser.add_argument("--flat-baseline", default=str(DEFAULT_FLAT_BASELINE))
     parser.add_argument(
         "--tolerance", type=float, default=0.10,
         help="allowed fractional speedup regression vs baseline (default 0.10)",
     )
     parser.add_argument(
         "--update-baseline", action="store_true",
-        help="rewrite the committed baseline instead of gating against it",
+        help="rewrite the committed baselines instead of gating against them",
     )
     args = parser.parse_args(argv)
 
     micro_scalar, micro_batched = micro_times()
     fig_scalar, fig_batched, lineup = fig6b_times()
+    flat_metrics, flat_rows = flat_section()
 
     metrics: dict[str, object] = {
         "batch_size": batch.DEFAULT_BATCH_SIZE,
@@ -166,22 +295,45 @@ def main(argv: list[str] | None = None) -> int:
         ],
         metrics=metrics,
     )
+    flat_summary = bench_summary("flat", flat_rows, metrics=flat_metrics)
     out_path = write_bench_summary(summary, args.out)
+    flat_out_path = write_bench_summary(flat_summary, args.flat_out)
     print(f"micro:  {micro_scalar * 1e3:8.2f} ms scalar  "
           f"{micro_batched * 1e3:8.2f} ms batched  "
           f"{metrics['speedup_micro']}x")
     print(f"fig6b:  {fig_scalar * 1e3:8.2f} ms scalar  "
           f"{fig_batched * 1e3:8.2f} ms batched  "
           f"{metrics['speedup_fig6b']}x")
+    print(f"flat:   range {flat_metrics['flat_range_ratio']}x  "
+          f"stab {flat_metrics['flat_stab_ratio']}x  "
+          f"combined {flat_metrics['speedup_flat_probe']}x")
     print(f"[wrote {out_path}]")
+    print(f"[wrote {flat_out_path}]")
 
     baseline_path = Path(args.baseline)
+    flat_baseline_path = Path(args.flat_baseline)
+    problems = []
+    combined = flat_metrics["speedup_flat_probe"]
+    if not isinstance(combined, (int, float)) or combined < FLAT_MIN_SPEEDUP:
+        problems.append(
+            f"speedup_flat_probe {combined} is below the hard floor "
+            f"{FLAT_MIN_SPEEDUP}"
+        )
     if args.update_baseline:
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
         baseline_path.parent.mkdir(parents=True, exist_ok=True)
         write_bench_summary(summary, baseline_path)
+        write_bench_summary(flat_summary, flat_baseline_path)
         print(f"[baseline updated: {baseline_path}]")
+        print(f"[baseline updated: {flat_baseline_path}]")
         return 0
-    problems = check_regressions(metrics, baseline_path, args.tolerance)
+    problems += check_regressions(metrics, baseline_path, args.tolerance)
+    problems += check_regressions(
+        flat_metrics, flat_baseline_path, args.tolerance
+    )
     for problem in problems:
         print(f"REGRESSION: {problem}", file=sys.stderr)
     return 1 if problems else 0

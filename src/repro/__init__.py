@@ -31,6 +31,13 @@ from .datatree.node import DataTree
 from .datatree.paths import PathQuery, brute_force_join, select_by_tag
 from .datatree.xml_parser import parse_xml
 from .datatree.xpath import XPath
+from .index.flat import (
+    FlatIntervalTree,
+    FlatStartIndex,
+    flat_enabled,
+    flat_scope,
+    set_flat_enabled,
+)
 from .join.ancdes_b import AncDesBPlusJoin
 from .join.base import JoinReport, JoinSink
 from .join.inljn import IndexNestedLoopJoin
@@ -96,6 +103,11 @@ __all__ = [
     "PBiTreeJoinFramework",
     "SetProperties",
     "choose_algorithm",
+    "FlatIntervalTree",
+    "FlatStartIndex",
+    "flat_enabled",
+    "flat_scope",
+    "set_flat_enabled",
     "UpdatableEncoding",
     "ContainmentDatabase",
     "CostBasedOptimizer",

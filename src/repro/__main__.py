@@ -272,6 +272,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             args.workers if args.parallel_scope == "algorithm" else 1
         ),
         batch_size=args.batch_size,
+        flat_index=args.flat_index,
     )
 
     have_baseline = any(
@@ -422,6 +423,11 @@ def main(argv: list[str] | None = None) -> int:
         "--batch-size", type=int, default=None,
         help="execution batch size for the vectorized hot path "
         "(0 = scalar oracle; default: REPRO_BATCH_SIZE or 1024)",
+    )
+    bch.add_argument(
+        "--flat-index", action="store_true", default=None,
+        help="probe flat-array static indexes instead of the pointer "
+        "oracle (default: REPRO_FLAT_INDEX or off)",
     )
     bch.set_defaults(func=cmd_bench)
 

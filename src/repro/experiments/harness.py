@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from ..core import batch
+from ..index import flat
 from ..join.ancdes_b import AncDesBPlusJoin
 from ..join.base import JoinAlgorithm, JoinReport, JoinSink
 from ..join.inljn import IndexNestedLoopJoin
@@ -261,6 +262,7 @@ def run_lineup(
     parallel_mode: Optional[str] = None,
     algorithm_workers: int = 1,
     batch_size: Optional[int] = None,
+    flat_index: Optional[bool] = None,
 ) -> LineupResult:
     """Run the standard line-up over one dataset, each algorithm cold.
 
@@ -288,6 +290,12 @@ def run_lineup(
     (0 = scalar oracle); ``None`` keeps the process-wide setting.  The
     effective size is recorded as the ``batch.size`` metrics gauge and
     shipped to line-up workers explicitly.
+
+    ``flat_index`` pins the flat-index switch the same way (True =
+    flat static indexes, False = pointer oracle, ``None`` keeps the
+    process-wide :func:`~repro.index.flat.flat_enabled` setting); the
+    effective value is recorded as the ``flat.index`` gauge and shipped
+    to line-up workers explicitly.
     """
     if algorithms is None:
         if single_height is None:
@@ -295,16 +303,20 @@ def run_lineup(
         algorithms = make_lineup(single_height)
     if batch_size is None:
         batch_size = batch.get_batch_size()
+    if flat_index is None:
+        flat_index = flat.flat_enabled()
     if metrics is not None:
         metrics.gauge("batch.size").set(float(batch_size))
+        metrics.gauge("flat.index").set(1.0 if flat_index else 0.0)
     if workers > 1:
         return _run_lineup_parallel(
             dataset_name, a_codes, d_codes, tree_height, buffer_pages,
             page_size, algorithms, collect, faults, retry, tracer, metrics,
             workers, parallel_mode, algorithm_workers, batch_size,
+            flat_index,
         )
 
-    with batch.batch_scope(batch_size):
+    with batch.batch_scope(batch_size), flat.flat_scope(flat_index):
         bench = Workbench.create(
             buffer_pages, page_size, faults=faults, retry=retry
         )
@@ -363,6 +375,7 @@ def _run_lineup_parallel(
     parallel_mode: Optional[str],
     algorithm_workers: int,
     batch_size: int,
+    flat_index: bool,
 ) -> LineupResult:
     """Fan the per-algorithm runs of one line-up over a worker pool.
 
@@ -401,6 +414,7 @@ def _run_lineup_parallel(
             traced=traced,
             algorithm_workers=algorithm_workers,
             batch_size=batch_size,
+            flat_index=flat_index,
         )
         for name in algorithms
     ]

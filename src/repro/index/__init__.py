@@ -1,8 +1,26 @@
-"""Disk-based indexes: B+-tree and static interval tree."""
+"""Disk-based indexes: B+-tree, static interval tree, and flat variants."""
 
 from .bptree import BPlusTree
+from .flat import (
+    FlatIntervalTree,
+    FlatStartIndex,
+    flat_enabled,
+    flat_scope,
+    set_flat_enabled,
+)
 from .interval_tree import IntervalTree
 from .rtree import Rect, RTree
 from .xrtree import XRTree
 
-__all__ = ["BPlusTree", "IntervalTree", "RTree", "Rect", "XRTree"]
+__all__ = [
+    "BPlusTree",
+    "FlatIntervalTree",
+    "FlatStartIndex",
+    "IntervalTree",
+    "RTree",
+    "Rect",
+    "XRTree",
+    "flat_enabled",
+    "flat_scope",
+    "set_flat_enabled",
+]

@@ -72,6 +72,18 @@ class BPlusTree:
         #: accounting stay identical to the uncached path; only the
         #: repeated per-entry decode is skipped.  Writes invalidate.
         self._node_cache: dict[int, _Node] = {}
+        #: bulk-load layout record: page ids of each level in build
+        #: order — ``level_pages[0]`` is the leaf chain left to right,
+        #: each following list one internal level, the last the root.
+        #: With the uniform grouping of :meth:`_build_internal_level`
+        #: the children of node ``i`` of a level sit at positions
+        #: ``i * bulk_fanout ..`` of the level below, which is what the
+        #: flat static variant (:mod:`repro.index.flat`) descends by
+        #: instead of stored child pointers.  Top-down :meth:`insert`
+        #: invalidates the record (it splits nodes out of level order).
+        self.level_pages: list[list[int]] = []
+        #: children grouped under each bulk-built internal node
+        self.bulk_fanout = 0
 
     # ------------------------------------------------------------------
     # node (de)serialisation
@@ -198,9 +210,12 @@ class BPlusTree:
             return tree
         tree.height = 1
         level = leaves
+        tree.level_pages.append([page_id for _key, page_id in leaves])
         per_internal = max(2, int(tree.internal_capacity * fill_factor))
+        tree.bulk_fanout = per_internal + 1
         while len(level) > 1:
             level = tree._build_internal_level(level, per_internal)
+            tree.level_pages.append([page_id for _key, page_id in level])
             tree.height += 1
         tree.root_page = level[0][1]
         return tree
@@ -224,6 +239,10 @@ class BPlusTree:
     # ------------------------------------------------------------------
     def insert(self, key: int, value: int) -> None:
         """Insert one entry (duplicates allowed)."""
+        # splits allocate pages out of level order: the bulk-load
+        # layout record no longer describes the tree
+        self.level_pages = []
+        self.bulk_fanout = 0
         if self.root_page is None:
             root = self._new_node(is_leaf=True)
             root.keys.append(key)

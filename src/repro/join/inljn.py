@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING
 from ..core import batch, pbitree
 from ..core.pbitree import PBiCode, RegionCode
 from ..index.bptree import BPlusTree
+from ..index.flat import FlatIntervalTree, FlatStartIndex, flat_enabled
 from ..index.interval_tree import IntervalTree
 from ..sort.external_sort import (
     bulk_doc_order_keys,
@@ -50,7 +51,13 @@ __all__ = [
 def build_start_index(
     elements: ElementSet, bufmgr: BufferManager, name: str = ""
 ) -> BPlusTree:
-    """B+-tree on region ``Start`` (value = code), built by sort + bulk load."""
+    """B+-tree on region ``Start`` (value = code), built by sort + bulk load.
+
+    While :func:`~repro.index.flat.flat_enabled` is true the bulk load
+    produces a :class:`~repro.index.flat.FlatStartIndex` — identical
+    pages and build I/O, flat-array probe path — otherwise the pointer
+    B+-tree (the differential oracle).
+    """
     batched = batch.batching_enabled()
     sorted_heap = external_sort(
         elements.heap,
@@ -72,7 +79,10 @@ def build_start_index(
             (pbitree.start_of(PBiCode(record[0])), record[0])
             for record in sorted_heap.scan()
         )
-    index = BPlusTree.bulk_load(bufmgr, entries, name=name or f"{elements.name}.start")
+    index_cls: type[BPlusTree] = FlatStartIndex if flat_enabled() else BPlusTree
+    index = index_cls.bulk_load(
+        bufmgr, entries, name=name or f"{elements.name}.start"
+    )
     sorted_heap.destroy()
     return index
 
@@ -80,12 +90,21 @@ def build_start_index(
 def build_interval_index(
     elements: ElementSet, bufmgr: BufferManager, name: str = ""
 ) -> IntervalTree:
-    """Interval tree over the regions of an element set."""
+    """Interval tree over the regions of an element set.
+
+    While :func:`~repro.index.flat.flat_enabled` is true the build
+    produces a :class:`~repro.index.flat.FlatIntervalTree` — identical
+    pages and build I/O, flat-array stab path — otherwise the pointer
+    interval tree (the differential oracle).
+    """
     intervals: list[tuple[RegionCode, RegionCode, PBiCode]] = []
     for code in elements.scan():
         start, end = pbitree.region_of(code)
         intervals.append((start, end, code))
-    return IntervalTree.build(
+    index_cls: type[IntervalTree] = (
+        FlatIntervalTree if flat_enabled() else IntervalTree
+    )
+    return index_cls.build(
         bufmgr, intervals, name=name or f"{elements.name}.intervals"
     )
 
@@ -171,6 +190,19 @@ class IndexNestedLoopJoin(JoinAlgorithm):
         is_ancestor = pbitree.is_ancestor
         region_of = pbitree.region_of
         if batch.batching_enabled():
+            if isinstance(index, FlatStartIndex):
+                # flat fast path: one bulk range_values probe per
+                # ancestor (same pages and pins as the range scan,
+                # array-slice extraction instead of generator steps)
+                for a_page in ancestors.scan_pages():
+                    for a_code, (start, end) in zip(
+                        a_page, batch.regions(a_page)
+                    ):
+                        for d_code in batch.descendants_in(
+                            a_code, index.range_values(start, end)
+                        ):
+                            emit(a_code, d_code)
+                return
             # bulk-collect each range scan's candidates, then verify
             # them with one descendants_in kernel call per ancestor
             for a_page in ancestors.scan_pages():
@@ -199,6 +231,17 @@ class IndexNestedLoopJoin(JoinAlgorithm):
         is_ancestor = pbitree.is_ancestor
         start_of = pbitree.start_of
         if batch.batching_enabled():
+            if isinstance(index, FlatIntervalTree):
+                # flat fast path: one bulk stab_codes probe per
+                # descendant (same pages and pins as the stab,
+                # payload-slice extraction instead of interval tuples)
+                for d_page in descendants.scan_pages():
+                    for d_code, point in zip(d_page, batch.starts(d_page)):
+                        for a_code in batch.ancestors_in(
+                            d_code, index.stab_codes(point)
+                        ):
+                            emit(a_code, d_code)
+                return
             # bulk starts per page, stab candidates verified with one
             # ancestors_in kernel call per descendant
             for d_page in descendants.scan_pages():

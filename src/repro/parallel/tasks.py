@@ -32,6 +32,7 @@ from typing import Any, Callable, Optional, TypedDict
 
 from ..core import batch, pbitree
 from ..core.pbitree import PBiCode
+from ..index import flat
 from ..obs.export import trace_to_jsonl
 from ..obs.tracer import Tracer
 from ..storage.faults import (
@@ -305,6 +306,9 @@ class LineupTask:
     #: the parent's batch size, shipped explicitly (``spawn`` workers
     #: do not inherit module state); applied to the worker's whole run
     batch_size: int = batch.DEFAULT_BATCH_SIZE
+    #: the parent's flat-index switch, shipped the same way: on-the-fly
+    #: index builds in the worker must match the parent's serial run
+    flat_index: bool = False
 
 
 def fault_to_payload(fault: StorageFault) -> dict[str, Any]:
@@ -363,9 +367,11 @@ def run_lineup_task(task: LineupTask) -> LineupTaskResult:
     )
     from ..join.base import JoinSink
 
-    # worker processes start with the module default; mirror the
-    # parent's configured batch size before any operator runs
+    # worker processes start with the module defaults; mirror the
+    # parent's configured batch size and flat-index switch before any
+    # operator runs
     batch.set_batch_size(task.batch_size)
+    flat.set_flat_enabled(task.flat_index)
     bench = Workbench.create(
         task.buffer_pages, task.page_size, faults=task.faults, retry=task.retry
     )

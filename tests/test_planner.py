@@ -9,7 +9,10 @@ from repro import (
     BufferManager,
     DiskManager,
     ElementSet,
+    FlatIntervalTree,
+    FlatStartIndex,
     IndexNestedLoopJoin,
+    JoinSink,
     MultiHeightRollupJoin,
     PBiTreeJoinFramework,
     SetProperties,
@@ -23,6 +26,7 @@ from repro import (
     random_tree,
 )
 from repro.core import pbitree as pt
+from repro.index import flat
 from repro.join.inljn import build_interval_index, build_start_index
 from repro.workloads import synthetic as syn
 
@@ -231,3 +235,86 @@ class TestFrameworkFacade:
         assert report.result_count == len(
             brute_force_join(tree.codes[:50], tree.codes)
         )
+
+
+class TestFlatIndexPlanning:
+    """The Table-1 index cell must honour the flat-index switch: flat
+    static indexes qualify for the same INLJN plans as the pointer
+    oracle (they subclass it), are only *built* while the switch is on,
+    and wrong-direction flat indexes fall through exactly like
+    wrong-direction pointer indexes."""
+
+    def fixtures(self):
+        tree = random_tree(300, seed=20)
+        encoding = binarize(tree)
+        rng = random.Random(3)
+        a_codes = rng.sample(tree.codes, 100)
+        d_codes = rng.sample(tree.codes, 100)
+        return make_sets(a_codes, d_codes, encoding.tree_height, frames=32)
+
+    def test_flat_scope_builds_flat_and_planner_probes_it(self):
+        a_set, d_set = self.fixtures()
+        with flat.flat_scope(True):
+            d_index = build_start_index(d_set, d_set.bufmgr)
+        assert isinstance(d_index, FlatStartIndex)
+        algorithm = choose_algorithm(
+            a_set, d_set, SetProperties(), SetProperties(start_index=d_index)
+        )
+        assert isinstance(algorithm, IndexNestedLoopJoin)
+        assert algorithm.d_index is d_index
+        assert algorithm.force_outer == "A"
+
+    def test_flat_stab_index_pins_outer_to_d(self):
+        a_set, d_set = self.fixtures()
+        with flat.flat_scope(True):
+            a_index = build_interval_index(a_set, a_set.bufmgr)
+        assert isinstance(a_index, FlatIntervalTree)
+        algorithm = choose_algorithm(
+            a_set, d_set, SetProperties(interval_index=a_index), SetProperties()
+        )
+        assert isinstance(algorithm, IndexNestedLoopJoin)
+        assert algorithm.a_index is a_index
+        assert algorithm.force_outer == "D"
+
+    def test_switch_off_builds_the_pointer_oracle(self):
+        a_set, d_set = self.fixtures()
+        with flat.flat_scope(False):
+            d_index = build_start_index(d_set, d_set.bufmgr)
+            a_index = build_interval_index(a_set, a_set.bufmgr)
+        assert not isinstance(d_index, FlatStartIndex)
+        assert not isinstance(a_index, FlatIntervalTree)
+
+    def test_wrong_direction_flat_indexes_fall_through(self):
+        """Flat a-Start + flat d-stab serve no probe direction — the
+        planner must take the unindexed cell, not an INLJN that would
+        rebuild indexes inside the operator."""
+        a_set, d_set = self.fixtures()
+        with flat.flat_scope(True):
+            a_start = build_start_index(a_set, a_set.bufmgr)
+            d_stab = build_interval_index(d_set, d_set.bufmgr)
+        algorithm = choose_algorithm(
+            a_set,
+            d_set,
+            SetProperties(start_index=a_start),
+            SetProperties(interval_index=d_stab),
+        )
+        assert not isinstance(algorithm, IndexNestedLoopJoin)
+        assert isinstance(algorithm, (MultiHeightRollupJoin, SingleHeightJoin))
+
+    def test_planned_flat_join_matches_brute_force(self):
+        tree = random_tree(220, seed=24)
+        encoding = binarize(tree)
+        rng = random.Random(5)
+        a_codes = rng.sample(tree.codes, 90)
+        d_codes = rng.sample(tree.codes, 120)
+        a_set, d_set = make_sets(a_codes, d_codes, encoding.tree_height,
+                                 frames=32)
+        with flat.flat_scope(True):
+            d_index = build_start_index(d_set, d_set.bufmgr)
+        algorithm = choose_algorithm(
+            a_set, d_set, SetProperties(), SetProperties(start_index=d_index)
+        )
+        assert isinstance(algorithm, IndexNestedLoopJoin)
+        sink = JoinSink("collect")
+        algorithm.run(a_set, d_set, sink)
+        assert sorted(sink.pairs) == sorted(brute_force_join(a_codes, d_codes))

@@ -1,0 +1,169 @@
+"""Property tests for updates: Lemma 3/4 invariants survive relabels.
+
+tests/test_update.py covers the mechanics of each update path (free
+slot, sibling overflow, growth, delete).  This suite pins the *coding
+invariants* instead: whatever sequence of inserts, deletes, local
+relabels and tree growths hypothesis generates, the surviving nodes'
+codes must still agree with the data tree under all three equivalent
+formulations of containment —
+
+* Lemma 1: ``is_ancestor`` (the F-function test),
+* Lemma 3: proper region containment (``Region.contains``),
+* Lemma 4: the prefix-code bit-prefix relation —
+
+and document order among survivors must never change (the "durable
+numbering" property that makes PBiTree updates cheap).
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import pbitree as pt
+from repro.core.binarize import binarize
+from repro.core.update import UpdatableEncoding
+from repro.datatree.builder import random_tree
+
+
+def prefix_ancestor_or_self(a: int, d: int) -> bool:
+    """Lemma 4 as documented on :func:`repro.core.pbitree.prefix_of`."""
+    ha, hd = pt.height_of(a), pt.height_of(d)
+    return ha >= hd and (
+        pt.prefix_of(d) >> (ha - hd + 1) == pt.prefix_of(a) >> 1
+    )
+
+
+def storm(updatable, tree, rng, steps):
+    """Random insert/delete mix (same shape as test_update's storm)."""
+    for _ in range(steps):
+        live = [n for n in range(len(tree)) if updatable.is_alive(n)]
+        if rng.random() < 0.7 or len(live) < 3:
+            updatable.insert_child(rng.choice(live), "n")
+        else:
+            non_root = [n for n in live if tree.parents[n] >= 0]
+            if non_root:
+                updatable.delete_subtree(rng.choice(non_root))
+
+
+class TestLemmaEquivalence:
+    @given(seed=st.integers(0, 1000), initial=st.integers(2, 50))
+    @settings(max_examples=15, deadline=None)
+    def test_storm_preserves_all_three_formulations(self, seed, initial):
+        tree = random_tree(initial, seed=seed)
+        updatable = UpdatableEncoding(binarize(tree))
+        rng = random.Random(seed)
+        storm(updatable, tree, rng, 100)
+        updatable.validate()
+        live = [n for n in range(len(tree)) if updatable.is_alive(n)]
+        for _ in range(200):
+            u, v = rng.choice(live), rng.choice(live)
+            cu, cv = tree.codes[u], tree.codes[v]
+            truth = tree.is_ancestor(u, v)
+            assert pt.is_ancestor(cu, cv) == truth
+            assert pt.region_of(cu).contains(pt.region_of(cv)) == truth
+            assert prefix_ancestor_or_self(cu, cv) == (
+                truth or u == v
+            )
+
+    @given(seed=st.integers(0, 500), initial=st.integers(2, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_storm_preserves_document_order(self, seed, initial):
+        tree = random_tree(initial, seed=seed)
+        updatable = UpdatableEncoding(binarize(tree))
+        rng = random.Random(seed)
+        survivors = list(range(len(tree)))
+        before = {n: tree.codes[n] for n in survivors}
+        order_before = sorted(survivors, key=lambda n: pt.doc_order_key(before[n]))
+        storm(updatable, tree, rng, 80)
+        alive = [n for n in survivors if updatable.is_alive(n)]
+        order_after = sorted(
+            alive, key=lambda n: pt.doc_order_key(tree.codes[n])
+        )
+        assert order_after == [n for n in order_before if n in set(alive)]
+
+
+class TestRoundTrips:
+    @given(seed=st.integers(0, 500), initial=st.integers(3, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_fast_path_insert_delete_restores_codes(self, seed, initial):
+        """A free-slot insert touches no other code; deleting it again
+        restores the exact pre-insert assignment and frees its slot."""
+        tree = random_tree(initial, seed=seed)
+        updatable = UpdatableEncoding(binarize(tree))
+        rng = random.Random(seed)
+        before = {
+            n: tree.codes[n]
+            for n in range(len(tree))
+            if updatable.is_alive(n)
+        }
+        relabels_before = (
+            updatable.stats.local_relabels + updatable.stats.global_relabels
+        )
+        parent = rng.choice(sorted(before))
+        node = updatable.insert_child(parent, "x")
+        relabelled = (
+            updatable.stats.local_relabels + updatable.stats.global_relabels
+        ) > relabels_before
+        if not relabelled:
+            # the fast path: everyone else's code is untouched
+            for n, code in before.items():
+                assert tree.codes[n] == code
+            new_code = tree.codes[node]
+            assert updatable.node_of(new_code) == node
+            updatable.delete_subtree(node)
+            assert updatable.node_of(new_code) is None
+            for n, code in before.items():
+                assert tree.codes[n] == code
+            updatable.validate()
+
+    @given(seed=st.integers(0, 500), fanout=st.integers(3, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_forced_relabel_keeps_invariants(self, seed, fanout):
+        """Overflowing one parent's sibling level forces local relabels
+        (and possibly growth); containment among the pre-existing nodes
+        must be exactly what it was."""
+        tree = random_tree(20, max_fanout=3, seed=seed)
+        updatable = UpdatableEncoding(binarize(tree))
+        rng = random.Random(seed)
+        originals = list(range(len(tree)))
+        truth = {
+            (u, v): tree.is_ancestor(u, v)
+            for u in originals
+            for v in originals
+        }
+        parent = rng.choice(originals)
+        for _ in range(2 ** fanout + 1):
+            updatable.insert_child(parent, "kid")
+        assert (
+            updatable.stats.local_relabels + updatable.stats.tree_growths > 0
+        )
+        updatable.validate()
+        for (u, v), expected in truth.items():
+            assert (
+                pt.is_ancestor(tree.codes[u], tree.codes[v]) == expected
+            )
+            assert (
+                pt.region_of(tree.codes[u]).contains(
+                    pt.region_of(tree.codes[v])
+                )
+                == expected
+            )
+
+    @given(seed=st.integers(0, 500), delta=st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_growth_is_a_pure_shift(self, seed, delta):
+        """Growing by ``delta`` multiplies every live code by 2**delta —
+        heights shift uniformly, so Lemma 3/4 relations are literally
+        unchanged bit patterns."""
+        tree = random_tree(30, seed=seed)
+        updatable = UpdatableEncoding(binarize(tree))
+        before = {
+            n: tree.codes[n]
+            for n in range(len(tree))
+            if updatable.is_alive(n)
+        }
+        updatable._grow_tree(delta)
+        for n, code in before.items():
+            assert tree.codes[n] == code << delta
+            assert pt.height_of(tree.codes[n]) == pt.height_of(code) + delta
+        updatable.validate()
