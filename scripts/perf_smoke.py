@@ -26,6 +26,14 @@ its decode, so that side sits at parity and would only add noise to
 the gate — the win lives in the stab side, which the pointer interval
 tree re-decodes on every visit.
 
+A fourth section measures the view-lifetime sanitizer
+(:mod:`repro.storage.sanitize`): the same Figure 6(b) line-up runs with
+``REPRO_SANITIZE`` semantics on and off, every JoinReport is asserted
+field-for-field identical (modulo wall time) between the two, and the
+overhead ratio is written to ``BENCH_sanitize.json``.  This section is
+*informational only* — the sanitizer is a debugging mode, not a hot
+path, so its overhead is recorded but never gated.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py --out BENCH_batched.json
@@ -85,6 +93,10 @@ FLAT_BUFFER_PAGES = 400
 FLAT_PAGE_SIZE = 1024
 #: hard floor on the combined flat-probe speedup, independent of baseline
 FLAT_MIN_SPEEDUP = 1.3
+SANITIZE_DATASET = "MLLH"
+SANITIZE_LARGE = 4_000
+SANITIZE_SMALL = 40
+SANITIZE_REPEATS = 3
 
 
 def _time_best(fn, repeats: int) -> float:
@@ -237,6 +249,61 @@ def flat_section() -> tuple[dict[str, object], list[tuple[str, str, object]]]:
     return metrics, rows
 
 
+def sanitize_section() -> tuple[dict[str, object], list[tuple[str, str, object]]]:
+    """Sanitized vs plain Figure 6(b) line-up wall times (no gate).
+
+    Before timing anything, each algorithm's sanitized JoinReport is
+    asserted field-for-field equal to its plain twin (modulo wall
+    time): the sanitizer must be observationally free.  The reported
+    ``sanitize_overhead_ratio`` (sanitized / plain, >= 1.0 up to
+    noise) is informational — none of its keys carry the ``speedup_``
+    prefix the baseline gate looks for.
+    """
+    spec = syn.spec_by_name(
+        SANITIZE_DATASET, large=SANITIZE_LARGE, small=SANITIZE_SMALL
+    )
+    dataset = syn.generate(spec, seed=2003)
+
+    def lineup_run(sanitized: bool):
+        return run_lineup(
+            SANITIZE_DATASET,
+            dataset.a_codes,
+            dataset.d_codes,
+            dataset.tree_height,
+            buffer_pages=50,
+            page_size=1024,
+            single_height=False,
+            sanitize=sanitized,
+        )
+
+    plain = lineup_run(False)
+    sanitized = lineup_run(True)
+    for p_result, s_result in zip(plain.results, sanitized.results):
+        plain_report = dataclasses.replace(
+            p_result.report, wall_seconds=0.0, trace=None
+        )
+        sanitized_report = dataclasses.replace(
+            s_result.report, wall_seconds=0.0, trace=None
+        )
+        if sanitized_report != plain_report:
+            raise AssertionError(
+                f"{p_result.name} diverged under the view sanitizer"
+            )
+    plain_wall = _time_best(lambda: lineup_run(False), SANITIZE_REPEATS)
+    sanitized_wall = _time_best(lambda: lineup_run(True), SANITIZE_REPEATS)
+    metrics: dict[str, object] = {
+        "sanitize_dataset": SANITIZE_DATASET,
+        "sanitize_plain_seconds": round(plain_wall, 6),
+        "sanitize_sanitized_seconds": round(sanitized_wall, 6),
+        "sanitize_overhead_ratio": round(sanitized_wall / plain_wall, 3),
+    }
+    rows = [
+        (f"{result.name}[sanitized]", SANITIZE_DATASET, result.report)
+        for result in sanitized.results
+    ]
+    return metrics, rows
+
+
 def check_regressions(
     metrics: dict[str, object], baseline_path: Path, tolerance: float
 ) -> list[str]:
@@ -264,6 +331,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--flat-out", default="BENCH_flat.json")
     parser.add_argument("--flat-baseline", default=str(DEFAULT_FLAT_BASELINE))
     parser.add_argument(
+        "--sanitize-out", default="BENCH_sanitize.json",
+        help="sanitizer overhead summary (informational, never gated)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.10,
         help="allowed fractional speedup regression vs baseline (default 0.10)",
     )
@@ -276,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
     micro_scalar, micro_batched = micro_times()
     fig_scalar, fig_batched, lineup = fig6b_times()
     flat_metrics, flat_rows = flat_section()
+    sanitize_metrics, sanitize_rows = sanitize_section()
 
     metrics: dict[str, object] = {
         "batch_size": batch.DEFAULT_BATCH_SIZE,
@@ -296,8 +368,12 @@ def main(argv: list[str] | None = None) -> int:
         metrics=metrics,
     )
     flat_summary = bench_summary("flat", flat_rows, metrics=flat_metrics)
+    sanitize_summary = bench_summary(
+        "sanitize", sanitize_rows, metrics=sanitize_metrics
+    )
     out_path = write_bench_summary(summary, args.out)
     flat_out_path = write_bench_summary(flat_summary, args.flat_out)
+    sanitize_out_path = write_bench_summary(sanitize_summary, args.sanitize_out)
     print(f"micro:  {micro_scalar * 1e3:8.2f} ms scalar  "
           f"{micro_batched * 1e3:8.2f} ms batched  "
           f"{metrics['speedup_micro']}x")
@@ -307,8 +383,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"flat:   range {flat_metrics['flat_range_ratio']}x  "
           f"stab {flat_metrics['flat_stab_ratio']}x  "
           f"combined {flat_metrics['speedup_flat_probe']}x")
+    print(f"sanitize: plain {sanitize_metrics['sanitize_plain_seconds']}s  "
+          f"sanitized {sanitize_metrics['sanitize_sanitized_seconds']}s  "
+          f"overhead {sanitize_metrics['sanitize_overhead_ratio']}x "
+          f"(informational)")
     print(f"[wrote {out_path}]")
     print(f"[wrote {flat_out_path}]")
+    print(f"[wrote {sanitize_out_path}]")
 
     baseline_path = Path(args.baseline)
     flat_baseline_path = Path(args.flat_baseline)

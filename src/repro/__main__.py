@@ -273,6 +273,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         ),
         batch_size=args.batch_size,
         flat_index=args.flat_index,
+        sanitize=args.sanitize,
     )
 
     have_baseline = any(
@@ -428,6 +429,12 @@ def main(argv: list[str] | None = None) -> int:
         "--flat-index", action="store_true", default=None,
         help="probe flat-array static indexes instead of the pointer "
         "oracle (default: REPRO_FLAT_INDEX or off)",
+    )
+    bch.add_argument(
+        "--sanitize", action="store_true", default=None,
+        help="run under the view-lifetime sanitizer: borrowed page "
+        "views are tracked and use-after-unpin raises "
+        "(default: REPRO_SANITIZE or off)",
     )
     bch.set_defaults(func=cmd_bench)
 

@@ -23,6 +23,14 @@ Checkers
 ``annotations``
     The public API must be fully annotated so the ``PBiCode`` /
     ``RegionCode`` / ``PrefixCode`` domain separation is enforceable.
+``view-escape``
+    Zero-copy page-array views (the batched hot path's borrows of
+    pinned frames) must not be stored, returned, yielded or captured
+    past their pin; take ownership with ``owned_u64_array`` or
+    ``copy=True`` instead.
+``span-discipline``
+    Tracer spans must be entered and closed on every path — the
+    pin-discipline leak shape applied to the observability layer.
 
 Findings can be locally waived with ``# repro: allow[checker-name]``
 on the offending line; see ``docs/static-analysis.md``.

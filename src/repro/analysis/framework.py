@@ -198,9 +198,13 @@ def all_checkers() -> list[Checker]:
     from .code_domain import CodeDomainChecker
     from .exports import ExportChecker
     from .pin_discipline import PinDisciplineChecker
+    from .span_discipline import SpanDisciplineChecker
+    from .view_escape import ViewEscapeChecker
 
     return [
         PinDisciplineChecker(),
+        ViewEscapeChecker(),
+        SpanDisciplineChecker(),
         CodeDomainChecker(),
         ExportChecker(),
         AnnotationChecker(),

@@ -1,0 +1,165 @@
+"""Span-discipline checker: every opened span must be closed on every path.
+
+The tracing contract (docs/observability.md) is that a
+:class:`~repro.obs.tracer.Span` returned by ``tracer.span(...)`` or a
+join algorithm's ``self.trace(...)`` helper is entered and exited
+exactly once — an abandoned span either never records its duration or,
+worse, stays on the tracer's open-span stack and corrupts the nesting
+of every span opened after it.  The same leak shape as a pin without
+an unpin, so this checker mirrors :mod:`.pin_discipline`.
+
+A span-producing call is accepted when the span provably closes:
+
+* it is the context expression of a ``with`` statement
+  (``with self.trace("x"):`` — the idiomatic form);
+* its result is assigned to an *attribute* — ownership escapes to an
+  object whose own lifecycle closes it;
+* it is directly ``return``-ed — ownership escapes to the caller
+  (the ``JoinAlgorithm.trace`` helper itself);
+* its result is assigned to a name that is later the context
+  expression of a ``with`` (``root = tracer.span(...)`` ...
+  ``with root:``);
+* its result is assigned to a name whose ``__exit__`` is called inside
+  some ``finally`` block of the same function (the manual
+  ``__enter__``/``try``/``finally __exit__`` shape the parallel fan-out
+  uses when the span is conditional).
+
+Anything else is flagged.  Deliberate exceptions carry
+``# repro: allow[span-discipline]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, SourceModule
+from .pin_discipline import _FUNCTION_NODES, _receiver_names
+
+__all__ = ["SpanDisciplineChecker"]
+
+#: ``.span(...)`` on anything tracer-ish, or the join-base ``self.trace``
+_TRACER_HINTS = ("trace",)
+
+
+def _is_span_call(node: ast.Call) -> bool:
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return False
+    if func.attr == "span":
+        return any(
+            "trace" in name.lower() for name in _receiver_names(func.value)
+        )
+    if func.attr == "trace":
+        # JoinAlgorithm.trace(...) — a span factory on self
+        return isinstance(func.value, ast.Name) and func.value.id == "self"
+    return False
+
+
+def _assigned_name(stmt: ast.stmt) -> str | None:
+    if (
+        isinstance(stmt, ast.Assign)
+        and len(stmt.targets) == 1
+        and isinstance(stmt.targets[0], ast.Name)
+    ):
+        return stmt.targets[0].id
+    if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+        return stmt.target.id
+    return None
+
+
+def _enclosing_function(
+    module: SourceModule, node: ast.AST
+) -> ast.AST | None:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, _FUNCTION_NODES + (ast.Module,)):
+            return ancestor
+    return None
+
+
+def _name_entered_by_with(scope: ast.AST, name: str) -> bool:
+    for node in ast.walk(scope):
+        if isinstance(node, ast.withitem):
+            context = node.context_expr
+            if isinstance(context, ast.Name) and context.id == name:
+                return True
+    return False
+
+
+def _name_exited_in_finally(scope: ast.AST, name: str) -> bool:
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            for inner in ast.walk(stmt):
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "__exit__"
+                    and isinstance(inner.func.value, ast.Name)
+                    and inner.func.value.id == name
+                ):
+                    return True
+    return False
+
+
+class SpanDisciplineChecker:
+    name = "span-discipline"
+    description = "tracer spans must be entered and closed on every path"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or not _is_span_call(node):
+                continue
+            if self._is_guarded(module, node):
+                continue
+            yield Finding(
+                path=str(module.path),
+                line=node.lineno,
+                col=node.col_offset,
+                checker=self.name,
+                message=(
+                    "span is not closed on every path: use `with`, "
+                    "return it, or guard the manual __enter__ with "
+                    "try/finally + __exit__"
+                ),
+            )
+
+    def _is_guarded(self, module: SourceModule, call: ast.Call) -> bool:
+        stmt: ast.stmt | None = None
+        for ancestor in module.ancestors(call):
+            if isinstance(ancestor, ast.withitem):
+                return True
+            if isinstance(ancestor, ast.stmt):
+                stmt = ancestor
+                break
+        if stmt is None:
+            return False
+
+        # ownership escapes to the caller (the span-factory helpers)
+        if isinstance(stmt, ast.Return):
+            return True
+
+        # ownership escapes to an object with its own lifecycle
+        if isinstance(stmt, ast.Assign) and all(
+            isinstance(target, ast.Attribute) for target in stmt.targets
+        ):
+            return True
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Attribute
+        ):
+            return True
+
+        # name binding: accept `with name:` or a finally `name.__exit__`
+        # anywhere in the same function
+        name = _assigned_name(stmt)
+        if name is not None:
+            scope = _enclosing_function(module, stmt)
+            if scope is not None and (
+                _name_entered_by_with(scope, name)
+                or _name_exited_in_finally(scope, name)
+            ):
+                return True
+        return False

@@ -1,0 +1,382 @@
+"""View-escape checker: zero-copy page views must not outlive their pin.
+
+The borrow contract of the batched hot path (DESIGN.md §13) is that a
+page-array view — the ``memoryview("Q")`` handed out by
+``RecordCodec.unpack_array`` / ``read_record_array`` and the scan
+generators built on them — aliases a pinned buffer frame and dies with
+the pin.  The runtime sanitizer (:mod:`repro.storage.sanitize`)
+enforces this dynamically when enabled; this checker catches the same
+bug class statically, at the *escape site* rather than at the eviction
+that corrupts the data.
+
+Per function, a simple forward taint analysis marks names bound to a
+view source:
+
+* calling a **value producer** (``read_record_array``, ``unpack_array``
+  without ``copy=True``) taints the result;
+* iterating an **iterator producer** (``scan_page_arrays``,
+  ``scan_code_arrays`` without ``copy=True``) in a ``for`` taints the
+  loop variable;
+* taint flows through plain assignment/aliasing, ``typing.cast``,
+  and *slice* subscripts (a sub-view is still a view; a scalar index
+  extracts an int and is clean).
+
+A tainted value reaching any of these sinks is flagged:
+
+* stored to an attribute or a subscript (``self._page = view``,
+  ``cache[k] = view``) — the container outlives the pin;
+* ``return``/``yield`` of a tainted value, unless the enclosing
+  function is itself a sanctioned producer (the re-yield wrappers
+  ``scan_page_arrays``/``scan_code_arrays`` and the decode primitives
+  ``unpack_array``/``read_record_array``), in which case the borrow
+  contract transfers to *its* caller;
+* ``.append``/``.add``/``.insert`` of a tainted value into a container;
+* collecting an iterator producer with ``list``/``tuple``/``set``/
+  ``sorted`` (every view in the list is already dead);
+* materialising a comprehension whose element is tainted;
+* a nested ``def``/``lambda`` capturing a tainted name — the closure
+  can run after the pin is gone.
+
+Taking ownership kills taint: ``owned_u64_array(view)``, ``list(view)``,
+``array("Q", view)``, ``.tolist()``, ``bytes(view)`` and friends all
+copy the elements, so their results are unconstrained.  Passing a view
+as a plain call argument is deliberately *not* a sink (the batched
+kernels consume views in-call by design); a callee that stashes its
+argument is the runtime sanitizer's job to catch.  Deliberate
+exceptions carry ``# repro: allow[view-escape]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .framework import Finding, SourceModule
+
+__all__ = ["ViewEscapeChecker"]
+
+#: calls returning one view per call
+_VALUE_PRODUCERS = {"read_record_array", "unpack_array"}
+#: generators yielding one borrowed view per iteration
+_ITER_PRODUCERS = {"scan_page_arrays", "scan_code_arrays"}
+#: functions allowed to return/yield a view: the producers themselves
+#: (their callers inherit the borrow contract)
+_SANCTIONED_ESCAPES = _VALUE_PRODUCERS | _ITER_PRODUCERS
+#: constructors/helpers whose result owns a copy of the elements
+_COPY_KILLERS = {
+    "list",
+    "tuple",
+    "set",
+    "frozenset",
+    "sorted",
+    "array",
+    "bytes",
+    "bytearray",
+    "owned_u64_array",
+    "len",
+    "sum",
+    "min",
+    "max",
+}
+#: methods on a view whose result owns its data
+_COPY_METHODS = {"tolist", "tobytes", "hex"}
+#: container methods that store their argument
+_STORE_METHODS = {"append", "add", "insert", "appendleft", "put"}
+#: eager collectors that materialise an iterator producer
+_EAGER_COLLECTORS = {"list", "tuple", "set", "sorted"}
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_SCOPE_NODES = _FUNCTION_NODES + (ast.Lambda,)
+
+
+def _call_name(call: ast.Call) -> str | None:
+    """The trailing identifier of the called expression."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _copies_out(call: ast.Call) -> bool:
+    """True when the producer call yields owned copies (``copy=True``)."""
+    for keyword in call.keywords:
+        if keyword.arg == "copy" and (
+            not isinstance(keyword.value, ast.Constant)
+            or keyword.value.value
+        ):
+            return True
+    return any(
+        isinstance(arg, ast.Constant) and arg.value is True
+        for arg in call.args
+    )
+
+
+def _is_value_producer(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_name(node) in _VALUE_PRODUCERS
+    )
+
+
+def _is_iter_producer(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and _call_name(node) in _ITER_PRODUCERS
+        and not _copies_out(node)
+    )
+
+
+def _walk_scope(root: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``root`` without descending into nested function scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(root))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Taint:
+    """Tainted-name set for one function scope."""
+
+    def __init__(self, names: set[str]) -> None:
+        self.names = names
+
+    def expr(self, node: ast.expr) -> bool:
+        """Is this expression a (possibly derived) page view?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if _is_value_producer(node):
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            # typing.cast(T, x) is a type-level no-op: taint passes
+            if name == "cast" and len(node.args) == 2:
+                return self.expr(node.args[1])
+            # everything else — copy killers, kernels, methods — is
+            # treated as consuming its arguments (runtime's job if not)
+            return False
+        if isinstance(node, ast.Subscript):
+            # a slice of a view is a derived sub-view; a scalar index
+            # extracts an int
+            if isinstance(node.slice, ast.Slice):
+                return self.expr(node.value)
+            return False
+        if isinstance(node, ast.IfExp):
+            return self.expr(node.body) or self.expr(node.orelse)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(self.expr(element) for element in node.elts)
+        return False
+
+
+class ViewEscapeChecker:
+    name = "view-escape"
+    description = "zero-copy page views must not outlive their pin"
+
+    def check(self, module: SourceModule) -> Iterator[Finding]:
+        if module.is_test:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, _FUNCTION_NODES):
+                yield from self._check_function(module, node)
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self, module: SourceModule, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        taint = _Taint(self._tainted_names(function))
+        sanctioned = function.name in _SANCTIONED_ESCAPES
+        for node in _walk_scope(function):
+            yield from self._check_node(module, node, taint, sanctioned)
+            if isinstance(node, _SCOPE_NODES):
+                # closure capture: the nested scope may run after the
+                # pin is released, so no tainted free variable may leak
+                captured = sorted(
+                    {
+                        inner.id
+                        for inner in ast.walk(node)
+                        if isinstance(inner, ast.Name)
+                        and isinstance(inner.ctx, ast.Load)
+                        and inner.id in taint.names
+                        and not self._binds_locally(node, inner.id)
+                    }
+                )
+                if captured:
+                    yield self._finding(
+                        module,
+                        node,
+                        f"closure captures page view(s) {', '.join(captured)}: "
+                        "the view dies with its pin; copy first "
+                        "(owned_u64_array)",
+                    )
+
+    def _tainted_names(
+        self, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        """Fixpoint over assignments/for-targets (no kills: conservative)."""
+        names: set[str] = set()
+        taint = _Taint(names)
+        changed = True
+        while changed:
+            changed = False
+            for node in _walk_scope(function):
+                if isinstance(node, ast.Assign) and taint.expr(node.value):
+                    for target in node.targets:
+                        changed |= self._bind(names, target)
+                elif isinstance(node, ast.AnnAssign):
+                    if node.value is not None and taint.expr(node.value):
+                        changed |= self._bind(names, node.target)
+                elif isinstance(node, ast.NamedExpr) and taint.expr(node.value):
+                    changed |= self._bind(names, node.target)
+                elif isinstance(node, (ast.For, ast.AsyncFor)):
+                    if _is_iter_producer(node.iter):
+                        changed |= self._bind(names, node.target)
+                elif isinstance(node, ast.withitem):
+                    if node.optional_vars is not None and taint.expr(
+                        node.context_expr
+                    ):
+                        changed |= self._bind(names, node.optional_vars)
+        return names
+
+    @staticmethod
+    def _bind(names: set[str], target: ast.expr) -> bool:
+        if isinstance(target, ast.Name) and target.id not in names:
+            names.add(target.id)
+            return True
+        return False
+
+    @staticmethod
+    def _binds_locally(scope: ast.AST, name: str) -> bool:
+        """Does the nested scope bind ``name`` itself (param or local)?"""
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            arguments = scope.args
+            for arg in (
+                arguments.posonlyargs
+                + arguments.args
+                + arguments.kwonlyargs
+                + ([arguments.vararg] if arguments.vararg else [])
+                + ([arguments.kwarg] if arguments.kwarg else [])
+            ):
+                if arg.arg == name:
+                    return True
+        for inner in ast.walk(scope):
+            if (
+                isinstance(inner, ast.Name)
+                and isinstance(inner.ctx, ast.Store)
+                and inner.id == name
+            ):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _check_node(
+        self,
+        module: SourceModule,
+        node: ast.AST,
+        taint: _Taint,
+        sanctioned: bool,
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign) and taint.expr(node.value):
+            for target in node.targets:
+                if isinstance(target, (ast.Attribute, ast.Subscript)):
+                    yield self._finding(
+                        module,
+                        node,
+                        "page view stored past its pin (attribute/container "
+                        "assignment): copy with owned_u64_array or use "
+                        "copy=True",
+                    )
+                    break
+        elif isinstance(node, ast.AnnAssign):
+            if (
+                node.value is not None
+                and taint.expr(node.value)
+                and isinstance(node.target, (ast.Attribute, ast.Subscript))
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    "page view stored past its pin (attribute/container "
+                    "assignment): copy with owned_u64_array or use copy=True",
+                )
+        elif isinstance(node, ast.Return):
+            if (
+                node.value is not None
+                and taint.expr(node.value)
+                and not sanctioned
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    "page view returned from a non-producer function: the "
+                    "caller outlives the pin; return an owned copy",
+                )
+        elif isinstance(node, ast.Yield):
+            if (
+                node.value is not None
+                and taint.expr(node.value)
+                and not sanctioned
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    "page view yielded from a non-producer generator: the "
+                    "consumer may outlive the pin; yield an owned copy",
+                )
+        elif isinstance(node, ast.Call):
+            name = _call_name(node)
+            if (
+                name in _STORE_METHODS
+                and isinstance(node.func, ast.Attribute)
+                and any(taint.expr(arg) for arg in node.args)
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    f"page view stored via .{name}(): the container outlives "
+                    "the pin; use .extend() (copies elements) or an owned "
+                    "copy",
+                )
+            elif name in _EAGER_COLLECTORS and any(
+                _is_iter_producer(arg) for arg in node.args
+            ):
+                yield self._finding(
+                    module,
+                    node,
+                    f"{name}() materialises a borrowed-view scan: every "
+                    "collected view is already unpinned; scan with "
+                    "copy=True instead",
+                )
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            names = set(taint.names)
+            for comp in node.generators:
+                if _is_iter_producer(comp.iter):
+                    self._bind(names, comp.target)
+            inner = _Taint(names)
+            elements = (
+                [node.key, node.value]
+                if isinstance(node, ast.DictComp)
+                else [node.elt]
+            )
+            if any(inner.expr(element) for element in elements):
+                yield self._finding(
+                    module,
+                    node,
+                    "comprehension collects page views past their pins; "
+                    "copy each page (owned_u64_array) or scan with "
+                    "copy=True",
+                )
+
+    def _finding(
+        self, module: SourceModule, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=str(module.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            checker=self.name,
+            message=message,
+        )

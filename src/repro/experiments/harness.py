@@ -28,6 +28,7 @@ from typing import Any, Callable, Optional, Sequence, TypeVar
 
 from ..core import batch
 from ..index import flat
+from ..storage import sanitize as sanitizer
 from ..join.ancdes_b import AncDesBPlusJoin
 from ..join.base import JoinAlgorithm, JoinReport, JoinSink
 from ..join.inljn import IndexNestedLoopJoin
@@ -263,6 +264,7 @@ def run_lineup(
     algorithm_workers: int = 1,
     batch_size: Optional[int] = None,
     flat_index: Optional[bool] = None,
+    sanitize: Optional[bool] = None,
 ) -> LineupResult:
     """Run the standard line-up over one dataset, each algorithm cold.
 
@@ -296,6 +298,13 @@ def run_lineup(
     process-wide :func:`~repro.index.flat.flat_enabled` setting); the
     effective value is recorded as the ``flat.index`` gauge and shipped
     to line-up workers explicitly.
+
+    ``sanitize`` pins the view-lifetime sanitizer
+    (:mod:`repro.storage.sanitize`) the same way; sanitized runs do no
+    extra I/O, so every report stays field-for-field identical — only
+    wall time changes.  The effective bit is recorded as the
+    ``sanitize.enabled`` gauge and shipped to line-up workers
+    explicitly.
     """
     if algorithms is None:
         if single_height is None:
@@ -305,18 +314,23 @@ def run_lineup(
         batch_size = batch.get_batch_size()
     if flat_index is None:
         flat_index = flat.flat_enabled()
+    if sanitize is None:
+        sanitize = sanitizer.sanitize_enabled()
     if metrics is not None:
         metrics.gauge("batch.size").set(float(batch_size))
         metrics.gauge("flat.index").set(1.0 if flat_index else 0.0)
+        metrics.gauge("sanitize.enabled").set(1.0 if sanitize else 0.0)
     if workers > 1:
         return _run_lineup_parallel(
             dataset_name, a_codes, d_codes, tree_height, buffer_pages,
             page_size, algorithms, collect, faults, retry, tracer, metrics,
             workers, parallel_mode, algorithm_workers, batch_size,
-            flat_index,
+            flat_index, sanitize,
         )
 
-    with batch.batch_scope(batch_size), flat.flat_scope(flat_index):
+    with batch.batch_scope(batch_size), flat.flat_scope(
+        flat_index
+    ), sanitizer.sanitize_scope(sanitize):
         bench = Workbench.create(
             buffer_pages, page_size, faults=faults, retry=retry
         )
@@ -376,6 +390,7 @@ def _run_lineup_parallel(
     algorithm_workers: int,
     batch_size: int,
     flat_index: bool,
+    sanitize: bool,
 ) -> LineupResult:
     """Fan the per-algorithm runs of one line-up over a worker pool.
 
@@ -415,6 +430,7 @@ def _run_lineup_parallel(
             algorithm_workers=algorithm_workers,
             batch_size=batch_size,
             flat_index=flat_index,
+            sanitize=sanitize,
         )
         for name in algorithms
     ]

@@ -44,14 +44,14 @@ from __future__ import annotations
 
 import os
 import struct
-from array import array
 from bisect import bisect_left, bisect_right
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence, cast
+from typing import Iterator, Optional, cast
 
+from ..storage import sanitize
 from ..storage.buffer import BufferManager
 from ..storage.faults import StorageFault
-from ..storage.record import PAIR
+from ..storage.record import PAIR, owned_u64_array
 from .bptree import _HEADER, _HEADER_SIZE, BPlusTree
 from .interval_tree import _NO_CHILD, _NODE, _NODE_HEADER, Interval, IntervalTree
 
@@ -131,20 +131,6 @@ def _touch(bufmgr: BufferManager, page_id: int) -> None:
         bufmgr.unpin(page_id)
 
 
-def _as_u64_array(fields: Sequence[int]) -> "array[int]":
-    """Copy a decoded field view into an owning ``array("Q")``.
-
-    ``unpack_array`` hands back a zero-copy view of the pinned frame
-    (or a plain list on big-endian hosts); the cached columns must
-    outlive the pin, so this is the one memcpy per cached page.
-    """
-    if isinstance(fields, memoryview):
-        copy = array("Q")
-        copy.frombytes(fields.cast("B"))
-        return copy
-    return array("Q", fields)
-
-
 # ---------------------------------------------------------------------------
 # flat B+-tree
 # ---------------------------------------------------------------------------
@@ -190,7 +176,12 @@ class FlatStartIndex(BPlusTree):
             data = frame.data
             _node_type, count, _link = _HEADER.unpack_from(data, 0)
             fields = PAIR.unpack_array(memoryview(data)[_HEADER_SIZE:], count)
-            flat = _as_u64_array(fields)
+            # the cached columns outlive the pin, so the borrow closes
+            # around the one copy that takes ownership
+            with sanitize.borrowed(
+                self.bufmgr.views, page_id, "flat-leaf-columns", view=fields
+            ):
+                flat = owned_u64_array(fields)
         finally:
             self.bufmgr.unpin(page_id)
         entry = (flat[0::2].tolist(), flat[1::2].tolist())
@@ -210,7 +201,10 @@ class FlatStartIndex(BPlusTree):
             # same 16-byte stride as a PAIR record, so the flat view's
             # even words are exactly the separator keys
             fields = PAIR.unpack_array(memoryview(data)[_HEADER_SIZE:], count)
-            flat = _as_u64_array(fields)
+            with sanitize.borrowed(
+                self.bufmgr.views, page_id, "flat-internal-keys", view=fields
+            ):
+                flat = owned_u64_array(fields)
         finally:
             self.bufmgr.unpin(page_id)
         keys = flat[0::2].tolist()

@@ -59,7 +59,11 @@ class SetCursor:
                 if batch.batching_enabled():
                     # element-set heaps store single-code rows, so the
                     # page's flat field array (copied out of the pin by
-                    # read_page_array) is its code array
+                    # read_page_array) is its code array; the cursor
+                    # caches it past the unpin, which is legal only
+                    # because read_page_array returns an owned copy —
+                    # its borrow of the raw view is registered with the
+                    # sanitizer inside the pin window
                     self._page = cast(
                         "Sequence[PBiCode]",
                         heap.read_page_array(self._page_index),

@@ -34,6 +34,7 @@ from ..core import batch, pbitree
 from ..core.pbitree import PBiCode
 from ..index import flat
 from ..obs.export import trace_to_jsonl
+from ..storage import sanitize as sanitize_module
 from ..obs.tracer import Tracer
 from ..storage.faults import (
     FaultConfig,
@@ -309,6 +310,9 @@ class LineupTask:
     #: the parent's flat-index switch, shipped the same way: on-the-fly
     #: index builds in the worker must match the parent's serial run
     flat_index: bool = False
+    #: the parent's view-lifetime sanitizer bit, shipped the same way —
+    #: a sanitized parallel run must sanitize every worker bench too
+    sanitize: bool = False
 
 
 def fault_to_payload(fault: StorageFault) -> dict[str, Any]:
@@ -368,10 +372,11 @@ def run_lineup_task(task: LineupTask) -> LineupTaskResult:
     from ..join.base import JoinSink
 
     # worker processes start with the module defaults; mirror the
-    # parent's configured batch size and flat-index switch before any
-    # operator runs
+    # parent's configured batch size, flat-index switch and sanitizer
+    # bit before any operator runs
     batch.set_batch_size(task.batch_size)
     flat.set_flat_enabled(task.flat_index)
+    sanitize_module.set_sanitize_enabled(task.sanitize)
     bench = Workbench.create(
         task.buffer_pages, task.page_size, faults=task.faults, retry=task.retry
     )

@@ -21,7 +21,16 @@ from .faults import (
 from .persist import ImageFormatError, LoadedImage, load_image, save_image
 from .elementset import ElementSet, SortOrder
 from .heapfile import HeapFile, HeapFileWriter
-from .record import CODE, PAIR, TRIPLE, RecordCodec
+from .record import CODE, PAIR, TRIPLE, RecordCodec, owned_u64_array
+from .sanitize import (
+    LiveViewAtEvictError,
+    UseAfterUnpinError,
+    ViewRegistry,
+    ViewSanitizerError,
+    sanitize_enabled,
+    sanitize_scope,
+    set_sanitize_enabled,
+)
 from .stats import IOSnapshot, IOStats
 
 __all__ = [
@@ -52,6 +61,14 @@ __all__ = [
     "CODE",
     "PAIR",
     "TRIPLE",
+    "owned_u64_array",
+    "ViewSanitizerError",
+    "UseAfterUnpinError",
+    "LiveViewAtEvictError",
+    "ViewRegistry",
+    "sanitize_enabled",
+    "set_sanitize_enabled",
+    "sanitize_scope",
     "IOStats",
     "IOSnapshot",
 ]

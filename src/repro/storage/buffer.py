@@ -22,6 +22,7 @@ import time
 from collections import OrderedDict
 from typing import Optional
 
+from . import sanitize
 from .disk import DiskManager, PageCorruptionError
 from .faults import (
     DEFAULT_RETRY_POLICY,
@@ -97,6 +98,10 @@ class BufferManager:
         self.misses = 0
         #: template for zero-filling recycled frame buffers in one memcpy
         self._zero_page = bytes(disk.page_size)
+        #: shadow table of live page-view borrows (the view-lifetime
+        #: sanitizer, see :mod:`repro.storage.sanitize`; empty and
+        #: never consulted unless ``REPRO_SANITIZE`` is on)
+        self.views = sanitize.ViewRegistry()
 
     # ------------------------------------------------------------------
     # public interface
@@ -126,6 +131,10 @@ class BufferManager:
         frame.pin_count -= 1
         if dirty:
             frame.dirty = True
+        if frame.pin_count == 0:
+            # sanitizer: once the pin count hits zero the frame is a
+            # replacement candidate, so no declared borrow may survive
+            sanitize.check_unpin_to_zero(self.views, page_id)
 
     def new_page(self) -> Frame:
         """Allocate a fresh page on disk and pin it (zero-filled, dirty).
@@ -162,8 +171,10 @@ class BufferManager:
         for page_id in list(self._frames):
             frame = self._frames[page_id]
             if frame.pin_count == 0:
+                sanitize.check_evict(self.views, page_id, frame.data, "evict")
                 self.flush_page(page_id)
                 del self._frames[page_id]
+                sanitize.poison(frame.data)
         self._clock_hand = 0
 
     def discard_page(self, page_id: int) -> None:
@@ -172,7 +183,9 @@ class BufferManager:
         if frame is not None:
             if frame.pin_count > 0:
                 raise ValueError(f"page {page_id} is pinned")
+            sanitize.check_evict(self.views, page_id, frame.data, "discard")
             del self._frames[page_id]
+            sanitize.poison(frame.data)
 
     # ------------------------------------------------------------------
     @property
@@ -264,15 +277,23 @@ class BufferManager:
         assignment copy of the page image, no fresh page-sized object).
         Zero-copy page views are only held while a page is pinned, and
         pinned frames are never victims, so recycling cannot mutate a
-        live view.
+        live view.  Under ``REPRO_SANITIZE`` that claim is enforced
+        rather than assumed: the victim's buffer is probed for leaked
+        views, then poisoned and *not* recycled, so the incoming page
+        always gets a fresh buffer and any stale alias keeps reading
+        poison instead of the next page's bytes.
         """
         if len(self._frames) < self.num_pages:
             return None
         victim = self._choose_victim()
         frame = self._frames[victim]
+        sanitize.check_evict(self.views, victim, frame.data, "recycle")
         if frame.dirty:
             self._write_with_retry(victim, bytes(frame.data))
         del self._frames[victim]
+        if sanitize.sanitize_enabled():
+            sanitize.poison(frame.data)
+            return None
         return frame.data
 
     def _choose_victim(self) -> int:

@@ -148,15 +148,18 @@ class ElementSet:
             # codes are PBiCode by the from_codes invariant
             yield cast("list[PBiCode]", [record[0] for record in records])
 
-    def scan_code_arrays(self) -> Iterator[Sequence[PBiCode]]:
+    def scan_code_arrays(self, copy: bool = False) -> Iterator[Sequence[PBiCode]]:
         """Yield each page's codes as a zero-copy ``Q``-cast view.
 
         Element-set heaps store one code per record, so the flat field
-        view *is* the page's code array.  The view aliases the pinned
-        frame: it is valid only within the loop iteration (the pin is
-        released when the generator resumes) — copy to keep it.
+        view *is* the page's code array.  The default is a borrow with
+        :meth:`HeapFile.scan_page_arrays`'s contract — valid only
+        within the loop iteration, revoked on resume under
+        ``REPRO_SANITIZE`` — while ``copy=True`` yields owning
+        ``array("Q")`` pages that may be kept (one extra memcpy per
+        page, no extra I/O).
         """
-        for fields in self.heap.scan_page_arrays():
+        for fields in self.heap.scan_page_arrays(copy=copy):
             yield cast("Sequence[PBiCode]", fields)
 
     def to_list(self) -> list[PBiCode]:

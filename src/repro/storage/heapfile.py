@@ -8,14 +8,14 @@ All access goes through the buffer manager, one pinned page at a time.
 
 from __future__ import annotations
 
-from array import array
 from typing import Iterable, Iterator, Sequence
 
 from ..core import batch as batch_module
 from . import page as page_layout
+from . import sanitize
 from .buffer import BufferManager
 from .faults import StorageFault
-from .record import RecordCodec
+from .record import RecordCodec, owned_u64_array
 
 __all__ = ["HeapFile", "HeapFileWriter"]
 
@@ -125,16 +125,25 @@ class HeapFile:
             finally:
                 bufmgr.unpin(page_id)
 
-    def scan_page_arrays(self) -> Iterator[Sequence[int]]:
+    def scan_page_arrays(self, copy: bool = False) -> Iterator[Sequence[int]]:
         """Yield each page's flat field array in order (zero-copy decode).
 
-        The yielded view aliases the pinned frame and is valid only for
-        the duration of that loop iteration (the pin is released when
-        the generator resumes); consumers that outlive the iteration
-        must copy, e.g. ``array("Q", fields)``.  Page-access order,
-        pin discipline and fault annotation are identical to
-        :meth:`scan_pages`, so the I/O accounting of a batched scan is
-        byte-identical to the scalar one.
+        **Borrow contract.**  With ``copy=False`` (the default) the
+        yielded value is a *borrow*: a ``memoryview("Q")`` aliasing the
+        pinned frame, valid from the ``yield`` until this generator is
+        resumed for the next page — at that point the pin is released,
+        the frame becomes a replacement candidate, and under
+        ``REPRO_SANITIZE`` the view itself is revoked (any later access
+        raises ``ValueError``).  Consume the view inside the loop body;
+        a consumer that needs the array past its iteration must either
+        copy it (``repro.storage.record.owned_u64_array``) or pass
+        ``copy=True``, which yields owning ``array("Q")`` objects with
+        no lifetime constraint, mirroring :meth:`read_page_array`.
+
+        Page-access order, pin discipline and fault annotation are
+        identical to :meth:`scan_pages`, so the I/O accounting of a
+        batched scan is byte-identical to the scalar one — ``copy=True``
+        adds one memcpy per page and no I/O.
         """
         bufmgr = self.bufmgr
         codec = self.codec
@@ -147,7 +156,23 @@ class HeapFile:
                 )
                 raise
             try:
-                yield page_layout.read_record_array(frame.data, codec)
+                fields = page_layout.read_record_array(frame.data, codec)
+                if copy:
+                    yield owned_u64_array(fields)
+                    # help the evict-time probe: the borrow itself must
+                    # not outlive this iteration's pin in a local
+                    if isinstance(fields, memoryview):
+                        fields.release()
+                elif sanitize.sanitize_enabled():
+                    with sanitize.borrowed(
+                        bufmgr.views,
+                        page_id,
+                        f"scan_page_arrays({self.name!r})",
+                        view=fields,
+                    ):
+                        yield fields
+                else:
+                    yield fields
             finally:
                 bufmgr.unpin(page_id)
 
@@ -180,14 +205,13 @@ class HeapFile:
             raise
         try:
             fields = page_layout.read_record_array(frame.data, self.codec)
-            copy = array("Q")
-            if isinstance(fields, memoryview):
-                # bulk memcpy; the view is produced on little-endian
-                # hosts only, matching frombytes' native interpretation
-                copy.frombytes(fields.cast("B"))
-            else:
-                copy.extend(fields)
-            return copy
+            with sanitize.borrowed(
+                self.bufmgr.views,
+                page_id,
+                f"read_page_array({self.name!r})",
+                view=fields,
+            ):
+                return owned_u64_array(fields)
         finally:
             self.bufmgr.unpin(page_id)
 

@@ -12,9 +12,17 @@ from __future__ import annotations
 
 import struct
 import sys
+from array import array
 from typing import Iterable, Iterator, Sequence
 
-__all__ = ["RecordCodec", "CODE", "PAIR", "TRIPLE", "MAX_CODE_BITS"]
+__all__ = [
+    "RecordCodec",
+    "CODE",
+    "PAIR",
+    "TRIPLE",
+    "MAX_CODE_BITS",
+    "owned_u64_array",
+]
 
 MAX_CODE_BITS = 63
 
@@ -89,6 +97,26 @@ class RecordCodec:
             for record in self.iter_unpack(bytes(payload), count)
             for field in record
         ]
+
+
+def owned_u64_array(fields: "Sequence[int]") -> "array[int]":
+    """Copy a decoded field view into an owning ``array("Q")``.
+
+    The approved ownership-escape pattern for :meth:`RecordCodec.
+    unpack_array` views: one ``memcpy`` (``frombytes`` of the byte
+    cast) on little-endian hosts, a plain element copy for the
+    big-endian list fallback.  The result has no relationship to the
+    source buffer, so it may be cached, returned or stored freely —
+    which is why the ``view-escape`` checker treats a view wrapped in
+    this call as consumed.
+    """
+    if isinstance(fields, memoryview):
+        copy = array("Q")
+        # bulk memcpy; the view is produced on little-endian hosts
+        # only, matching frombytes' native interpretation
+        copy.frombytes(fields.cast("B"))
+        return copy
+    return array("Q", fields)
 
 
 #: One PBiTree code per record — element sets.

@@ -1,0 +1,19 @@
+"""Known-bad span patterns; line numbers asserted by test_analysis."""
+
+
+def dropped_span(tracer):
+    tracer.span("query")  # line 5: flagged — opened, never closed
+
+
+def manual_enter_no_finally(tracer, work):
+    span = tracer.span("work")  # line 9: flagged — __exit__ not in finally
+    span.__enter__()
+    work()
+    span.__exit__(None, None, None)
+
+
+class Algo:
+    def trace_helper_leak(self):
+        span = self.trace("phase")  # line 17: flagged — never entered
+        span.set("k", 1)
+        return 0

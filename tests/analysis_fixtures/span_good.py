@@ -1,0 +1,36 @@
+"""Known-good span patterns: none of these may be flagged."""
+
+
+def with_statement(tracer):
+    with tracer.span("lineup"):
+        return 1
+
+
+def assigned_then_with(tracer):
+    root = tracer.span("join")
+    with root:
+        return 1
+
+
+def manual_guarded(tracer, work):
+    span = None
+    if work:
+        span = tracer.span("fanout")
+        span.__enter__()
+    try:
+        return work()
+    finally:
+        if span is not None:
+            span.__exit__(None, None, None)
+
+
+class Algo:
+    def trace(self, name):
+        return self._tracer.span(name)  # ownership escapes to the caller
+
+    def stash(self, tracer):
+        self._span = tracer.span("bg")  # attribute: lifecycle elsewhere
+
+    def suppressed(self, tracer):
+        span = tracer.span("odd")  # repro: allow[span-discipline]
+        return span.started

@@ -1,0 +1,48 @@
+"""Known-bad view-lifetime patterns; line numbers asserted by test_analysis."""
+
+
+class PageCache:
+    def cache_raw_view(self, frame, codec):
+        # attribute store of a borrowed view
+        self._page = read_record_array(frame.data, codec)  # line 7: flagged
+
+    def cache_slice(self, payload, codec):
+        fields = codec.unpack_array(payload, 8)
+        self._head = fields[:4]  # line 11: a sub-view is still a view
+
+
+def return_raw_view(frame, codec):
+    return read_record_array(frame.data, codec)  # line 15: flagged
+
+
+def yield_raw_views(heap):
+    for fields in heap.scan_page_arrays():
+        yield fields  # line 20: flagged — not a sanctioned producer
+
+
+def collect_views(heap, out):
+    for fields in heap.scan_code_arrays():
+        out.append(fields)  # line 25: flagged — container outlives pin
+
+
+def materialise_scan(heap):
+    return list(heap.scan_page_arrays())  # line 29: flagged
+
+
+def comprehension_scan(heap):
+    return [fields for fields in heap.scan_page_arrays()]  # line 33: flagged
+
+
+def capture_in_closure(heap):
+    for fields in heap.scan_page_arrays():
+
+        def reader():  # line 39: flagged — closure captures the view
+            return fields[0]
+
+        yield reader
+
+
+def alias_then_store(store, payload, codec):
+    fields = codec.unpack_array(payload, 4)
+    alias = fields
+    store["page"] = alias  # line 48: flagged — taint flows through alias

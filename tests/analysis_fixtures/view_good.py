@@ -1,0 +1,45 @@
+"""Known-good view-lifetime patterns: none of these may be flagged."""
+
+
+def consume_in_loop(heap, kernel):
+    total = 0
+    for fields in heap.scan_page_arrays():
+        total += kernel(fields)  # call-arg consumption is in-contract
+    return total
+
+
+def copy_with_helper(frame, codec):
+    fields = read_record_array(frame.data, codec)
+    return owned_u64_array(fields)  # ownership taken: taint killed
+
+
+def copy_with_extend(heap):
+    out = []
+    for fields in heap.scan_code_arrays():
+        out.extend(fields)  # extend copies the elements (ints)
+    return out
+
+
+def copy_flag_scan(heap):
+    # copy=True yields owning arrays, so collecting them is fine
+    return list(heap.scan_page_arrays(copy=True))
+
+
+def scalar_index_is_int(payload, codec):
+    fields = codec.unpack_array(payload, 2)
+    return fields[0]  # a scalar index extracts an int, not a view
+
+
+def scan_page_arrays(heap):
+    # a producer wrapper re-yields the borrow: the contract transfers
+    for fields in heap.scan_page_arrays():
+        yield fields
+
+
+class Cursor:
+    def load(self, heap, index):
+        # read_page_array copies out of the pin; caching it is legal
+        self._page = heap.read_page_array(index)
+
+    def stash_waived(self, frame, codec):
+        self._raw = read_record_array(frame.data, codec)  # repro: allow[view-escape]

@@ -94,6 +94,79 @@ def test_pin_regression_pr1_new_node_shape(tmp_path: Path) -> None:
 
 
 # ---------------------------------------------------------------------------
+# view-escape
+
+
+def test_view_bad_exact_locations(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "view_bad.py")
+    findings, errors = run_checks([proj], checkers_named("view-escape"))
+    assert not errors
+    assert locations(findings, "view-escape") == {
+        (7, 8),    # attribute store of a raw view
+        (11, 8),   # attribute store of a derived sub-view (slice)
+        (15, 4),   # returned from a non-producer
+        (20, 8),   # yielded from a non-producer
+        (25, 8),   # .append() into a container
+        (29, 11),  # list() over a borrowed-view scan
+        (33, 11),  # comprehension collecting views
+        (39, 8),   # closure capturing the loop view
+        (48, 4),   # subscript store through an alias
+    }
+
+
+def test_view_good_is_clean(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "view_good.py")
+    findings, errors = run_checks([proj], checkers_named("view-escape"))
+    assert not errors
+    assert findings == []
+
+
+def test_view_checker_skips_test_files(tmp_path: Path) -> None:
+    nested = tmp_path / "tests"
+    nested.mkdir()
+    shutil.copy(FIXTURES / "view_bad.py", nested / "view_bad.py")
+    findings, _ = run_checks([nested], checkers_named("view-escape"))
+    assert findings == []
+
+
+def test_view_regression_cursor_cache_shape(tmp_path: Path) -> None:
+    # The bug class the sanitizer exists for: SetCursor._load_page
+    # caching the *raw* page view instead of read_page_array's copy.
+    # The checker must flag the attribute store.
+    source = (
+        "class Cursor:\n"
+        "    def _load_page(self, heap, codec, frame):\n"
+        "        self._page = read_record_array(frame.data, codec)\n"
+    )
+    path = tmp_path / "cursor_impl.py"
+    path.write_text(source)
+    findings, _ = run_checks([tmp_path], checkers_named("view-escape"))
+    assert locations(findings, "view-escape") == {(3, 8)}
+
+
+# ---------------------------------------------------------------------------
+# span-discipline
+
+
+def test_span_bad_exact_locations(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "span_bad.py")
+    findings, errors = run_checks([proj], checkers_named("span-discipline"))
+    assert not errors
+    assert locations(findings, "span-discipline") == {
+        (5, 4),    # dropped on the floor
+        (9, 11),   # manual __enter__ with a straight-line __exit__
+        (17, 15),  # self.trace(...) result never entered
+    }
+
+
+def test_span_good_is_clean(tmp_path: Path) -> None:
+    proj = copy_fixtures(tmp_path, "span_good.py")
+    findings, errors = run_checks([proj], checkers_named("span-discipline"))
+    assert not errors
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
 # code-domain
 
 

@@ -31,6 +31,7 @@ from repro import (
 )
 from repro.core import batch, pbitree as pt
 from repro.experiments.harness import make_lineup, run_lineup
+from repro.storage import sanitize
 from repro.join.cursor import SetCursor
 from repro.storage.record import CODE, MAX_CODE_BITS, PAIR, RecordCodec
 
@@ -283,28 +284,32 @@ class TestBatchedCursor:
 # ----------------------------------------------------------------------
 class TestFrameRecycling:
     def test_frames_own_mutable_recycled_buffers(self):
-        disk = DiskManager(page_size=64)
-        bufmgr = BufferManager(disk, 2)
-        pages = []
-        for fill in range(4):
-            frame = bufmgr.new_page()
-            frame.data[:] = bytes([fill]) * 64
-            bufmgr.unpin(frame.page_id, dirty=True)
-            pages.append(frame.page_id)
+        # Buffer recycling only exists with the view sanitizer off:
+        # under REPRO_SANITIZE=1 evicted buffers are poisoned and
+        # retired instead of reused, so pin the mode explicitly.
+        with sanitize.sanitize_scope(False):
+            disk = DiskManager(page_size=64)
+            bufmgr = BufferManager(disk, 2)
+            pages = []
+            for fill in range(4):
+                frame = bufmgr.new_page()
+                frame.data[:] = bytes([fill]) * 64
+                bufmgr.unpin(frame.page_id, dirty=True)
+                pages.append(frame.page_id)
 
-        # reloading an evicted page recycles the victim's buffer ...
-        victim_buffers = {id(f.data) for f in bufmgr._frames.values()}
-        frame = bufmgr.pin(pages[0])
-        assert id(frame.data) in victim_buffers
-        # ... and the frame still owns a mutable, correct bytearray
-        assert isinstance(frame.data, bytearray)
-        assert frame.data == bytes([0]) * 64
-        frame.data[0] = 99
-        bufmgr.unpin(pages[0], dirty=True)
-        bufmgr.flush_all()
-        bufmgr.evict_all()
-        assert bufmgr.pin(pages[0]).data[0] == 99
-        bufmgr.unpin(pages[0])
+            # reloading an evicted page recycles the victim's buffer ...
+            victim_buffers = {id(f.data) for f in bufmgr._frames.values()}
+            frame = bufmgr.pin(pages[0])
+            assert id(frame.data) in victim_buffers
+            # ... and the frame still owns a mutable, correct bytearray
+            assert isinstance(frame.data, bytearray)
+            assert frame.data == bytes([0]) * 64
+            frame.data[0] = 99
+            bufmgr.unpin(pages[0], dirty=True)
+            bufmgr.flush_all()
+            bufmgr.evict_all()
+            assert bufmgr.pin(pages[0]).data[0] == 99
+            bufmgr.unpin(pages[0])
 
     def test_every_resident_page_roundtrips_after_churn(self):
         disk = DiskManager(page_size=64)
