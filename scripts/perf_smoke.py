@@ -34,6 +34,15 @@ overhead ratio is written to ``BENCH_sanitize.json``.  This section is
 *informational only* — the sanitizer is a debugging mode, not a hot
 path, so its overhead is recorded but never gated.
 
+A fifth section runs the update-heavy workload
+(:mod:`repro.workloads.updates`) through every registered containment
+codec and writes ``BENCH_updates.json`` comparing relabel cost per
+insert (PBiTree pays local relabels to stay inside a fixed code space;
+nested intervals never relabel but spend code bits per sibling ordinal
+and start refusing deep inserts at the 63-bit budget).  Also
+informational only: the numbers characterise a codec trade-off, not a
+hot path this repo could regress, so no ``speedup_`` key is emitted.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py --out BENCH_batched.json
@@ -58,6 +67,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core import batch, pbitree as pt  # noqa: E402
+from repro.core.codec import available_codecs, get_codec  # noqa: E402
 from repro.experiments.harness import (  # noqa: E402
     Workbench,
     materialize,
@@ -65,7 +75,7 @@ from repro.experiments.harness import (  # noqa: E402
     run_lineup,
 )
 from repro.index import flat  # noqa: E402
-from repro.join.base import JoinSink  # noqa: E402
+from repro.join.base import JoinReport, JoinSink  # noqa: E402
 from repro.join.inljn import (  # noqa: E402
     IndexNestedLoopJoin,
     build_interval_index,
@@ -73,6 +83,10 @@ from repro.join.inljn import (  # noqa: E402
 )
 from repro.obs.export import bench_summary, write_bench_summary  # noqa: E402
 from repro.workloads import synthetic as syn  # noqa: E402
+from repro.workloads.updates import (  # noqa: E402
+    UpdateWorkloadSpec,
+    run_update_workload,
+)
 
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "results" / "BENCH_batched_baseline.json"
 DEFAULT_FLAT_BASELINE = (
@@ -97,6 +111,9 @@ SANITIZE_DATASET = "MLLH"
 SANITIZE_LARGE = 4_000
 SANITIZE_SMALL = 40
 SANITIZE_REPEATS = 3
+UPDATE_NODES = 300
+UPDATE_OPS = 600
+UPDATE_SEED = 2003
 
 
 def _time_best(fn, repeats: int) -> float:
@@ -304,6 +321,40 @@ def sanitize_section() -> tuple[dict[str, object], list[tuple[str, str, object]]
     return metrics, rows
 
 
+def updates_section() -> tuple[dict[str, object], list[tuple[str, str, object]]]:
+    """Relabel cost per insert for every registered codec (no gate).
+
+    One seeded update storm per codec through the full storage-backed
+    pipeline (change log, page patches, index retirement) — the run
+    itself ends with ``DocumentStore.verify``, so a diverged store
+    cannot report numbers.  The summary rows reuse the JoinReport shape
+    (``result_count`` = log records applied) purely so the output
+    passes the ``repro.bench/v1`` schema; the payload of interest is
+    the ``updates.<codec>.*`` metrics block.
+    """
+    spec = UpdateWorkloadSpec(
+        nodes=UPDATE_NODES, updates=UPDATE_OPS, seed=UPDATE_SEED
+    )
+    metrics: dict[str, object] = {"update_operations": UPDATE_OPS}
+    rows: list[tuple[str, str, object]] = []
+    for name in available_codecs():
+        result = run_update_workload(spec, get_codec(name))
+        metrics.update(result.as_metrics())
+        rows.append(
+            (
+                f"updates:{name}",
+                "update-storm",
+                JoinReport(
+                    algorithm=f"updates:{name}",
+                    result_count=result.log_records_applied,
+                    join_io=result.io,
+                    wall_seconds=result.wall_seconds,
+                ),
+            )
+        )
+    return metrics, rows
+
+
 def check_regressions(
     metrics: dict[str, object], baseline_path: Path, tolerance: float
 ) -> list[str]:
@@ -335,6 +386,10 @@ def main(argv: list[str] | None = None) -> int:
         help="sanitizer overhead summary (informational, never gated)",
     )
     parser.add_argument(
+        "--updates-out", default="BENCH_updates.json",
+        help="per-codec update-storm summary (informational, never gated)",
+    )
+    parser.add_argument(
         "--tolerance", type=float, default=0.10,
         help="allowed fractional speedup regression vs baseline (default 0.10)",
     )
@@ -348,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
     fig_scalar, fig_batched, lineup = fig6b_times()
     flat_metrics, flat_rows = flat_section()
     sanitize_metrics, sanitize_rows = sanitize_section()
+    updates_metrics, updates_rows = updates_section()
 
     metrics: dict[str, object] = {
         "batch_size": batch.DEFAULT_BATCH_SIZE,
@@ -371,9 +427,13 @@ def main(argv: list[str] | None = None) -> int:
     sanitize_summary = bench_summary(
         "sanitize", sanitize_rows, metrics=sanitize_metrics
     )
+    updates_summary = bench_summary(
+        "updates", updates_rows, metrics=updates_metrics
+    )
     out_path = write_bench_summary(summary, args.out)
     flat_out_path = write_bench_summary(flat_summary, args.flat_out)
     sanitize_out_path = write_bench_summary(sanitize_summary, args.sanitize_out)
+    updates_out_path = write_bench_summary(updates_summary, args.updates_out)
     print(f"micro:  {micro_scalar * 1e3:8.2f} ms scalar  "
           f"{micro_batched * 1e3:8.2f} ms batched  "
           f"{metrics['speedup_micro']}x")
@@ -387,9 +447,18 @@ def main(argv: list[str] | None = None) -> int:
           f"sanitized {sanitize_metrics['sanitize_sanitized_seconds']}s  "
           f"overhead {sanitize_metrics['sanitize_overhead_ratio']}x "
           f"(informational)")
+    for name in available_codecs():
+        print(
+            f"updates[{name}]: "
+            f"{updates_metrics[f'updates.{name}.relabelled_per_insert']:.3f} "
+            f"relabelled/insert  "
+            f"{updates_metrics[f'updates.{name}.skipped_inserts']:.0f} skipped "
+            f"(informational)"
+        )
     print(f"[wrote {out_path}]")
     print(f"[wrote {flat_out_path}]")
     print(f"[wrote {sanitize_out_path}]")
+    print(f"[wrote {updates_out_path}]")
 
     baseline_path = Path(args.baseline)
     flat_baseline_path = Path(args.flat_baseline)

@@ -38,6 +38,7 @@ __all__ = [
     "cmd_save",
     "cmd_image_query",
     "cmd_bench",
+    "cmd_update_bench",
 ]
 
 
@@ -315,6 +316,84 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_update_bench(args: argparse.Namespace) -> int:
+    from .core.codec import available_codecs, get_codec
+    from .join.base import JoinReport
+    from .obs.export import bench_summary, write_bench_summary
+    from .obs.metrics import MetricsRegistry
+    from .workloads.updates import UpdateWorkloadSpec, run_update_workload
+
+    if args.codec == "all":
+        names = available_codecs()
+    else:
+        names = [n.strip() for n in args.codec.split(",") if n.strip()]
+    try:
+        codecs = [get_codec(name) for name in names]
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+
+    spec = UpdateWorkloadSpec(
+        nodes=args.nodes,
+        updates=args.updates,
+        insert_ratio=args.insert_ratio,
+        hotspot=args.hotspot,
+        seed=args.seed,
+        buffer_pages=args.buffer_pages,
+    )
+    metrics = MetricsRegistry()
+    results = [
+        run_update_workload(spec, codec, metrics=metrics) for codec in codecs
+    ]
+
+    print(
+        f"{'codec':<18} {'inserts':>8} {'deletes':>8} {'local_rl':>9} "
+        f"{'relabelled':>11} {'growths':>8} {'rl/insert':>10} "
+        f"{'skipped':>8} {'log_rec':>8} {'wall_ms':>9}"
+    )
+    for result in results:
+        stats = result.stats
+        print(
+            f"{result.codec:<18} {stats['inserts']:>8} {stats['deletes']:>8} "
+            f"{stats['local_relabels']:>9} {stats['relabelled_nodes']:>11} "
+            f"{stats['tree_growths']:>8} {result.relabelled_per_insert:>10.3f} "
+            f"{result.skipped_inserts:>8} {result.log_records_applied:>8} "
+            f"{result.wall_seconds * 1000.0:>9.2f}"
+        )
+    print(
+        f"# update storm: {spec.nodes} initial nodes, {spec.updates} ops, "
+        f"insert ratio {spec.insert_ratio}, hotspot {spec.hotspot}, "
+        f"seed {spec.seed}",
+        file=sys.stderr,
+    )
+
+    _emit_observability(args, None, metrics)
+    if args.bench_out:
+        bench_metrics: dict[str, object] = {}
+        for result in results:
+            bench_metrics.update(result.as_metrics())
+        summary = bench_summary(
+            "update-bench",
+            [
+                (
+                    f"updates:{result.codec}",
+                    "update-storm",
+                    JoinReport(
+                        algorithm=f"updates:{result.codec}",
+                        result_count=result.log_records_applied,
+                        join_io=result.io,
+                        wall_seconds=result.wall_seconds,
+                    ),
+                )
+                for result in results
+            ],
+            metrics=bench_metrics,
+        )
+        write_bench_summary(summary, args.bench_out)
+        print(f"# wrote {args.bench_out}", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -437,6 +516,38 @@ def main(argv: list[str] | None = None) -> int:
         "(default: REPRO_SANITIZE or off)",
     )
     bch.set_defaults(func=cmd_bench)
+
+    upd = sub.add_parser(
+        "update-bench",
+        help="relabel cost per insert across containment codecs",
+    )
+    upd.add_argument(
+        "--updates", type=int, default=1_000,
+        help="update operations in the storm",
+    )
+    upd.add_argument(
+        "--nodes", type=int, default=400,
+        help="initial document size (nodes)",
+    )
+    upd.add_argument(
+        "--codec", default="all",
+        help="comma-separated codec names, or 'all' (default)",
+    )
+    upd.add_argument(
+        "--insert-ratio", type=float, default=0.7,
+        help="fraction of operations that insert (rest delete)",
+    )
+    upd.add_argument(
+        "--hotspot", type=float, default=0.5,
+        help="fraction of inserts aimed at the rotating hot parent",
+    )
+    upd.add_argument("--buffer-pages", type=int, default=64)
+    upd.add_argument("--seed", type=int, default=0)
+    upd.add_argument(
+        "--bench-out", default="",
+        help="write a schema-checked BENCH_updates.json to this file",
+    )
+    upd.set_defaults(func=cmd_update_bench)
 
     args = parser.parse_args(argv)
     return args.func(args)

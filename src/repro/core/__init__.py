@@ -2,9 +2,25 @@
 
 from . import pbitree
 from .binarize import binarize, levels_for_tree, placement_k
+from .codec import (
+    ContainmentCodec,
+    MutableEncoding,
+    NestedIntervalCodec,
+    NestedIntervalEncoding,
+    PBiTreeCodec,
+    available_codecs,
+    get_codec,
+    register_codec,
+)
 from .encoding import EncodingError, PBiTreeEncoding
 from .pbitree import Height, PBiCode, PrefixCode, RegionCode
-from .update import CodeSpaceError, UpdatableEncoding, UpdateStats
+from .update import (
+    ChangeEvent,
+    ChangeListener,
+    CodeSpaceError,
+    UpdatableEncoding,
+    UpdateStats,
+)
 
 __all__ = [
     "pbitree",
@@ -20,4 +36,14 @@ __all__ = [
     "UpdatableEncoding",
     "UpdateStats",
     "CodeSpaceError",
+    "ChangeEvent",
+    "ChangeListener",
+    "ContainmentCodec",
+    "MutableEncoding",
+    "PBiTreeCodec",
+    "NestedIntervalCodec",
+    "NestedIntervalEncoding",
+    "register_codec",
+    "available_codecs",
+    "get_codec",
 ]

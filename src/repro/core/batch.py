@@ -54,6 +54,7 @@ __all__ = [
     "probe_keys",
     "starts",
     "ends",
+    "grow_codes",
     "regions",
     "prefixes",
     "doc_order_keys",
@@ -191,6 +192,12 @@ def starts(codes: Sequence[int]) -> list[RegionCode]:
 def ends(codes: Sequence[int]) -> list[RegionCode]:
     """Bulk region ``End`` (Lemma 3)."""
     return cast("list[RegionCode]", [c + (c & -c) - 1 for c in codes])
+
+
+def grow_codes(codes: Sequence[int], delta: int) -> list[PBiCode]:
+    """Bulk :func:`~repro.core.pbitree.grown_code`: one page of records
+    shifted for a tree-growth rewrite (``H`` grew by ``delta``)."""
+    return cast("list[PBiCode]", [c << delta for c in codes])
 
 
 def regions(

@@ -93,6 +93,7 @@ __all__ = [
     "right_child_of",
     "root_code",
     "max_code",
+    "grown_code",
     "subtree_codes_at_height",
     "validate_code",
 ]
@@ -346,6 +347,18 @@ def root_code(tree_height: int) -> PBiCode:
 def max_code(tree_height: int) -> PBiCode:
     """Largest code in the coding space of a height-``tree_height`` PBiTree."""
     return PBiCode((1 << tree_height) - 1)
+
+
+def grown_code(code: PBiCode, delta: int) -> PBiCode:
+    """Code of the same node after the PBiTree grows by ``delta`` levels.
+
+    Growing ``H`` preserves every node's top-down ``(level, alpha)``
+    coordinates, and ``G(alpha, l)`` scales by ``2**delta`` when ``H``
+    grows by ``delta`` — so the new code is one left shift.  This is
+    the per-record kernel of the streamed grow rewrite in
+    :mod:`repro.storage.docstore`.
+    """
+    return PBiCode(code << delta)
 
 
 def subtree_codes_at_height(code: PBiCode, height: int) -> range:

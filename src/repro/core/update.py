@@ -25,19 +25,58 @@ storms.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass
+from typing import Callable, Optional
 
 from ..datatree.node import DataTree
 from . import pbitree
 from .binarize import placement_k
 from .encoding import PBiTreeEncoding
 
-__all__ = ["UpdatableEncoding", "UpdateStats", "CodeSpaceError"]
+__all__ = [
+    "UpdatableEncoding",
+    "UpdateStats",
+    "CodeSpaceError",
+    "ChangeEvent",
+    "ChangeListener",
+]
 
 
 class CodeSpaceError(RuntimeError):
     """Raised when an insert cannot be encoded without growing the tree
     and growth was disallowed."""
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """One code-level mutation, as seen by storage-layer subscribers.
+
+    ``kind`` is one of:
+
+    * ``"insert"`` — a new node received ``new_code`` (``old_code`` 0);
+    * ``"relabel"`` — one *local relabel* moved a whole subtree:
+      ``moves`` holds every ``(node, old_code, new_code)``.  Old codes
+      inside one batch may collide with other entries' new codes, so a
+      listener must free **all** old codes before assigning any new one;
+    * ``"delete"`` — a node was tombstoned, freeing ``old_code``;
+    * ``"grow"`` — the whole tree grew by ``delta`` levels: *every* code
+      (the event carries no node) was shifted left by ``delta``.
+
+    Events fire after the in-memory encoding has already mutated, so a
+    listener reading ``tree.codes`` sees the post-change state.  The
+    storage-backed update pipeline (:mod:`repro.storage.docstore`)
+    turns these into an update log and in-place page patches.
+    """
+
+    kind: str
+    node: int = -1
+    old_code: int = 0
+    new_code: int = 0
+    delta: int = 0
+    moves: tuple[tuple[int, int, int], ...] = ()
+
+
+ChangeListener = Callable[[ChangeEvent], None]
 
 
 class UpdateStats:
@@ -53,6 +92,15 @@ class UpdateStats:
         self.relabelled_nodes = 0
         self.global_relabels = 0
         self.tree_growths = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain mapping for the metrics registry / BENCH exports."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @property
+    def relabelled_per_insert(self) -> float:
+        """Amortised structural relabel cost (the update-bench headline)."""
+        return self.relabelled_nodes / self.inserts if self.inserts else 0.0
 
     def __repr__(self) -> str:
         return (
@@ -80,6 +128,12 @@ class UpdatableEncoding:
         self._occupied: dict[int, int] = {
             self.tree.codes[node]: node for node in range(len(self.tree))
         }
+        #: storage-layer subscribers notified of every code mutation
+        self.listeners: list[ChangeListener] = []
+
+    def _emit(self, event: ChangeEvent) -> None:
+        for listener in self.listeners:
+            listener(event)
 
     # ------------------------------------------------------------------
     # inspection
@@ -119,15 +173,32 @@ class UpdatableEncoding:
         """
         if not self._alive[parent]:
             raise ValueError(f"parent {parent} is deleted")
-        node = self.tree.add_child(parent, tag, text)
-        self._alive.append(True)
-
-        siblings = [c for c in self._live_children(parent) if c != node]
+        siblings = self._live_children(parent)
         parent_level = self.level_of(parent)
         if siblings:
             k = self.level_of(siblings[0]) - parent_level
         else:
             k = placement_k(1)
+
+        # Encodability check BEFORE any mutation: if the insert would
+        # force growth and growth is disallowed, fail atomically — the
+        # data tree, _alive and _occupied are exactly as before.  The
+        # growth amounts mirror the ones the mutation paths below
+        # compute (the new node is a leaf, so it never deepens the
+        # relabelled subtree).
+        if parent_level + k > self.tree_height - 1:
+            self._check_growth(parent_level + k - (self.tree_height - 1))
+        elif self._free_slot(parent, parent_level + k) is None:
+            overflow = (
+                parent_level + (k + 1)
+                + max((self._depth_below(c) for c in siblings), default=0)
+                - (self.tree_height - 1)
+            )
+            if overflow > 0:
+                self._check_growth(overflow)
+
+        node = self.tree.add_child(parent, tag, text)
+        self._alive.append(True)
 
         if parent_level + k > self.tree_height - 1:
             # leaf parent at the bottom of the PBiTree: grow first
@@ -137,6 +208,7 @@ class UpdatableEncoding:
         slot = self._free_slot(parent, parent_level + k)
         if slot is not None:
             self._assign(node, slot)
+            self._emit(ChangeEvent("insert", node=node, new_code=slot))
         else:
             # all 2**k sibling slots taken: push the children one level
             # deeper and relabel the parent's subtree (the new node gets
@@ -184,20 +256,47 @@ class UpdatableEncoding:
         parent_level = self.level_of(parent)
         parent_alpha = pbitree.alpha_of(self.tree.codes[parent])
         self.stats.local_relabels += 1
+        moves: list[tuple[int, int, int]] = []
+        fresh: list[tuple[int, int]] = []
         for index, child in enumerate(children):
             self._relabel_recursive(
-                child, parent_level + k, (parent_alpha << k) + index
+                child, parent_level + k, (parent_alpha << k) + index,
+                moves, fresh,
             )
+        # one batched event per local relabel: listeners free every old
+        # code before assigning any new one, so intra-batch collisions
+        # (node A's new code == node B's not-yet-vacated old code) are
+        # safe; fresh nodes follow, after the codes they may reuse are
+        # released
+        if moves:
+            self._emit(ChangeEvent("relabel", moves=tuple(moves)))
+        for node, code in fresh:
+            self._emit(ChangeEvent("insert", node=node, new_code=code))
 
-    def _relabel_recursive(self, node: int, level: int, alpha: int) -> None:
+    def _relabel_recursive(
+        self,
+        node: int,
+        level: int,
+        alpha: int,
+        moves: list[tuple[int, int, int]],
+        fresh: list[tuple[int, int]],
+    ) -> None:
         """Re-run BinarizeTree's placement for one subtree (iterative)."""
         stack = [(node, level, alpha)]
         while stack:
             current, cur_level, cur_alpha = stack.pop()
+            old_code = self.tree.codes[current]
             self._release(current)
             self._assign(
                 current, pbitree.g_code(cur_alpha, cur_level, self.tree_height)
             )
+            new_code = self.tree.codes[current]
+            if old_code:
+                if new_code != old_code:
+                    moves.append((current, old_code, new_code))
+            else:
+                # a freshly inserted node receives its first code here
+                fresh.append((current, new_code))
             self.stats.relabelled_nodes += 1
             kids = self._live_children(current)
             if kids:
@@ -230,18 +329,27 @@ class UpdatableEncoding:
         ``delta``, so the global relabel is one shift per element and
         preserves every ancestor relationship and the document order.
         """
-        if not self.allow_growth:
-            raise CodeSpaceError(
-                f"insert needs {delta} more levels and growth is disabled"
-            )
+        self._check_growth(delta)
         self.tree_height += delta
         self.stats.tree_growths += 1
         self.stats.global_relabels += 1
         codes = self.tree.codes
+        # rebuild the occupancy map from *live* nodes only — shifting a
+        # tombstoned node's stale code must not resurrect it as
+        # occupied, or codes freed by delete_subtree would leak forever
         self._occupied = {}
         for node in range(len(self.tree)):
             codes[node] <<= delta
-            self._occupied[codes[node]] = node
+            if self._alive[node]:
+                self._occupied[codes[node]] = node
+        self._emit(ChangeEvent("grow", delta=delta))
+
+    def _check_growth(self, delta: int) -> None:
+        """Raise :class:`CodeSpaceError` if growing by ``delta`` is not allowed."""
+        if not self.allow_growth:
+            raise CodeSpaceError(
+                f"insert needs {delta} more levels and growth is disabled"
+            )
 
     # ------------------------------------------------------------------
     # delete
@@ -264,6 +372,9 @@ class UpdatableEncoding:
                 continue
             self._alive[current] = False
             self._release(current)
+            self._emit(ChangeEvent(
+                "delete", node=current, old_code=self.tree.codes[current]
+            ))
             removed += 1
             stack.extend(self.tree.children[current])
         self.stats.deletes += 1

@@ -9,8 +9,12 @@ planner and join operators together by hand:
   containment joins, planned rule-based (Table 1) or cost-based;
 * create persistent indexes (B+-tree / interval tree / R-tree) that the
   planner then exploits;
-* apply updates (insert/delete elements) through the virtual-node
-  machinery, with element-set caches invalidated automatically.
+* apply updates (insert/delete elements) through the configured
+  containment codec (``codec="pbitree"`` virtual-node machinery or
+  ``codec="nested-intervals"``), with persisted element sets patched
+  in place by a per-document :class:`~repro.storage.DocumentStore`
+  instead of being rebuilt — only the (unmaintained) R-tree indexes
+  are still invalidated wholesale.
 
 Example::
 
@@ -25,8 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-from .core.binarize import binarize
-from .core.update import UpdatableEncoding
+from .core.codec import ContainmentCodec, MutableEncoding, get_codec
 from .datatree.node import DataTree, NodeView
 from .datatree.paths import PathQuery
 from .datatree.xml_parser import parse_xml
@@ -34,7 +37,6 @@ from .index.bptree import BPlusTree
 from .index.interval_tree import IntervalTree
 from .index.rtree import RTree
 from .join.base import JoinReport
-from .join.inljn import build_interval_index, build_start_index
 from .join.optimizer import CostBasedOptimizer
 from .join.planner import PBiTreeJoinFramework, SetProperties
 from .join.spatial import build_point_rtree
@@ -42,6 +44,7 @@ from .obs.metrics import MetricsRegistry
 from .obs.tracer import NULL_TRACER, Tracer
 from .storage.buffer import BufferManager
 from .storage.disk import DiskManager
+from .storage.docstore import DocumentStore
 from .storage.elementset import ElementSet
 from .storage.faults import FaultConfig, FaultInjector, FaultStats, RetryPolicy
 from .storage.stats import IOSnapshot
@@ -55,7 +58,8 @@ class Document:
 
     name: str
     tree: DataTree
-    updatable: UpdatableEncoding
+    updatable: MutableEncoding
+    store: DocumentStore
 
     @property
     def tree_height(self) -> int:
@@ -103,10 +107,16 @@ class ContainmentDatabase:
         checksums: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        codec: "str | ContainmentCodec" = "pbitree",
     ) -> None:
         """``optimizer`` selects the default planning mode: ``"rule"``
         (the paper's Table 1) or ``"cost"`` (the Section 6 cost-based
         optimizer).
+
+        ``codec`` selects the containment encoding backend used by
+        :meth:`load_tree` — a registry name
+        (:func:`~repro.core.codec.available_codecs`) or a codec
+        instance; every join algorithm runs unchanged on any backend.
 
         ``faults`` attaches a seeded fault injector to the underlying
         disk (a :class:`FaultConfig` is wrapped automatically) and
@@ -133,27 +143,49 @@ class ContainmentDatabase:
         if metrics is not None:
             metrics.attach_disk(self.disk)
         self.optimizer_mode = optimizer
+        self.codec = get_codec(codec) if isinstance(codec, str) else codec
         self._framework = PBiTreeJoinFramework()
         self._cost_optimizer = CostBasedOptimizer()
         self._documents: dict[str, Document] = {}
-        self._sets: dict[tuple[str, str], ElementSet] = {}
-        self._start_indexes: dict[tuple[str, str], BPlusTree] = {}
-        self._interval_indexes: dict[tuple[str, str], IntervalTree] = {}
         self._rtree_indexes: dict[tuple[str, str], RTree] = {}
 
     # ------------------------------------------------------------------
     # loading
     # ------------------------------------------------------------------
-    def load_xml(self, text: str, name: str = "doc") -> Document:
+    def load_xml(
+        self,
+        text: str,
+        name: str = "doc",
+        codec: "str | ContainmentCodec | None" = None,
+    ) -> Document:
         """Parse, encode and register an XML document."""
-        return self.load_tree(parse_xml(text), name)
+        return self.load_tree(parse_xml(text), name, codec=codec)
 
-    def load_tree(self, tree: DataTree, name: str = "doc") -> Document:
+    def load_tree(
+        self,
+        tree: DataTree,
+        name: str = "doc",
+        codec: "str | ContainmentCodec | None" = None,
+    ) -> Document:
+        """Encode and register ``tree`` (``codec`` overrides the default)."""
         if name in self._documents:
             raise ValueError(f"document {name!r} already loaded")
-        encoding = binarize(tree)
+        if codec is None:
+            chosen = self.codec
+        else:
+            chosen = get_codec(codec) if isinstance(codec, str) else codec
+        encoding = chosen.encode(tree)
         document = Document(
-            name=name, tree=tree, updatable=UpdatableEncoding(encoding)
+            name=name,
+            tree=tree,
+            updatable=encoding,
+            store=DocumentStore(
+                self.bufmgr,
+                encoding,
+                name=name,
+                metrics=self.metrics,
+                tracer=self.tracer,
+            ),
         )
         self._documents[name] = document
         return document
@@ -165,39 +197,18 @@ class ContainmentDatabase:
     # element sets and indexes
     # ------------------------------------------------------------------
     def element_set(self, document: Document, tag: str) -> ElementSet:
-        """The on-disk element set for one tag (built once, cached)."""
-        key = (document.name, tag)
-        cached = self._sets.get(key)
-        if cached is None:
-            codes = [
-                document.tree.codes[node]
-                for node in document.tree.iter_by_tag(tag)
-                if document.updatable.is_alive(node)
-            ]
-            cached = ElementSet.from_codes(
-                self.bufmgr, codes, document.tree_height,
-                name=f"{document.name}//{tag}",
-            )
-            self._sets[key] = cached
-        return cached
+        """The on-disk element set for one tag, kept current by the
+        document's :class:`~repro.storage.DocumentStore` (updates are
+        applied as page patches, not rebuilds)."""
+        return document.store.element_set(tag)
 
     def create_start_index(self, document: Document, tag: str) -> BPlusTree:
         """B+-tree on region Start (serves INLJN-descendant and ADB+)."""
-        key = (document.name, tag)
-        if key not in self._start_indexes:
-            self._start_indexes[key] = build_start_index(
-                self.element_set(document, tag), self.bufmgr
-            )
-        return self._start_indexes[key]
+        return document.store.start_index(tag)
 
     def create_interval_index(self, document: Document, tag: str) -> IntervalTree:
         """Interval tree over regions (serves INLJN-ancestor probes)."""
-        key = (document.name, tag)
-        if key not in self._interval_indexes:
-            self._interval_indexes[key] = build_interval_index(
-                self.element_set(document, tag), self.bufmgr
-            )
-        return self._interval_indexes[key]
+        return document.store.interval_index(tag)
 
     def create_rtree_index(self, document: Document, tag: str) -> RTree:
         """R-tree over (Start, End) points (serves the spatial joins)."""
@@ -209,15 +220,14 @@ class ContainmentDatabase:
         return self._rtree_indexes[key]
 
     def _properties(self, document: Document, tag: str) -> SetProperties:
-        key = (document.name, tag)
         elements = self.element_set(document, tag)
         single = None
         if elements.known_heights and len(elements.known_heights) == 1:
             single = next(iter(elements.known_heights))
         return SetProperties(
             sorted=False,
-            start_index=self._start_indexes.get(key),
-            interval_index=self._interval_indexes.get(key),
+            start_index=document.store.peek_start_index(tag),
+            interval_index=document.store.peek_interval_index(tag),
             single_height=single,
         )
 
@@ -365,25 +375,27 @@ class ContainmentDatabase:
         tag: str,
         text: Optional[str] = None,
     ) -> int:
-        """Insert an element; invalidates cached sets/indexes of the doc."""
+        """Insert an element.
+
+        The document store picks the mutation up from the encoding's
+        change-event stream and patches the persisted element sets in
+        place on next access; maintained indexes are patched or
+        retired-and-rebuilt per their contract.  Only the R-tree
+        indexes (no maintenance path) are invalidated wholesale.
+        """
         node = document.updatable.insert_child(parent, tag, text)
-        self._invalidate(document)
+        self._invalidate_rtrees(document)
         return node
 
     def delete_element(self, document: Document, node: int) -> int:
         removed = document.updatable.delete_subtree(node)
         if removed:
-            self._invalidate(document)
+            self._invalidate_rtrees(document)
         return removed
 
-    def _invalidate(self, document: Document) -> None:
-        for key in [k for k in self._sets if k[0] == document.name]:
-            self._sets.pop(key).destroy()
-        for registry in (
-            self._start_indexes, self._interval_indexes, self._rtree_indexes
-        ):
-            for key in [k for k in registry if k[0] == document.name]:
-                del registry[key]
+    def _invalidate_rtrees(self, document: Document) -> None:
+        for key in [k for k in self._rtree_indexes if k[0] == document.name]:
+            del self._rtree_indexes[key]
 
     # ------------------------------------------------------------------
     @property
@@ -398,5 +410,5 @@ class ContainmentDatabase:
     def __repr__(self) -> str:
         return (
             f"<ContainmentDatabase docs={len(self._documents)} "
-            f"sets={len(self._sets)} buffer={self.bufmgr.num_pages}p>"
+            f"codec={self.codec.name!r} buffer={self.bufmgr.num_pages}p>"
         )

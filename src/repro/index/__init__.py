@@ -10,6 +10,7 @@ from .flat import (
 )
 from .interval_tree import IntervalTree
 from .rtree import Rect, RTree
+from .staleness import StaleGuard, StaleIndexError
 from .xrtree import XRTree
 
 __all__ = [
@@ -19,6 +20,8 @@ __all__ = [
     "IntervalTree",
     "RTree",
     "Rect",
+    "StaleGuard",
+    "StaleIndexError",
     "XRTree",
     "flat_enabled",
     "flat_scope",

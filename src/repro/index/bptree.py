@@ -27,6 +27,7 @@ from typing import Iterable, Iterator
 
 from ..core import batch as batch_module
 from ..storage.buffer import BufferManager
+from .staleness import StaleGuard
 
 __all__ = ["BPlusTree"]
 
@@ -52,8 +53,15 @@ class _Node:
         self.next_leaf: int | None = None
 
 
-class BPlusTree:
-    """A B+-tree whose nodes live on buffer-managed pages."""
+class BPlusTree(StaleGuard):
+    """A B+-tree whose nodes live on buffer-managed pages.
+
+    The pointer tree is incrementally maintainable (:meth:`insert`,
+    :meth:`delete`) and so never goes stale under the update pipeline;
+    the :class:`~repro.index.staleness.StaleGuard` base serves the
+    static :class:`~repro.index.flat.FlatStartIndex` subclass, whose
+    level-order descent arithmetic a top-down mutation would break.
+    """
 
     def __init__(self, bufmgr: BufferManager, name: str = "") -> None:
         self.bufmgr = bufmgr
@@ -314,6 +322,37 @@ class BPlusTree:
         return sep_key, right.page_id
 
     # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def delete(self, key: int, value: int) -> bool:
+        """Remove one ``(key, value)`` entry; True if it was present.
+
+        Leaf-local: the entry is cut out of its leaf page and the count
+        rewritten.  No rebalancing or page reclamation is attempted —
+        underfull (even empty) leaves stay in the chain and search
+        walks through them — which keeps a delete a one-page patch,
+        the property the incremental update pipeline
+        (:mod:`repro.storage.docstore`) relies on.  Duplicates of
+        ``key`` are disambiguated by ``value``; with several identical
+        ``(key, value)`` entries one arbitrary instance is removed.
+        """
+        node = self._descend_to_leaf(key)
+        while node is not None:
+            pos = bisect_left(node.keys, key)
+            while pos < len(node.keys) and node.keys[pos] == key:
+                if node.values[pos] == value:
+                    del node.keys[pos]
+                    del node.values[pos]
+                    self._write_node(node)
+                    self.num_entries -= 1
+                    return True
+                pos += 1
+            if pos < len(node.keys) or node.next_leaf is None:
+                return False  # walked past the key (or off the chain)
+            node = self._read_node(node.next_leaf)
+        return False
+
+    # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
     def _descend_to_leaf(self, key: int) -> _Node | None:
@@ -324,6 +363,7 @@ class BPlusTree:
         must start at the *first* duplicate — the forward leaf chain
         picks up the rest.
         """
+        self._check_fresh()
         if self.root_page is None:
             return None
         node = self._read_node(self.root_page)

@@ -165,6 +165,12 @@ class FlatStartIndex(BPlusTree):
             "out of level order; rebuild with bulk_load instead"
         )
 
+    def delete(self, key: int, value: int) -> bool:
+        raise TypeError(
+            "FlatStartIndex is static: a leaf patch would desynchronise "
+            "the cached flat columns; rebuild with bulk_load instead"
+        )
+
     # -- flat page decode (pin accounting identical to _read_node) ------
     def _leaf_entries(self, page_id: int) -> tuple[list[int], list[int]]:
         cached = self._flat_leaves.get(page_id)
@@ -221,6 +227,7 @@ class FlatStartIndex(BPlusTree):
         order.  The leaf itself is pinned by the caller's scan loop,
         which matches the pointer ``_descend_to_leaf`` + scan sequence.
         """
+        self._check_fresh()
         levels = self.level_pages
         fanout = self.bulk_fanout
         position = 0
@@ -447,6 +454,7 @@ class FlatIntervalTree(IntervalTree):
         contributes one binary-search cut plus one payload-slice extend
         instead of a tuple per stored interval.
         """
+        self._check_fresh()
         out: list[int] = []
         index = self._root
         while index != _NO_CHILD:

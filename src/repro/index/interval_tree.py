@@ -26,6 +26,7 @@ from ..core.pbitree import PBiCode, RegionCode
 from ..storage.buffer import BufferManager
 from ..storage.heapfile import HeapFile
 from ..storage.record import TRIPLE
+from .staleness import StaleGuard
 
 __all__ = ["IntervalTree", "Interval"]
 
@@ -39,8 +40,15 @@ _NO_CHILD = -1
 _NODE_HEADER = 8  # reuse record-page header layout: count + reserved
 
 
-class IntervalTree:
-    """Static stabbing-query index over ``(start, end, payload)`` intervals."""
+class IntervalTree(StaleGuard):
+    """Static stabbing-query index over ``(start, end, payload)`` intervals.
+
+    Build-only: there is no incremental maintenance path.  When its
+    element set changes, the owner calls
+    :meth:`~repro.index.staleness.StaleGuard.mark_stale` and rebuilds;
+    stabbing a stale reference raises
+    :class:`~repro.index.staleness.StaleIndexError`.
+    """
 
     def __init__(self, bufmgr: BufferManager, name: str = "") -> None:
         self.bufmgr = bufmgr
@@ -150,6 +158,7 @@ class IntervalTree:
     # ------------------------------------------------------------------
     def stab(self, point: RegionCode) -> Iterator[Interval]:
         """Yield every interval ``(start, end, payload)`` containing ``point``."""
+        self._check_fresh()
         if self._root == _NO_CHILD:
             return
         index = self._root

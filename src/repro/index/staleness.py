@@ -1,0 +1,51 @@
+"""Staleness guard for static indexes.
+
+The interval trees and the flat-array index variants are *static by
+contract*: they are bulk-built over a snapshot of an element set and
+have no incremental maintenance path (top-down insertion would splits
+nodes out of the level order the flat descent arithmetic relies on,
+and the interval tree's node directory is position-encoded).  When the
+underlying element set changes, the storage-backed update pipeline
+(:mod:`repro.storage.docstore`) marks such an index stale instead of
+patching it; the owner rebuilds on next access.
+
+The guard exists for everyone *else*: a caller holding a reference to
+the pre-update index must get :class:`StaleIndexError` — loudly, on
+the next probe — rather than silently wrong (pre-update) answers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["StaleIndexError", "StaleGuard"]
+
+
+class StaleIndexError(RuntimeError):
+    """A static index was probed after its element set changed."""
+
+
+class StaleGuard:
+    """Mixin: ``mark_stale()`` once, every later probe raises.
+
+    Kept as a class-level attribute so fresh indexes pay nothing; the
+    probe entry points of the index classes call :meth:`_check_fresh`.
+    """
+
+    _stale_reason: Optional[str] = None
+
+    @property
+    def is_stale(self) -> bool:
+        return self._stale_reason is not None
+
+    def mark_stale(self, reason: str) -> None:
+        """Invalidate this index; it must be rebuilt, not probed."""
+        self._stale_reason = reason
+
+    def _check_fresh(self) -> None:
+        if self._stale_reason is not None:
+            raise StaleIndexError(
+                f"{type(self).__name__} is stale ({self._stale_reason}); "
+                "static indexes are invalidate-and-rebuild — fetch a fresh "
+                "one from its owner instead of probing this reference"
+            )

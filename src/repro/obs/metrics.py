@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING, Optional, Sequence, TypeVar, Union, cast
 from ..storage.stats import IOSnapshot
 
 if TYPE_CHECKING:
+    from ..core.update import UpdateStats
     from ..join.base import JoinReport
     from ..storage.buffer import BufferManager
     from ..storage.disk import DiskManager
@@ -187,6 +188,21 @@ class MetricsRegistry:
         self.gauge("buffer.hit_rate").set(bufmgr.hit_rate)
         self.gauge("buffer.resident").set(bufmgr.num_resident)
         self.gauge("buffer.pinned").set(bufmgr.num_pinned)
+
+    def record_update_stats(
+        self, stats: "UpdateStats", codec: str = ""
+    ) -> None:
+        """Relabelling work done by updates, as idempotent gauges.
+
+        ``codec`` scopes the names (``updates.<codec>.*``) so the
+        update benchmark can record both backends side by side.
+        """
+        prefix = f"updates.{codec}" if codec else "updates"
+        for name, value in stats.as_dict().items():
+            self.gauge(f"{prefix}.{name}").set(float(value))
+        self.gauge(f"{prefix}.relabelled_per_insert").set(
+            stats.relabelled_per_insert
+        )
 
     def record_fault_stats(self, stats: "FaultStats") -> None:
         """Injected-fault tallies (idempotent: gauges, not counters)."""

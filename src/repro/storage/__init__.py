@@ -19,6 +19,7 @@ from .faults import (
     TransientIOError,
 )
 from .persist import ImageFormatError, LoadedImage, load_image, save_image
+from .docstore import DocumentStore, UpdateLogRecord
 from .elementset import ElementSet, SortOrder
 from .heapfile import HeapFile, HeapFileWriter
 from .record import CODE, PAIR, TRIPLE, RecordCodec, owned_u64_array
@@ -53,6 +54,8 @@ __all__ = [
     "load_image",
     "LoadedImage",
     "ImageFormatError",
+    "DocumentStore",
+    "UpdateLogRecord",
     "ElementSet",
     "SortOrder",
     "HeapFile",

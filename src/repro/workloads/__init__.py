@@ -1,6 +1,18 @@
-"""Workload generators: synthetic Table-2 datasets, DBLP-like, XMark-like."""
+"""Workload generators: synthetic Table-2 datasets, DBLP-like, XMark-like,
+and the update-heavy storm driving the incremental pipeline."""
 
-from . import dblp, synthetic, textdoc, xmark
+from . import dblp, synthetic, textdoc, updates, xmark
 from .dblp import JoinSpec
+from .updates import UpdateWorkloadResult, UpdateWorkloadSpec, run_update_workload
 
-__all__ = ["synthetic", "dblp", "xmark", "textdoc", "JoinSpec"]
+__all__ = [
+    "synthetic",
+    "dblp",
+    "xmark",
+    "textdoc",
+    "updates",
+    "JoinSpec",
+    "UpdateWorkloadSpec",
+    "UpdateWorkloadResult",
+    "run_update_workload",
+]

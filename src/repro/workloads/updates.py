@@ -1,0 +1,202 @@
+"""Update-heavy workload generator (the §2.3.2 update benchmarks).
+
+Drives a seeded stream of element inserts and subtree deletes against a
+live encoding wired to a :class:`~repro.storage.DocumentStore`, so the
+whole incremental pipeline is exercised: change events, the per-tag
+update log, page patches, and index retirement.  A ``hotspot`` fraction
+of inserts targets one fixed parent — repeatedly filling the same
+sibling level is what provokes local relabels under the PBiTree codec
+(and, by contrast, zero relabels under nested intervals), which is the
+comparison ``BENCH_updates.json`` reports.
+
+The generator measures, it does not assert: correctness of the same
+op-stream is covered by the differential storm tests
+(``tests/test_docstore.py``, ``tests/test_update_properties.py``).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..core.update import CodeSpaceError
+from ..datatree.builder import random_tree
+from ..storage.buffer import BufferManager
+from ..storage.disk import DiskManager
+from ..storage.docstore import DocumentStore
+from ..storage.stats import IOSnapshot
+
+if TYPE_CHECKING:
+    from ..core.codec import ContainmentCodec, MutableEncoding
+    from ..obs.metrics import MetricsRegistry
+
+__all__ = [
+    "UpdateWorkloadSpec",
+    "UpdateWorkloadResult",
+    "run_update_workload",
+]
+
+
+@dataclass(frozen=True)
+class UpdateWorkloadSpec:
+    """One reproducible update storm (fixed by ``seed``)."""
+
+    #: initial document size (nodes) before the storm
+    nodes: int = 400
+    #: update operations to run
+    updates: int = 1_000
+    #: fraction of operations that insert (the rest delete a subtree)
+    insert_ratio: float = 0.7
+    #: fraction of inserts aimed at the current hot parent — sibling
+    #: overflow there is what forces local relabels
+    hotspot: float = 0.5
+    #: hot-parent rotation width: after this many hot inserts a new hot
+    #: parent is drawn.  Bounding sibling growth keeps the
+    #: nested-interval paths (one unary segment per ordinal) inside the
+    #: 63-bit storage code space while still overflowing PBiTree
+    #: sibling levels repeatedly.
+    hot_width: int = 12
+    tags: Sequence[str] = ("a", "b", "c", "d")
+    seed: int = 0
+    min_height: int = 8
+    #: once the encoding reaches this height, growth is switched off
+    #: and growth-forcing inserts are retried under shallower parents
+    #: (or skipped) — keeps every code inside the 63-bit record format
+    #: however depth-hungry the codec is (nested-interval paths spend
+    #: one unary segment per sibling ordinal)
+    max_height: int = 56
+    page_size: int = 1024
+    buffer_pages: int = 64
+    #: apply the pending log every N operations (0 = only at the end);
+    #: models a store that lags its document by a bounded window
+    flush_every: int = 64
+
+
+@dataclass
+class UpdateWorkloadResult:
+    """Everything measured about one codec's run of the workload."""
+
+    codec: str
+    spec: UpdateWorkloadSpec
+    #: final :meth:`~repro.core.update.UpdateStats.as_dict` payload
+    stats: dict[str, int]
+    #: the headline: amortised nodes relabelled per insert
+    relabelled_per_insert: float
+    #: update-log records applied to pages (≥ operations: one relabel
+    #: op can log several per-tag records)
+    log_records_applied: int
+    #: inserts dropped because they would have grown the tree past
+    #: ``spec.max_height`` even under fallback parents
+    skipped_inserts: int
+    wall_seconds: float
+    io: IOSnapshot = field(default_factory=IOSnapshot)
+
+    def as_metrics(self) -> dict[str, float]:
+        """Flat mapping for BENCH exports, keyed ``updates.<codec>.*``."""
+        prefix = f"updates.{self.codec}"
+        out = {f"{prefix}.{k}": float(v) for k, v in self.stats.items()}
+        out[f"{prefix}.relabelled_per_insert"] = self.relabelled_per_insert
+        out[f"{prefix}.log_records_applied"] = float(self.log_records_applied)
+        out[f"{prefix}.skipped_inserts"] = float(self.skipped_inserts)
+        out[f"{prefix}.operations"] = float(self.spec.updates)
+        return out
+
+
+def _storm(
+    encoding: "MutableEncoding",
+    spec: UpdateWorkloadSpec,
+    rng: random.Random,
+    count: int,
+) -> int:
+    """Run ``count`` operations; returns the number of skipped inserts."""
+    tree = encoding.tree
+    hot_parent = tree.root
+    hot_count = 0
+    skipped = 0
+    for _ in range(count):
+        live = [n for n in range(len(tree)) if encoding.is_alive(n)]
+        if not encoding.is_alive(hot_parent) or hot_count >= spec.hot_width:
+            hot_parent = rng.choice(live)
+            hot_count = 0
+        if encoding.tree_height >= spec.max_height:
+            # at the code-space budget: growth-forcing inserts must be
+            # rejected (atomically — the encoding stays clean) and
+            # retried under a shallower parent
+            encoding.allow_growth = False
+        if rng.random() < spec.insert_ratio or len(live) < 8:
+            if rng.random() < spec.hotspot:
+                parent = hot_parent
+                hot_count += 1
+            else:
+                parent = rng.choice(live)
+            tag = rng.choice(spec.tags)
+            for candidate in (parent, tree.root):
+                try:
+                    encoding.insert_child(candidate, tag)
+                    break
+                except CodeSpaceError:
+                    continue
+            else:
+                skipped += 1
+        else:
+            non_root = [n for n in live if tree.parents[n] >= 0]
+            encoding.delete_subtree(rng.choice(non_root))
+    return skipped
+
+
+def run_update_workload(
+    spec: UpdateWorkloadSpec,
+    codec: "ContainmentCodec",
+    metrics: Optional["MetricsRegistry"] = None,
+) -> UpdateWorkloadResult:
+    """Run one codec through the workload on a fresh storage bench.
+
+    Ends with a full :meth:`~repro.storage.DocumentStore.flush` and a
+    :meth:`~repro.storage.DocumentStore.verify` of every materialised
+    tag, so a measurement run cannot silently report numbers for a
+    store that diverged from its document.
+    """
+    rng = random.Random(spec.seed)
+    tree = random_tree(spec.nodes, seed=spec.seed, tags=tuple(spec.tags))
+    encoding = codec.encode(tree, min_height=spec.min_height)
+    disk = DiskManager(spec.page_size)
+    bufmgr = BufferManager(disk, spec.buffer_pages)
+    store = DocumentStore(bufmgr, encoding, name=f"upd-{codec.name}")
+    for tag in sorted(set(spec.tags)):
+        store.element_set(tag)
+    disk.stats.reset()
+
+    applied = 0
+    skipped = 0
+    started = time.perf_counter()
+    chunk = spec.flush_every or spec.updates
+    done = 0
+    while done < spec.updates:
+        step = min(chunk, spec.updates - done)
+        skipped += _storm(encoding, spec, rng, step)
+        applied += store.flush()
+        done += step
+    wall = time.perf_counter() - started
+
+    encoding.validate()
+    for tag in store.tags():
+        store.verify(tag)
+
+    result = UpdateWorkloadResult(
+        codec=codec.name,
+        spec=spec,
+        stats=encoding.stats.as_dict(),
+        relabelled_per_insert=encoding.stats.relabelled_per_insert,
+        log_records_applied=applied,
+        skipped_inserts=skipped,
+        wall_seconds=wall,
+        io=disk.stats.snapshot(),
+    )
+    if metrics is not None:
+        metrics.record_update_stats(encoding.stats, codec=codec.name)
+        metrics.counter(
+            f"updates.{codec.name}.log_records_applied"
+        ).inc(applied)
+    return result

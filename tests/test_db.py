@@ -132,15 +132,50 @@ class TestUpdatesThroughDb:
         assert removed >= 2
         assert len(db.query(doc, "//shelf//book")) == 2
 
-    def test_update_invalidates_indexes(self):
+    def test_update_maintains_start_index(self):
         db = ContainmentDatabase()
         doc = db.load_xml(XML, name="lib")
-        db.create_start_index(doc, "book")
+        index = db.create_start_index(doc, "book")
         shelf = next(doc.tree.iter_by_tag("shelf"))
         db.insert_element(doc, shelf, "book")
-        # the stale index must be gone; the query must see 4 books
-        assert ("lib", "book") not in db._start_indexes
+        # the pointer B+-tree is patched in place, not rebuilt, and the
+        # query sees the 4th book through it
+        assert db.create_start_index(doc, "book") is index
         assert len(db.query(doc, "//shelf//book")) == 4
+
+    def test_update_retires_interval_index(self):
+        from repro.index import StaleIndexError
+
+        db = ContainmentDatabase()
+        doc = db.load_xml(XML, name="lib")
+        index = db.create_interval_index(doc, "book")
+        shelf = next(doc.tree.iter_by_tag("shelf"))
+        db.insert_element(doc, shelf, "book")
+        # static by contract: old reference raises, accessor rebuilds
+        assert db.create_interval_index(doc, "book") is not index
+        with pytest.raises(StaleIndexError):
+            list(index.stab(1))
+        assert len(db.query(doc, "//shelf//book")) == 4
+
+    def test_codec_selection_per_database_and_document(self):
+        db = ContainmentDatabase(codec="nested-intervals")
+        doc = db.load_xml(XML, name="lib")
+        assert type(doc.updatable).__name__ == "NestedIntervalEncoding"
+        doc2 = db.load_xml(XML, name="lib2", codec="pbitree")
+        assert type(doc2.updatable).__name__ == "UpdatableEncoding"
+        for d in (doc, doc2):
+            assert len(db.query(d, "//shelf//book")) == 3
+
+    def test_updates_through_db_on_nested_intervals(self):
+        db = ContainmentDatabase(codec="nested-intervals")
+        doc = db.load_xml(XML, name="lib")
+        shelf = next(doc.tree.iter_by_tag("shelf"))
+        book = db.insert_element(doc, shelf, "book")
+        db.insert_element(doc, book, "title")
+        assert doc.updatable.stats.relabelled_nodes == 0
+        assert len(db.query(doc, "//shelf//book")) == 4
+        db.delete_element(doc, book)
+        assert len(db.query(doc, "//shelf//book")) == 3
 
 
 class TestCLI:
@@ -213,6 +248,30 @@ class TestCLI:
         assert main(["query", xml_file, "//shelf/book"]) == 0
         out = capsys.readouterr().out
         assert out.count("<book>") == 2  # boxed book excluded
+
+    def test_update_bench(self, tmp_path, capsys):
+        import json
+
+        from repro.__main__ import main
+        from repro.obs.export import validate_bench_summary
+
+        out_path = tmp_path / "BENCH_updates.json"
+        assert main([
+            "update-bench", "--updates", "120", "--nodes", "80",
+            "--bench-out", str(out_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        # one table row per registered codec, both backends present
+        assert "pbitree" in out and "nested-intervals" in out
+        summary = json.loads(out_path.read_text())
+        assert validate_bench_summary(summary) == []
+        assert summary["metrics"]["updates.pbitree.operations"] == 120.0
+
+    def test_update_bench_unknown_codec(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["update-bench", "--codec", "nope"]) == 1
+        assert "nope" in capsys.readouterr().err
 
 
 class TestIOVisibility:

@@ -145,6 +145,125 @@ class TestDelete:
         assert len(updatable.live_codes()) == total - 1
 
 
+class TestGrowKeepsTombstonesFree:
+    """Regression: ``_grow_tree`` used to rebuild ``_occupied`` from
+    ``range(len(tree))`` including tombstoned nodes, so codes freed by
+    ``delete_subtree`` were resurrected as occupied after any growth —
+    a delete -> grow -> insert sequence leaked code slots forever."""
+
+    def test_delete_grow_insert_reuses_freed_slot(self):
+        tree, updatable = make_updatable(
+            ("root", [("a", []), ("b", []), ("c", []), ("d", [])]),
+            min_height=10,
+        )
+        freed_code = tree.codes[2]
+        updatable.delete_subtree(2)
+        updatable._grow_tree(2)
+        # the freed slot (shifted like every other code) must be virtual
+        assert updatable.node_of(freed_code << 2) is None
+        node = updatable.insert_child(0, "reuse")
+        assert tree.codes[node] == freed_code << 2
+        assert updatable.stats.local_relabels == 0  # O(1) fast path
+        updatable.validate()
+
+    def test_grow_drops_all_tombstones_from_occupancy(self):
+        tree, updatable = make_updatable(
+            ("root", [("a", [("x", []), ("y", [])]), ("b", [])])
+        )
+        updatable.delete_subtree(1)  # tombstones a, x, y
+        updatable._grow_tree(1)
+        dead = [n for n in range(len(tree)) if not updatable.is_alive(n)]
+        assert dead
+        for node in dead:
+            assert updatable.node_of(tree.codes[node]) is None
+        updatable.validate()
+
+
+class TestInsertAtomicity:
+    """Regression: ``insert_child`` used to mutate the data tree before
+    the encodability check, so a ``CodeSpaceError`` (growth disallowed)
+    left a half-inserted live node with no valid code."""
+
+    def test_disallowed_bottom_growth_leaves_encoding_clean(self):
+        tree = tree_from_spec(("root", [("leaf", [])]))
+        updatable = UpdatableEncoding(binarize(tree), allow_growth=False)
+        nodes_before = len(tree)
+        live_before = updatable.live_codes()
+        with pytest.raises(CodeSpaceError):
+            updatable.insert_child(1, "below-the-bottom")
+        assert len(tree) == nodes_before  # no phantom node
+        assert len(updatable._alive) == nodes_before
+        assert updatable.live_codes() == live_before
+        assert updatable.stats.inserts == 0
+        updatable.validate()
+
+    def test_disallowed_overflow_growth_leaves_encoding_clean(self):
+        # both child slots below the root are taken and the relabel that
+        # would make room needs one more level than H offers
+        tree = tree_from_spec(("root", [("a", []), ("b", [])]))
+        updatable = UpdatableEncoding(binarize(tree), allow_growth=False)
+        nodes_before = len(tree)
+        with pytest.raises(CodeSpaceError):
+            updatable.insert_child(0, "third")
+        assert len(tree) == nodes_before
+        assert len(updatable._alive) == nodes_before
+        assert updatable.stats.inserts == 0
+        assert updatable.stats.local_relabels == 0
+        updatable.validate()
+
+
+class TestChangeEvents:
+    def test_events_replay_to_live_code_map(self):
+        """A listener folding the event stream into a code map must end
+        up exactly at ``live_codes`` — the contract the storage-backed
+        update pipeline (docstore) relies on."""
+        tree, updatable = make_updatable()
+        shadow = {
+            tree.codes[n]: n
+            for n in range(len(tree))
+            if updatable.is_alive(n)
+        }
+
+        def listener(event):
+            if event.kind == "insert":
+                assert event.new_code not in shadow
+                shadow[event.new_code] = event.node
+            elif event.kind == "relabel":
+                # free every old code before assigning any new one
+                for node, old_code, _new in event.moves:
+                    assert shadow.pop(old_code) == node
+                for node, _old, new_code in event.moves:
+                    assert new_code not in shadow
+                    shadow[new_code] = node
+            elif event.kind == "delete":
+                assert shadow.pop(event.old_code) == event.node
+            elif event.kind == "grow":
+                shifted = {
+                    code << event.delta: node for code, node in shadow.items()
+                }
+                shadow.clear()
+                shadow.update(shifted)
+            else:  # pragma: no cover - future kinds must be handled
+                raise AssertionError(event.kind)
+
+        updatable.listeners.append(listener)
+        rng = random.Random(42)
+        for _ in range(120):
+            live = [n for n in range(len(tree)) if updatable.is_alive(n)]
+            if rng.random() < 0.7 or len(live) < 3:
+                updatable.insert_child(rng.choice(live), "n")
+            else:
+                non_root = [n for n in live if tree.parents[n] >= 0]
+                if non_root:
+                    updatable.delete_subtree(rng.choice(non_root))
+        expected = {
+            tree.codes[n]: n
+            for n in range(len(tree))
+            if updatable.is_alive(n)
+        }
+        assert shadow == expected
+
+
 class TestUpdateStorm:
     @given(st.integers(0, 1000), st.integers(2, 60))
     @settings(max_examples=15, deadline=None)

@@ -178,3 +178,57 @@ class TestXMarkWorkload:
         parlists = select_by_tag(tree, "parlist")
         nested = brute_force_join(parlists, parlists)
         assert nested  # at least one parlist inside another
+
+
+class TestUpdateWorkload:
+    """The update-heavy storm generator driving the incremental pipeline."""
+
+    SPEC = None  # built lazily so module import stays cheap
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        from repro.core.codec import available_codecs, get_codec
+        from repro.workloads.updates import (
+            UpdateWorkloadSpec,
+            run_update_workload,
+        )
+
+        spec = UpdateWorkloadSpec(nodes=80, updates=150, seed=5)
+        return {
+            name: run_update_workload(spec, get_codec(name))
+            for name in available_codecs()
+        }
+
+    def test_covers_both_codecs(self, results):
+        assert set(results) == {"pbitree", "nested-intervals"}
+
+    def test_pbitree_pays_relabels_nested_intervals_never(self, results):
+        assert results["pbitree"].stats["relabelled_nodes"] > 0
+        assert results["nested-intervals"].stats["relabelled_nodes"] == 0
+        assert results["nested-intervals"].relabelled_per_insert == 0.0
+
+    def test_log_records_cover_every_operation(self, results):
+        for result in results.values():
+            stats = result.stats
+            applied = stats["inserts"] + stats["deletes"]
+            # relabels/growth log extra per-tag records on top
+            assert result.log_records_applied >= applied - result.skipped_inserts
+
+    def test_deterministic_given_seed(self):
+        from repro.core.codec import get_codec
+        from repro.workloads.updates import (
+            UpdateWorkloadSpec,
+            run_update_workload,
+        )
+
+        spec = UpdateWorkloadSpec(nodes=60, updates=100, seed=9)
+        first = run_update_workload(spec, get_codec("pbitree"))
+        second = run_update_workload(spec, get_codec("pbitree"))
+        assert first.stats == second.stats
+        assert first.log_records_applied == second.log_records_applied
+
+    def test_as_metrics_is_flat_and_codec_scoped(self, results):
+        metrics = results["pbitree"].as_metrics()
+        assert all(key.startswith("updates.pbitree.") for key in metrics)
+        assert all(isinstance(value, float) for value in metrics.values())
+        assert metrics["updates.pbitree.operations"] == 150.0
