@@ -1,0 +1,233 @@
+#!/usr/bin/env python
+"""Load generator for the multi-tenant query service.
+
+Stands up the full stack in one process — corpus, QueryService,
+asyncio TCP server on a daemon thread — then hammers it with mixed
+tenant traffic over real sockets: ``--threads`` client connections,
+each issuing ``--requests`` path queries drawn round-robin from the
+Figure 6(b)-style path mix, tagged with a rotating tenant id.
+
+What it asserts (exit non-zero on violation):
+
+* **zero failed queries** — every response is ``ok`` or a *typed*
+  ``rejected`` (backpressure/quota); a ``status=error`` response or a
+  transport failure is a real bug;
+* **per-tenant counter exactness** — for every tenant,
+  ``completed + rejected + errors`` as counted by the (thread-safe)
+  MetricsRegistry equals the number of requests the driver issued for
+  that tenant;
+* **plan-cache effectiveness** — after the warmup pass the cache must
+  be serving hits (``service.plan_cache.hits > 0``).
+
+It then writes ``BENCH_service.json`` (``repro.bench/v1``): the
+``algorithms`` section carries one representative per-path JoinReport
+(obtained in-process after the run, so the summary records the actual
+join work a warm service does per query), and the ``metrics`` object
+carries p50/p99 latency (ms), sustained QPS, per-status counts and the
+plan-cache hit line.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_service.py --out BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+
+from repro.datatree.builder import random_tree
+from repro.db import ContainmentDatabase
+from repro.obs.export import bench_summary, write_bench_summary
+from repro.obs.metrics import MetricsRegistry
+from repro.service import QueryService, ServerThread, ServiceClient, TenantQuota
+
+#: the query mix: Figure 6(b)-style multi-step descendant chains
+PATHS = ["//a//b", "//a//b//c", "//b//d", "//c//d", "//a//c//d"]
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--nodes", type=int, default=2_000)
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument("--threads", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=40,
+                        help="requests per client thread")
+    parser.add_argument("--buffer-pages", type=int, default=64)
+    parser.add_argument("--max-in-flight", type=int, default=4)
+    parser.add_argument("--session-pages", type=int, default=None)
+    parser.add_argument("--plan-cache", type=int, default=64)
+    parser.add_argument("--tenant-max-in-flight", type=int, default=0,
+                        help="per-tenant concurrency quota (0 = unlimited)")
+    parser.add_argument("--out", default="",
+                        help="write a schema-checked BENCH_service.json here")
+    args = parser.parse_args()
+
+    metrics = MetricsRegistry()
+    db = ContainmentDatabase(buffer_pages=args.buffer_pages, metrics=metrics)
+    db.load_tree(
+        random_tree(args.nodes, max_fanout=5, seed=args.seed), name="corpus"
+    )
+    quota = None
+    if args.tenant_max_in_flight:
+        quota = TenantQuota(max_in_flight=args.tenant_max_in_flight)
+    service = QueryService(
+        db,
+        max_in_flight=args.max_in_flight,
+        session_pages=args.session_pages,
+        default_quota=quota,
+        plan_cache_size=args.plan_cache,
+        metrics=metrics,
+    )
+
+    issued: dict[str, int] = {}
+    latencies: list[float] = []
+    statuses = {"ok": 0, "rejected": 0, "error": 0}
+    report_lock = threading.Lock()
+    failures: list[str] = []
+
+    def worker(worker_id: int, port: int) -> None:
+        try:
+            client = ServiceClient(port=port)
+        except OSError as exc:
+            with report_lock:
+                failures.append(f"worker {worker_id}: connect failed: {exc}")
+            return
+        try:
+            for i in range(args.requests):
+                tenant = f"tenant{(worker_id + i) % args.tenants}"
+                path = PATHS[(worker_id + i) % len(PATHS)]
+                started = time.perf_counter()
+                try:
+                    response = client.query("corpus", path, tenant=tenant)
+                except Exception as exc:  # transport failure = real bug
+                    with report_lock:
+                        statuses["error"] += 1
+                        issued[tenant] = issued.get(tenant, 0) + 1
+                        failures.append(
+                            f"worker {worker_id}: transport error: {exc}"
+                        )
+                    continue
+                elapsed = time.perf_counter() - started
+                status = str(response.get("status"))
+                with report_lock:
+                    issued[tenant] = issued.get(tenant, 0) + 1
+                    latencies.append(elapsed)
+                    if status in statuses:
+                        statuses[status] += 1
+                    else:
+                        statuses["error"] += 1
+                        failures.append(
+                            f"worker {worker_id}: odd status {status!r}"
+                        )
+                    if status == "error":
+                        failures.append(
+                            f"worker {worker_id}: query error: "
+                            f"{response.get('error')}"
+                        )
+        finally:
+            client.close()
+
+    with ServerThread(service) as server:
+        # warmup: populate the plan cache over one connection
+        with ServiceClient(port=server.port) as warm:
+            for path in PATHS:
+                warm.query("corpus", path, tenant="warmup")
+        started = time.perf_counter()
+        threads = [
+            threading.Thread(target=worker, args=(i, server.port))
+            for i in range(args.threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - started
+
+    total = sum(issued.values())
+    qps = total / wall if wall > 0 else 0.0
+    p50 = percentile(latencies, 0.50) * 1000.0
+    p99 = percentile(latencies, 0.99) * 1000.0
+    print(f"# {total} requests in {wall:.2f}s -> {qps:.1f} QPS")
+    print(f"# latency p50={p50:.2f}ms p99={p99:.2f}ms")
+    print(f"# ok={statuses['ok']} rejected={statuses['rejected']} "
+          f"error={statuses['error']}")
+
+    # -- assertion 1: no non-rejected failures --------------------------
+    if statuses["error"] or failures:
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        return 1
+
+    # -- assertion 2: per-tenant counters sum to issued -----------------
+    for tenant, count in sorted(issued.items()):
+        def value(name: str) -> int:
+            metric = metrics.get(name)
+            return int(metric.value) if metric is not None else 0  # type: ignore[union-attr]
+
+        accounted = (
+            value(f"service.tenant.{tenant}.completed")
+            + value(f"service.tenant.{tenant}.rejected")
+            + value(f"service.tenant.{tenant}.errors")
+        )
+        if accounted != count:
+            print(
+                f"FAIL: tenant {tenant} issued {count} but counters "
+                f"account for {accounted}",
+                file=sys.stderr,
+            )
+            return 1
+    print(f"# per-tenant counters exact for {len(issued)} tenants")
+
+    # -- assertion 3: the plan cache served the warm traffic ------------
+    hits_metric = metrics.get("service.plan_cache.hits")
+    hits = int(hits_metric.value) if hits_metric is not None else 0  # type: ignore[union-attr]
+    if args.plan_cache and hits == 0:
+        print("FAIL: plan cache never hit under warm traffic", file=sys.stderr)
+        return 1
+    print(f"# plan cache hits: {hits}")
+
+    if args.out:
+        entries = []
+        for path in PATHS:
+            outcome = service.execute("bench", "corpus", path)
+            for step, report in enumerate(outcome.reports, 1):
+                entries.append(
+                    (f"service:{path}#{step}", "service-corpus", report)
+                )
+        summary = bench_summary(
+            "service",
+            entries,
+            metrics={
+                "latency_p50_ms": p50,
+                "latency_p99_ms": p99,
+                "qps": qps,
+                "wall_seconds": wall,
+                "requests": total,
+                "ok": statuses["ok"],
+                "rejected": statuses["rejected"],
+                "error": statuses["error"],
+                "tenants": len(issued),
+                "plan_cache_hits": hits,
+                "threads": args.threads,
+                "max_in_flight": args.max_in_flight,
+            },
+        )
+        target = write_bench_summary(summary, args.out)
+        print(f"# wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

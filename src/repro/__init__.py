@@ -56,6 +56,15 @@ from .join.vpj import VerticalPartitionJoin
 from .join.xrstack import XRStackJoin
 from .obs.metrics import MetricsRegistry
 from .obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from .service import (
+    AdmissionController,
+    BackpressureRejection,
+    QueryService,
+    QuotaExceededRejection,
+    ServiceClient,
+    ServiceRejection,
+    TenantQuota,
+)
 from .storage.buffer import BufferManager, BufferPoolExhaustedError
 from .storage.disk import DiskManager, PageCorruptionError, PageNotAllocatedError
 from .storage.elementset import ElementSet, SortOrder
@@ -120,6 +129,13 @@ __all__ = [
     "NULL_TRACER",
     "Span",
     "MetricsRegistry",
+    "QueryService",
+    "AdmissionController",
+    "TenantQuota",
+    "ServiceRejection",
+    "BackpressureRejection",
+    "QuotaExceededRejection",
+    "ServiceClient",
     "BufferPoolExhaustedError",
     "PageCorruptionError",
     "PageNotAllocatedError",

@@ -11,7 +11,10 @@ Commands:
 * ``image-query IMAGE //a//b`` — run a path query against a saved
   image (no XML parsing, pure storage-engine work);
 * ``bench`` — run an algorithm line-up over a synthetic Table-2
-  dataset and (optionally) emit a ``BENCH_*.json`` summary.
+  dataset and (optionally) emit a ``BENCH_*.json`` summary;
+* ``serve`` — run the multi-tenant query server over a loaded corpus
+  (see docs/service.md);
+* ``remote-query`` — send one path query to a running server.
 
 Global observability flags (before the command): ``--trace`` prints the
 span-tree cost breakdown, ``--trace-out FILE`` dumps it as JSON lines,
@@ -39,6 +42,8 @@ __all__ = [
     "cmd_image_query",
     "cmd_bench",
     "cmd_update_bench",
+    "cmd_serve",
+    "cmd_remote_query",
 ]
 
 
@@ -394,6 +399,79 @@ def cmd_update_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .datatree.builder import random_tree
+    from .obs.metrics import MetricsRegistry
+    from .service import ContainmentServer, QueryService, TenantQuota
+
+    metrics = MetricsRegistry()
+    db = ContainmentDatabase(buffer_pages=args.buffer_pages, metrics=metrics)
+    if args.file:
+        db.load_tree(_load(args.file), name=args.name)
+    else:
+        db.load_tree(
+            random_tree(args.random, max_fanout=5, seed=args.seed),
+            name=args.name,
+        )
+    quota = None
+    if args.tenant_max_in_flight:
+        quota = TenantQuota(max_in_flight=args.tenant_max_in_flight)
+    service = QueryService(
+        db,
+        max_in_flight=args.max_in_flight,
+        session_pages=args.session_pages,
+        default_quota=quota,
+        plan_cache_size=args.plan_cache,
+    )
+    server = ContainmentServer(service, host=args.host, port=args.port)
+
+    async def run() -> None:
+        await server.start()
+        print(
+            f"# serving {args.name!r} on {server.host}:{server.port} "
+            f"(max_in_flight={args.max_in_flight}, "
+            f"session_pages={service.session_pages})",
+            file=sys.stderr,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("# server stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_remote_query(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        response = client.query(args.document, args.path, tenant=args.tenant)
+    status = response.get("status")
+    if status == "ok":
+        for code in response.get("codes", []):
+            print(code)
+        print(
+            f"# {response.get('count')} matches, "
+            f"direction={response.get('direction')}, "
+            f"cache_hit={response.get('cache_hit')}, "
+            f"planning_io={response.get('planning_io')}",
+            file=sys.stderr,
+        )
+        return 0
+    if status == "rejected":
+        print(
+            f"# rejected ({response.get('code')}): {response.get('error')} "
+            f"— retry after {response.get('retry_after')}s",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"# error: {response.get('error')}", file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -548,6 +626,49 @@ def main(argv: list[str] | None = None) -> int:
         help="write a schema-checked BENCH_updates.json to this file",
     )
     upd.set_defaults(func=cmd_update_bench)
+
+    srv = sub.add_parser(
+        "serve", help="run the multi-tenant query server over a corpus"
+    )
+    srv.add_argument(
+        "--file", default="", help="XML corpus file (default: synthetic)"
+    )
+    srv.add_argument(
+        "--random", type=int, default=2_000,
+        help="synthetic corpus size in nodes when no --file is given",
+    )
+    srv.add_argument("--seed", type=int, default=23)
+    srv.add_argument("--name", default="corpus", help="document name")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=7723)
+    srv.add_argument("--buffer-pages", type=int, default=64)
+    srv.add_argument(
+        "--max-in-flight", type=int, default=4,
+        help="global concurrent-join ceiling (bounds frame memory)",
+    )
+    srv.add_argument(
+        "--session-pages", type=int, default=None,
+        help="buffer pages per session pool (default: --buffer-pages)",
+    )
+    srv.add_argument(
+        "--tenant-max-in-flight", type=int, default=0,
+        help="per-tenant concurrency quota (0 = unlimited)",
+    )
+    srv.add_argument(
+        "--plan-cache", type=int, default=128,
+        help="plan cache capacity (0 disables)",
+    )
+    srv.set_defaults(func=cmd_serve)
+
+    rmq = sub.add_parser(
+        "remote-query", help="send one path query to a running server"
+    )
+    rmq.add_argument("document")
+    rmq.add_argument("path")
+    rmq.add_argument("--host", default="127.0.0.1")
+    rmq.add_argument("--port", type=int, default=7723)
+    rmq.add_argument("--tenant", default="default")
+    rmq.set_defaults(func=cmd_remote_query)
 
     args = parser.parse_args(argv)
     return args.func(args)

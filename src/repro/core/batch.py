@@ -38,6 +38,7 @@ from __future__ import annotations
 import os
 from bisect import bisect_left, bisect_right
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Callable, Iterator, Optional, Sequence, cast
 
 from .pbitree import Height, PBiCode, PrefixCode, RegionCode
@@ -76,7 +77,15 @@ DEFAULT_BATCH_SIZE = 1024
 
 EmitFn = Callable[[int, int], None]
 
-_batch_size = DEFAULT_BATCH_SIZE
+_batch_default = DEFAULT_BATCH_SIZE
+
+#: per-context override set by :func:`batch_scope`.  A ``ContextVar``
+#: instead of a module global: one tenant's scope must not flip another
+#: in-flight query's execution mode (threads and asyncio tasks each see
+#: their own context), while the process-wide *default* set by the env
+#: var / CLI / :func:`set_batch_size` is preserved for every context
+#: that has no scope active.
+_batch_var: ContextVar[Optional[int]] = ContextVar("repro_batch_size", default=None)
 
 
 def _env_batch_size() -> Optional[int]:
@@ -92,40 +101,49 @@ def _env_batch_size() -> Optional[int]:
 
 _env_override = _env_batch_size()
 if _env_override is not None:
-    _batch_size = _env_override
+    _batch_default = _env_override
 
 
 def get_batch_size() -> int:
     """Current batch size; 0 selects the scalar differential oracle."""
-    return _batch_size
+    override = _batch_var.get()
+    return _batch_default if override is None else override
 
 
 def set_batch_size(size: int) -> None:
-    """Set the global batch size (0 disables batching entirely).
+    """Set the process-wide default batch size (0 disables batching).
 
+    This is startup configuration (CLI flags, env parsing); code that
+    needs a temporary or per-thread/per-task setting must use
+    :func:`batch_scope`, which only affects the calling context.
     Worker processes under the ``spawn`` start method do not inherit
     this module state — parallel tasks carry the batch size as an
     explicit field instead (see :mod:`repro.parallel.tasks`).
     """
     if size < 0:
         raise ValueError(f"batch size must be >= 0, got {size}")
-    global _batch_size
-    _batch_size = size
+    global _batch_default
+    _batch_default = size
 
 
 @contextmanager
 def batch_scope(size: int) -> Iterator[None]:
-    """Temporarily pin the batch size (tests and differential runs)."""
-    previous = get_batch_size()
-    set_batch_size(size)
+    """Pin the batch size for the calling context only.
+
+    Context-local (``contextvars``): two threads can run in opposing
+    scopes concurrently without seeing each other's setting.
+    """
+    if size < 0:
+        raise ValueError(f"batch size must be >= 0, got {size}")
+    token = _batch_var.set(size)
     try:
         yield
     finally:
-        set_batch_size(previous)
+        _batch_var.reset(token)
 
 
 def batching_enabled() -> bool:
-    return _batch_size > 0
+    return get_batch_size() > 0
 
 
 # ---------------------------------------------------------------------------

@@ -363,14 +363,14 @@ class BPlusTree(StaleGuard):
         must start at the *first* duplicate — the forward leaf chain
         picks up the rest.
         """
-        self._check_fresh()
-        if self.root_page is None:
-            return None
-        node = self._read_node(self.root_page)
-        while not node.is_leaf:
-            slot = bisect_left(node.keys, key)
-            node = self._read_node(node.children[slot])
-        return node
+        with self.probe_guard():
+            if self.root_page is None:
+                return None
+            node = self._read_node(self.root_page)
+            while not node.is_leaf:
+                slot = bisect_left(node.keys, key)
+                node = self._read_node(node.children[slot])
+            return node
 
     def search(self, key: int) -> list[int]:
         """All values stored under exactly ``key``."""

@@ -46,6 +46,7 @@ import os
 import struct
 from bisect import bisect_left, bisect_right
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator, Optional, cast
 
 from ..storage import sanitize
@@ -67,7 +68,12 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # the oracle switch (mirrors repro.core.batch's batch-size switch)
 # ---------------------------------------------------------------------------
-_flat_enabled = False
+_flat_default = False
+
+#: per-context override set by :func:`flat_scope` — a ``ContextVar`` so
+#: one tenant's scope cannot flip another in-flight query's index mode
+#: (see :mod:`repro.core.batch` for the full rationale).
+_flat_var: ContextVar[Optional[bool]] = ContextVar("repro_flat_index", default=None)
 
 
 def _env_flat_enabled() -> Optional[bool]:
@@ -83,34 +89,40 @@ def _env_flat_enabled() -> Optional[bool]:
 
 _env_override = _env_flat_enabled()
 if _env_override is not None:
-    _flat_enabled = _env_override
+    _flat_default = _env_override
 
 
 def flat_enabled() -> bool:
     """Whether index builders produce flat static indexes (default off)."""
-    return _flat_enabled
+    override = _flat_var.get()
+    return _flat_default if override is None else override
 
 
 def set_flat_enabled(enabled: bool) -> None:
-    """Select flat (True) or pointer-oracle (False) index construction.
+    """Set the process-wide default for flat vs pointer-oracle builds.
 
-    Worker processes under the ``spawn`` start method do not inherit
-    this module state — parallel tasks carry the flag as an explicit
-    field instead (see :mod:`repro.parallel.tasks`).
+    Startup configuration only; use :func:`flat_scope` for a temporary
+    or per-thread/per-task setting.  Worker processes under the
+    ``spawn`` start method do not inherit this module state — parallel
+    tasks carry the flag as an explicit field instead (see
+    :mod:`repro.parallel.tasks`).
     """
-    global _flat_enabled
-    _flat_enabled = bool(enabled)
+    global _flat_default
+    _flat_default = bool(enabled)
 
 
 @contextmanager
 def flat_scope(enabled: bool) -> Iterator[None]:
-    """Temporarily pin the flat-index switch (tests and differential runs)."""
-    previous = flat_enabled()
-    set_flat_enabled(enabled)
+    """Pin the flat-index switch for the calling context only.
+
+    Context-local (``contextvars``): concurrent threads in opposing
+    scopes never see each other's setting.
+    """
+    token = _flat_var.set(bool(enabled))
     try:
         yield
     finally:
-        set_flat_enabled(previous)
+        _flat_var.reset(token)
 
 
 # ---------------------------------------------------------------------------
@@ -227,14 +239,14 @@ class FlatStartIndex(BPlusTree):
         order.  The leaf itself is pinned by the caller's scan loop,
         which matches the pointer ``_descend_to_leaf`` + scan sequence.
         """
-        self._check_fresh()
-        levels = self.level_pages
-        fanout = self.bulk_fanout
-        position = 0
-        for depth in range(len(levels) - 1, 0, -1):
-            keys = self._internal_keys(levels[depth][position])
-            position = position * fanout + bisect_left(keys, key)
-        return position
+        with self.probe_guard():
+            levels = self.level_pages
+            fanout = self.bulk_fanout
+            position = 0
+            for depth in range(len(levels) - 1, 0, -1):
+                keys = self._internal_keys(levels[depth][position])
+                position = position * fanout + bisect_left(keys, key)
+            return position
 
     def range_scan(
         self,
@@ -454,21 +466,23 @@ class FlatIntervalTree(IntervalTree):
         contributes one binary-search cut plus one payload-slice extend
         instead of a tuple per stored interval.
         """
-        self._check_fresh()
-        out: list[int] = []
-        index = self._root
-        while index != _NO_CHILD:
-            mid, left, right, l_off, l_len, r_off, r_len = self._read_node(index)
-            if point < mid:
-                self._extend_stab(out, l_off, l_len, point, left_list=True)
-                index = left
-            elif point > mid:
-                self._extend_stab(out, r_off, r_len, point, left_list=False)
-                index = right
-            else:
-                self._extend_stab(out, l_off, l_len, point, left_list=True)
-                break
-        return out
+        with self.probe_guard():
+            out: list[int] = []
+            index = self._root
+            while index != _NO_CHILD:
+                mid, left, right, l_off, l_len, r_off, r_len = self._read_node(
+                    index
+                )
+                if point < mid:
+                    self._extend_stab(out, l_off, l_len, point, left_list=True)
+                    index = left
+                elif point > mid:
+                    self._extend_stab(out, r_off, r_len, point, left_list=False)
+                    index = right
+                else:
+                    self._extend_stab(out, l_off, l_len, point, left_list=True)
+                    break
+            return out
 
     def __repr__(self) -> str:
         return (

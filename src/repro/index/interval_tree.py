@@ -157,8 +157,17 @@ class IntervalTree(StaleGuard):
     # query
     # ------------------------------------------------------------------
     def stab(self, point: RegionCode) -> Iterator[Interval]:
-        """Yield every interval ``(start, end, payload)`` containing ``point``."""
-        self._check_fresh()
+        """Every interval ``(start, end, payload)`` containing ``point``.
+
+        The whole probe runs under :meth:`probe_guard` — materialized
+        eagerly (every caller consumes the stab fully, so the page
+        accesses are identical) so a concurrent ``mark_stale`` cannot
+        slip in mid-walk and let stale answers escape.
+        """
+        with self.probe_guard():
+            return iter(list(self._stab_walk(point)))
+
+    def _stab_walk(self, point: RegionCode) -> Iterator[Interval]:
         if self._root == _NO_CHILD:
             return
         index = self._root

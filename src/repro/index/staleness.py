@@ -12,11 +12,22 @@ patching it; the owner rebuilds on next access.
 The guard exists for everyone *else*: a caller holding a reference to
 the pre-update index must get :class:`StaleIndexError` — loudly, on
 the next probe — rather than silently wrong (pre-update) answers.
+
+Retirement and probing are *atomic*: each probe entry point wraps its
+whole body in :meth:`StaleGuard.probe_guard`, and :meth:`mark_stale`
+takes the same lock, so an index cannot be retired between the
+freshness check and the probe work (the classic check-then-act TOCTOU
+— a concurrent updater marking the index stale mid-probe would
+otherwise let that probe return pre-update answers without an error).
+A retire issued while a probe is in flight blocks until the probe
+finishes; every probe started after :meth:`mark_stale` returns raises.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 __all__ = ["StaleIndexError", "StaleGuard"]
 
@@ -25,22 +36,59 @@ class StaleIndexError(RuntimeError):
     """A static index was probed after its element set changed."""
 
 
+#: guards lazy creation of per-instance probe locks (the mixin has no
+#: __init__ of its own, so the lock is installed on first use)
+_guard_init_lock = threading.Lock()
+
+
 class StaleGuard:
     """Mixin: ``mark_stale()`` once, every later probe raises.
 
-    Kept as a class-level attribute so fresh indexes pay nothing; the
-    probe entry points of the index classes call :meth:`_check_fresh`.
+    Kept as class-level attributes so fresh indexes pay nothing beyond
+    one lock acquisition per probe; the probe entry points of the index
+    classes wrap their bodies in :meth:`probe_guard`.
     """
 
     _stale_reason: Optional[str] = None
+    _probe_lock: Optional[threading.RLock] = None
+
+    def _ensure_lock(self) -> threading.RLock:
+        lock = self._probe_lock
+        if lock is None:
+            with _guard_init_lock:
+                lock = self._probe_lock
+                if lock is None:
+                    lock = threading.RLock()
+                    self._probe_lock = lock
+        return lock
 
     @property
     def is_stale(self) -> bool:
         return self._stale_reason is not None
 
     def mark_stale(self, reason: str) -> None:
-        """Invalidate this index; it must be rebuilt, not probed."""
-        self._stale_reason = reason
+        """Invalidate this index; it must be rebuilt, not probed.
+
+        Blocks until any in-flight probe completes, so a probe either
+        finishes against the still-fresh index or never starts.
+        """
+        with self._ensure_lock():
+            self._stale_reason = reason
+
+    @contextmanager
+    def probe_guard(self) -> Iterator[None]:
+        """Atomic freshness-check-plus-probe window.
+
+        Probe entry points wrap their whole body in this context
+        manager: the staleness check and the probe happen under one
+        lock, so :meth:`mark_stale` cannot slip in between them.  The
+        lock is reentrant — probes that recurse into other guarded
+        probes of the same index (e.g. a range scan walking leaves)
+        re-enter freely.
+        """
+        with self._ensure_lock():
+            self._check_fresh()
+            yield
 
     def _check_fresh(self) -> None:
         if self._stale_reason is not None:

@@ -18,10 +18,19 @@ behind the sequential/random split).
 
 Everything is dependency-free and renders to a plain dict
 (:meth:`~MetricsRegistry.as_dict`) for the JSON exporters.
+
+Every metric is **thread-safe**: ``inc``/``set``/``observe`` are
+read-modify-write sequences (``self.value += amount`` is three
+bytecodes), so two threads incrementing the same counter can lose
+updates without a lock.  The service tier hammers one registry from
+many concurrent queries; each metric therefore carries its own lock
+and the registry guards its name table, so concurrent totals are
+exact (see tests/test_concurrency.py).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Optional, Sequence, TypeVar, Union, cast
 
 from ..storage.stats import IOSnapshot
@@ -37,36 +46,45 @@ __all__ = ["Counter", "Gauge", "Histogram", "Metric", "MetricsRegistry"]
 
 
 class Counter:
-    """Monotonic integer counter."""
+    """Monotonic integer counter (thread-safe)."""
 
     kind = "counter"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def as_value(self) -> object:
         return self.value
 
 
 class Gauge:
-    """Last-written float value."""
+    """Last-written float value (thread-safe)."""
 
     kind = "gauge"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        """Atomic read-modify-write delta (per-tenant accumulators)."""
+        with self._lock:
+            self.value += amount
 
     def as_value(self) -> object:
         return self.value
@@ -77,10 +95,13 @@ DEFAULT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096)
 
 
 class Histogram:
-    """Fixed-bucket histogram with count/total/min/max."""
+    """Fixed-bucket histogram with count/total/min/max (thread-safe)."""
 
     kind = "histogram"
-    __slots__ = ("name", "bounds", "bucket_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "name", "bounds", "bucket_counts", "count", "total", "min", "max",
+        "_lock",
+    )
 
     def __init__(self, name: str, bounds: Sequence[int] = DEFAULT_BUCKETS) -> None:
         self.name = name
@@ -93,17 +114,19 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        for index, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.bucket_counts[index] += 1
-                return
-        self.bucket_counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            for index, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[index] += 1
+                    return
+            self.bucket_counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -136,6 +159,10 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._metrics: dict[str, Metric] = {}
         self._disk_head: int = -1
+        # registry lock: guards the name table (get-or-create races) and
+        # the disk-head position of the attach_disk observer; individual
+        # metric mutation is covered by the per-metric locks.
+        self._lock = threading.RLock()
 
     # -- get-or-create ---------------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -150,10 +177,11 @@ class MetricsRegistry:
         return self._get_or_create(name, Histogram(name, bounds))
 
     def _get_or_create(self, name: str, fresh: _M) -> _M:
-        existing = self._metrics.get(name)
-        if existing is None:
-            self._metrics[name] = fresh
-            return fresh
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is None:
+                self._metrics[name] = fresh
+                return fresh
         if existing.kind != fresh.kind:
             raise ValueError(
                 f"metric {name!r} already registered as a {existing.kind}, "
@@ -165,7 +193,8 @@ class MetricsRegistry:
         return self._metrics.get(name)
 
     def names(self) -> list[str]:
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def __len__(self) -> int:
         return len(self._metrics)
@@ -251,9 +280,10 @@ class MetricsRegistry:
             else:
                 allocations.inc()
                 return  # allocations are not head movement
-            if self._disk_head >= 0:
-                seeks.observe(abs(page_id - self._disk_head))
-            self._disk_head = page_id
+            with self._lock:
+                if self._disk_head >= 0:
+                    seeks.observe(abs(page_id - self._disk_head))
+                self._disk_head = page_id
 
         disk.set_observer(observe)
 

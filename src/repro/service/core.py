@@ -1,0 +1,355 @@
+"""The query service: concurrent containment joins over one corpus.
+
+:class:`QueryService` wraps a loaded
+:class:`~repro.db.ContainmentDatabase` and answers path queries from
+many threads at once.  The existing machinery is single-threaded by
+design (one disk, one buffer pool, one I/O ledger), so the service
+builds every admitted query a **session**:
+
+* a :class:`~repro.storage.disk.SessionDiskView` — the shared page
+  table with session-private :class:`~repro.storage.stats.IOStats`
+  and fault injector, so concurrent queries cannot corrupt each
+  other's :class:`~repro.join.base.JoinReport` I/O deltas;
+* a session-private :class:`~repro.storage.buffer.BufferManager`
+  (every query starts cold — deterministic hit/miss accounting, no
+  cross-query frame contention and no pool locking);
+* the corpus element sets rebound through the session pool
+  (:meth:`~repro.storage.elementset.ElementSet.with_bufmgr`);
+* a per-query :class:`~repro.obs.tracer.Tracer` (the shared tracer's
+  span stack is not thread-safe).
+
+The *prepare* phase — draining a document's pending update log and
+snapshotting set fingerprints — mutates shared storage, so it runs
+under a per-document lock; the *execute* phase (the joins) runs fully
+concurrently.  Overload and tenant limits are handled by the
+:class:`~repro.service.admission.AdmissionController`; any
+:class:`~repro.storage.buffer.BufferPoolExhaustedError` that still
+escapes a session pool is converted into a typed
+:class:`~repro.service.admission.BackpressureRejection` rather than
+crashing the connection.  Warm paths skip the planning scan through
+the :class:`~repro.service.plancache.PlanCache`.
+
+Chaos testing: a service built with a ``chaos`` fault config derives
+each session's injector seed from (base seed, document, path), so a
+given query always draws the same fault stream no matter how many
+other queries run beside it — fault behaviour is replayable under
+concurrency, which the differential suite relies on.
+
+Known v1 limitation: the service plans from set metadata only and
+does not probe shared persistent indexes (B+-tree / interval tree) —
+index probes pin through the owning document's shared pool, which is
+not safe across sessions.  Index-accelerated service queries need
+per-session index views, a follow-up.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import zlib
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..core import batch as batch_module
+from ..datatree.paths import PathQuery
+from ..db import ContainmentDatabase, Document
+from ..index import flat as flat_module
+from ..join.base import JoinReport
+from ..join.pipeline import PathPipeline
+from ..join.planner import SetProperties
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Tracer
+from ..storage.buffer import BufferManager, BufferPoolExhaustedError
+from ..storage.elementset import ElementSet, SortOrder
+from ..storage.faults import FaultConfig, FaultInjector
+from .admission import AdmissionController, BackpressureRejection, TenantQuota
+from .plancache import PlanCache, PlanEntry, PlanKey, step_fingerprint, table1_cell
+
+__all__ = ["QueryOutcome", "QueryService"]
+
+
+@dataclass
+class QueryOutcome:
+    """One answered query: matches plus the full execution evidence."""
+
+    tenant: str
+    document: str
+    path: str
+    codes: list[int]
+    direction: str
+    cache_hit: bool
+    planning_io: int
+    reports: list[JoinReport] = field(default_factory=list)
+    wall_seconds: float = 0.0
+    tracer: Optional[Tracer] = None
+
+    @property
+    def count(self) -> int:
+        return len(self.codes)
+
+    @property
+    def total_io(self) -> int:
+        return self.planning_io + sum(r.total_pages for r in self.reports)
+
+    def span_names(self) -> list[str]:
+        """Flat list of every span name this query's tracer recorded."""
+        if self.tracer is None:
+            return []
+        names: list[str] = []
+        stack = list(self.tracer.roots)
+        while stack:
+            span = stack.pop()
+            names.append(span.name)
+            stack.extend(span.children)
+        return names
+
+
+def _derived_seed(base_seed: int, document: str, path: str) -> int:
+    """Deterministic per-query fault seed: interleaving-invariant.
+
+    (crc32 is already non-negative on Python 3, so the digest is a
+    valid seed as-is.)
+    """
+    return zlib.crc32(f"{base_seed}:{document}:{path}".encode())
+
+
+class QueryService:
+    """Thread-safe multi-tenant query front end over one database.
+
+    ``max_in_flight`` bounds concurrent sessions (total frame memory is
+    ``max_in_flight * session_pages``); ``session_pages`` sizes each
+    session's private pool (defaults to the database pool's size);
+    ``quotas`` / ``default_quota`` configure per-tenant admission;
+    ``plan_cache_size`` bounds the plan cache (0 disables it);
+    ``chaos`` attaches deterministic per-session fault injection (the
+    config's seed is the *base* seed; requires the database to have
+    checksums when the config tears pages).
+    """
+
+    def __init__(
+        self,
+        db: ContainmentDatabase,
+        max_in_flight: int = 4,
+        session_pages: Optional[int] = None,
+        quotas: Optional[dict[str, TenantQuota]] = None,
+        default_quota: Optional[TenantQuota] = None,
+        plan_cache_size: int = 128,
+        chaos: Optional[FaultConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.db = db
+        self.metrics = (
+            metrics
+            if metrics is not None
+            else (db.metrics if db.metrics is not None else MetricsRegistry())
+        )
+        self.session_pages = (
+            session_pages if session_pages is not None else db.bufmgr.num_pages
+        )
+        if self.session_pages < 3:
+            raise ValueError("session pools need at least 3 pages")
+        self.admission = AdmissionController(
+            max_in_flight,
+            self.metrics,
+            quotas=quotas,
+            default_quota=default_quota,
+        )
+        self.plan_cache = PlanCache(plan_cache_size, self.metrics)
+        self.chaos = chaos
+        self._doc_locks: dict[str, threading.Lock] = {}
+        self._doc_locks_guard = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _doc_lock(self, name: str) -> threading.Lock:
+        with self._doc_locks_guard:
+            lock = self._doc_locks.get(name)
+            if lock is None:
+                lock = threading.Lock()
+                self._doc_locks[name] = lock
+            return lock
+
+    @contextmanager
+    def exclusive(self, document: str) -> Iterator[Document]:
+        """Hold a document's prepare lock for out-of-band mutation.
+
+        Updates applied inside this block (``insert_element`` /
+        ``delete_element`` / ``flush``) never interleave with a query's
+        prepare phase; in-flight *execute* phases read their own page
+        snapshots and are unaffected.
+        """
+        with self._doc_lock(document):
+            yield self.db.document(document)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _step_properties(elements: ElementSet) -> SetProperties:
+        single = None
+        if elements.known_heights is not None and len(elements.known_heights) == 1:
+            single = next(iter(elements.known_heights))
+        return SetProperties(
+            sorted=elements.sorted_by == SortOrder.START,
+            single_height=single,
+        )
+
+    def _plan_key(
+        self, document: Document, path: str, steps: list[ElementSet]
+    ) -> PlanKey:
+        fingerprints = tuple(step_fingerprint(step) for step in steps)
+        props = [self._step_properties(step) for step in steps]
+        cells = tuple(
+            table1_cell(a, d) for a, d in zip(props, props[1:])
+        )
+        return (
+            document.name,
+            path,
+            self.db.codec.name,
+            batch_module.batching_enabled(),
+            flat_module.flat_enabled(),
+            document.store.version,
+            fingerprints,
+            cells,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        tenant: str,
+        document: str,
+        path: str,
+        use_cache: bool = True,
+    ) -> QueryOutcome:
+        """Answer one path query for ``tenant``.
+
+        Raises :class:`~repro.service.admission.ServiceRejection`
+        subclasses for overload/quota (typed, retryable; the per-tenant
+        ``rejected`` counter is bumped) — any other exception is a real
+        error and bumps ``service.tenant.<tenant>.errors``.
+        """
+        started = time.perf_counter()
+        with self.admission.admit(tenant):
+            try:
+                outcome = self._run(tenant, document, path, use_cache)
+            except BackpressureRejection:
+                self.metrics.counter(f"service.tenant.{tenant}.rejected").inc()
+                raise
+            except Exception:
+                self.metrics.counter("service.errors").inc()
+                self.metrics.counter(f"service.tenant.{tenant}.errors").inc()
+                raise
+        outcome.wall_seconds = time.perf_counter() - started
+        self.metrics.counter("service.queries").inc()
+        self.metrics.counter(f"service.tenant.{tenant}.completed").inc()
+        self.metrics.counter(f"service.tenant.{tenant}.results").inc(
+            outcome.count
+        )
+        self.metrics.histogram("service.latency_ms").observe(
+            outcome.wall_seconds * 1000.0
+        )
+        return outcome
+
+    def _run(
+        self, tenant: str, document: str, path: str, use_cache: bool
+    ) -> QueryOutcome:
+        doc = self.db.document(document)
+        query = PathQuery(path)
+
+        # -- prepare: shared-state access under the document lock ------
+        with self._doc_lock(document):
+            base_steps = [
+                doc.store.element_set(tag) for tag in query.steps
+            ]
+            # session pools read the disk page table directly, so any
+            # corpus page still dirty in the shared pool must hit the
+            # table first (write-back is charged to the shared ledger,
+            # not to any session's report)
+            self.db.bufmgr.flush_all()
+            key = self._plan_key(doc, path, base_steps)
+            session = self._open_session(document, path)
+            steps = [step.with_bufmgr(session) for step in base_steps]
+
+        cached: Optional[PlanEntry] = None
+        if use_cache:
+            cached = self.plan_cache.get(key)
+
+        # -- execute: fully concurrent, session-private storage --------
+        tracer = Tracer()
+        pipeline = PathPipeline(
+            session,
+            direction=cached.direction if cached is not None else None,
+            tracer=tracer,
+        )
+        try:
+            with tracer.span("service.query", tenant=tenant, path=path):
+                result = pipeline.execute(steps)
+        except BufferPoolExhaustedError as exc:
+            raise BackpressureRejection(
+                f"session pool exhausted mid-join ({exc.num_pages} pages); "
+                "retry with less concurrency",
+                retry_after=self.admission.retry_after,
+            ) from exc
+        finally:
+            session.evict_all()
+
+        if use_cache and cached is None and len(steps) > 1:
+            self.plan_cache.put(
+                key,
+                PlanEntry(
+                    direction=result.direction,
+                    cells=key[7],
+                    estimated_cost=result.estimated_cost,
+                ),
+            )
+
+        codes = [
+            code
+            for code in result.codes
+            if doc.updatable.node_of(code) is not None
+        ]
+        return QueryOutcome(
+            tenant=tenant,
+            document=document,
+            path=path,
+            codes=codes,
+            direction=result.direction,
+            cache_hit=cached is not None,
+            planning_io=result.planning_io,
+            reports=result.reports,
+            tracer=tracer,
+        )
+
+    def _open_session(self, document: str, path: str) -> BufferManager:
+        """A session-private buffer pool over a view of the shared disk."""
+        faults: Optional[FaultInjector] = None
+        if self.chaos is not None:
+            config = FaultConfig(
+                seed=_derived_seed(self.chaos.seed, document, path),
+                read_error_rate=self.chaos.read_error_rate,
+                write_error_rate=self.chaos.write_error_rate,
+                torn_page_rate=self.chaos.torn_page_rate,
+                latency_rate=self.chaos.latency_rate,
+                latency_seconds=self.chaos.latency_seconds,
+            )
+            faults = FaultInjector(config)
+        view = self.db.disk.session_view(faults=faults)
+        return BufferManager(
+            view,
+            self.session_pages,
+            self.db.bufmgr.policy,
+            retry=self.db.bufmgr.retry,
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, object]:
+        """A snapshot of the service-level metrics (for the protocol)."""
+        names = [
+            name
+            for name in self.metrics.names()
+            if name.startswith("service.")
+        ]
+        out: dict[str, object] = {}
+        for name in names:
+            metric = self.metrics.get(name)
+            if metric is not None:
+                out[name] = metric.as_value()
+        return out

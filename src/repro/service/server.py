@@ -1,0 +1,271 @@
+"""TCP front end: an asyncio acceptor over a thread-pool of joins.
+
+The wire protocol is JSON lines (one request object per line, one
+response object per line, UTF-8):
+
+Requests::
+
+    {"op": "query", "tenant": "t1", "document": "doc", "path": "//a//b"}
+    {"op": "ping"}
+    {"op": "stats"}
+    {"op": "close"}
+
+Responses always carry ``status``:
+
+* ``{"status": "ok", ...}`` — op-specific payload; a query reply has
+  ``count``, ``codes`` (capped at ``MAX_WIRE_CODES``), ``direction``,
+  ``cache_hit``, ``planning_io``, ``wall_seconds`` and a per-step
+  ``reports`` summary;
+* ``{"status": "rejected", "code": "backpressure"|"quota",
+  "retry_after": seconds, "error": msg}`` — typed backpressure, the
+  client should retry after the hint;
+* ``{"status": "error", "error": msg}`` — the query failed; the
+  connection stays usable.
+
+The asyncio loop only parses lines and schedules; every query runs in
+a :class:`~concurrent.futures.ThreadPoolExecutor` worker via
+:meth:`~repro.service.core.QueryService.execute`, whose admission
+controller — not the socket layer — decides how many joins are
+actually in flight.  :class:`ServerThread` hosts the whole loop in a
+daemon thread for tests, benchmarks and the CLI.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Optional
+
+from ..join.base import JoinReport
+from .admission import ServiceRejection
+from .core import QueryOutcome, QueryService
+
+__all__ = ["ContainmentServer", "ServerThread", "MAX_WIRE_CODES"]
+
+#: result codes included inline in a query response (count is exact;
+#: full result-set paging is out of scope for the line protocol)
+MAX_WIRE_CODES = 1000
+
+
+def _report_summary(report: JoinReport) -> dict[str, object]:
+    return {
+        "algorithm": report.algorithm,
+        "result_count": report.result_count,
+        "total_pages": report.total_pages,
+        "false_hits": report.false_hits,
+    }
+
+
+def _ok_payload(outcome: QueryOutcome) -> dict[str, object]:
+    return {
+        "status": "ok",
+        "count": outcome.count,
+        "codes": outcome.codes[:MAX_WIRE_CODES],
+        "direction": outcome.direction,
+        "cache_hit": outcome.cache_hit,
+        "planning_io": outcome.planning_io,
+        "wall_seconds": outcome.wall_seconds,
+        "reports": [_report_summary(r) for r in outcome.reports],
+    }
+
+
+class ContainmentServer:
+    """Asyncio TCP server over one :class:`QueryService`."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._workers = (
+            max_workers
+            if max_workers is not None
+            else service.admission.max_in_flight + 2
+        )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; resolves the actual port."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-join"
+        )
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (the CLI entry point)."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    # ------------------------------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                response = await self._dispatch(line)
+                if response is None:  # clean close requested
+                    break
+                writer.write(
+                    json.dumps(response, sort_keys=True).encode() + b"\n"
+                )
+                await writer.drain()
+        except asyncio.CancelledError:
+            pass  # server shutdown reaps idle connections; just drop it
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> Optional[dict[str, object]]:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"status": "error", "error": f"bad request line: {exc}"}
+        if not isinstance(request, dict):
+            return {"status": "error", "error": "request must be an object"}
+        op = request.get("op")
+        if op == "close":
+            return None
+        if op == "ping":
+            return {"status": "ok", "pong": True}
+        if op == "stats":
+            return {"status": "ok", "stats": self.service.stats()}
+        if op != "query":
+            return {"status": "error", "error": f"unknown op {op!r}"}
+        tenant = request.get("tenant", "default")
+        document = request.get("document")
+        path = request.get("path")
+        if not isinstance(tenant, str) or not isinstance(document, str) \
+                or not isinstance(path, str):
+            return {
+                "status": "error",
+                "error": "query needs string tenant/document/path",
+            }
+        loop = asyncio.get_running_loop()
+        assert self._executor is not None
+        try:
+            outcome = await loop.run_in_executor(
+                self._executor, self.service.execute, tenant, document, path
+            )
+        except ServiceRejection as rejection:
+            return {
+                "status": "rejected",
+                "code": rejection.code,
+                "retry_after": rejection.retry_after,
+                "error": str(rejection),
+            }
+        except Exception as exc:  # noqa: BLE001 - the wire boundary
+            return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
+        return _ok_payload(outcome)
+
+
+class ServerThread:
+    """Host a :class:`ContainmentServer` on a daemon thread.
+
+    ``with ServerThread(service) as server:`` yields a started server
+    whose ``port`` is bound; tests and the load generator connect
+    blocking clients against it.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_workers: Optional[int] = None,
+    ) -> None:
+        self.server = ContainmentServer(
+            service, host=host, port=port, max_workers=max_workers
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("server failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def boot() -> None:
+            await self.server.start()
+            self._started.set()
+
+        loop.run_until_complete(boot())
+        try:
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(self.server.stop())
+            # connections whose clients vanished without a close op still
+            # have a _handle task parked on readline; reap them so the
+            # loop closes without "task was destroyed" warnings
+            pending = [t for t in asyncio.all_tasks(loop) if not t.done()]
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        loop = self._loop
+        if loop is not None and loop.is_running():
+            loop.call_soon_threadsafe(loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+        self._loop = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -123,6 +123,10 @@ class DocumentStore:
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self._tags: dict[str, _TagStore] = {}
+        #: bumped whenever buffered updates apply to any tag's pages —
+        #: the service plan cache keys on this to invalidate cached
+        #: plans when the dataset a plan was costed against changes
+        self.version = 0
         encoding.listeners.append(self._on_change)
 
     def detach(self) -> None:
@@ -271,6 +275,7 @@ class DocumentStore:
                     ).inc()
         if applied:
             store.elements.known_heights = frozenset(store.heights)
+            self.version += 1
         return applied
 
     def _apply_insert(self, store: _TagStore, code: int) -> None:

@@ -114,6 +114,24 @@ class ElementSet:
             bufmgr, codes, tree_height, name=name or f"//{tag}"
         )
 
+    def with_bufmgr(self, bufmgr: BufferManager) -> "ElementSet":
+        """A read view of this set pinned through ``bufmgr``.
+
+        Used by the service tier: each session rebinds the shared
+        corpus sets to its private buffer pool (over a
+        :class:`~repro.storage.disk.SessionDiskView`), so concurrent
+        queries read the same pages with isolated I/O accounting.
+        Metadata (sort order, known heights) carries over; the view
+        must not be destroyed.
+        """
+        return ElementSet(
+            self.heap.view(bufmgr),
+            self.tree_height,
+            name=self.name,
+            sorted_by=self.sorted_by,
+            known_heights=self.known_heights,
+        )
+
     # ------------------------------------------------------------------
     @property
     def bufmgr(self) -> BufferManager:

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import os
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator, Optional, Sequence
 
 __all__ = [
@@ -121,7 +122,17 @@ class LiveViewAtEvictError(ViewSanitizerError):
 # ---------------------------------------------------------------------------
 # the mode switch (mirrors repro.core.batch / repro.index.flat)
 # ---------------------------------------------------------------------------
-_sanitize_enabled = False
+# Two layers, same as the batch-size and flat-index switches: a
+# process-wide *default* (set at startup from the environment or via
+# :func:`set_sanitize_enabled`) and a :class:`~contextvars.ContextVar`
+# *override* that only :func:`sanitize_scope` writes.  Each thread and
+# asyncio task carries its own context, so one tenant's sanitized scope
+# never flips another in-flight query's mode.
+_sanitize_default = False
+
+_sanitize_var: ContextVar[Optional[bool]] = ContextVar(
+    "repro_sanitize_enabled", default=None
+)
 
 
 def _env_sanitize_enabled() -> Optional[bool]:
@@ -137,34 +148,46 @@ def _env_sanitize_enabled() -> Optional[bool]:
 
 _env_override = _env_sanitize_enabled()
 if _env_override is not None:
-    _sanitize_enabled = _env_override
+    _sanitize_default = _env_override
 
 
 def sanitize_enabled() -> bool:
-    """Whether the view-lifetime sanitizer is active (default off)."""
-    return _sanitize_enabled
+    """Whether the view-lifetime sanitizer is active (default off).
+
+    A live :func:`sanitize_scope` override in the current context wins;
+    otherwise the process-wide default applies.
+    """
+    override = _sanitize_var.get()
+    if override is not None:
+        return override
+    return _sanitize_default
 
 
 def set_sanitize_enabled(enabled: bool) -> None:
-    """Turn the sanitizer on or off.
+    """Set the process-wide sanitizer default (startup configuration).
 
+    Per-context overrides from :func:`sanitize_scope` are unaffected.
     Worker processes under the ``spawn`` start method do not inherit
     this module state — parallel tasks carry the flag as an explicit
     field instead (see :mod:`repro.parallel.tasks`).
     """
-    global _sanitize_enabled
-    _sanitize_enabled = bool(enabled)
+    global _sanitize_default
+    _sanitize_default = bool(enabled)
 
 
 @contextmanager
 def sanitize_scope(enabled: bool) -> Iterator[None]:
-    """Temporarily pin the sanitizer switch (tests and sanitized runs)."""
-    previous = sanitize_enabled()
-    set_sanitize_enabled(enabled)
+    """Pin the sanitizer switch for the current context only.
+
+    The override is context-local: threads and asyncio tasks running
+    concurrently keep their own setting (or the process default), so a
+    sanitized query can share the process with unsanitized ones.
+    """
+    token = _sanitize_var.set(bool(enabled))
     try:
         yield
     finally:
-        set_sanitize_enabled(previous)
+        _sanitize_var.reset(token)
 
 
 # ---------------------------------------------------------------------------
@@ -236,7 +259,7 @@ def borrowed(
     ``BufferError`` is re-raised as :class:`UseAfterUnpinError` naming
     this borrow.  No-op when the sanitizer is off.
     """
-    if not _sanitize_enabled:
+    if not sanitize_enabled():
         yield
         return
     ticket = registry.register(page_id, label)
@@ -256,7 +279,7 @@ def borrowed(
 # ---------------------------------------------------------------------------
 def check_unpin_to_zero(registry: ViewRegistry, page_id: int) -> None:
     """Reject dropping the last pin of a page with live declared borrows."""
-    if not _sanitize_enabled:
+    if not sanitize_enabled():
         return
     labels = registry.live_labels(page_id)
     if labels:
@@ -276,7 +299,7 @@ def check_evict(
     borrow window closes, and transient views die inside their pin
     scope, so any export that reaches this probe is a leaked view.
     """
-    if not _sanitize_enabled:
+    if not sanitize_enabled():
         return
     labels = registry.live_labels(page_id)
     if labels:
@@ -296,6 +319,6 @@ def poison(data: bytearray) -> None:
     garbage — outside every legal code domain — instead of whatever
     page was loaded into the recycled buffer next.
     """
-    if not _sanitize_enabled:
+    if not sanitize_enabled():
         return
     data[:] = bytes([POISON_BYTE]) * len(data)

@@ -237,6 +237,9 @@ class TestFlatIntervalTreeDifferential:
         assert bufmgr.num_pinned == 0
 
     def test_abandoned_stab_leaves_nothing_pinned(self):
+        # stab materializes under the probe guard (the whole probe is
+        # atomic against mark_stale), so even an abandoned, partially
+        # consumed result holds no pins.
         rng = random.Random(8)
         codes = [rng.randrange(1, MAX_CODE) for _ in range(300)]
         bufmgr = make_bufmgr(buffer_pages=32)
@@ -244,7 +247,7 @@ class TestFlatIntervalTreeDifferential:
         deepest = max(codes, key=pt.height_of)
         scan = flat_idx.stab(pt.start_of(deepest))
         next(scan, None)
-        scan.close()
+        del scan
         assert bufmgr.num_pinned == 0
 
 
