@@ -383,21 +383,41 @@ class BPlusTree(StaleGuard):
         include_lo: bool = True,
         include_hi: bool = True,
     ) -> Iterator[tuple[int, int]]:
-        """Yield (key, value) pairs with ``lo <= key <= hi`` (bounds optional)."""
+        """Yield (key, value) pairs with ``lo <= key <= hi`` (bounds optional).
+
+        Lazy, but guarded leaf-at-a-time: each leaf's in-range entries
+        are collected under :meth:`~repro.index.staleness.StaleGuard.
+        probe_guard`, and the walk to the next leaf re-enters it — so a
+        ``mark_stale`` landing while the generator is suspended makes
+        the next leaf access raise
+        :class:`~repro.index.staleness.StaleIndexError` instead of the
+        scan silently completing with pre-retirement entries.  Pages
+        are still read at the same pull points as before (the next
+        leaf is only fetched once the consumer drains the current
+        one), so the I/O ledger is unchanged.
+        """
         node = self._descend_to_leaf(lo)
         if node is None:
             return
         pos = (bisect_left if include_lo else bisect_right)(node.keys, lo)
         while True:
-            while pos < len(node.keys):
-                key = node.keys[pos]
-                if key > hi or (key == hi and not include_hi):
-                    return
-                yield key, node.values[pos]
-                pos += 1
-            if node.next_leaf is None:
+            batch: list[tuple[int, int]] = []
+            done = False
+            with self.probe_guard():
+                while pos < len(node.keys):
+                    key = node.keys[pos]
+                    if key > hi or (key == hi and not include_hi):
+                        done = True
+                        break
+                    batch.append((key, node.values[pos]))
+                    pos += 1
+            yield from batch
+            if done:
                 return
-            node = self._read_node(node.next_leaf)
+            with self.probe_guard():
+                if node.next_leaf is None:
+                    return
+                node = self._read_node(node.next_leaf)
             pos = 0
 
     def first_geq(self, key: int) -> tuple[int, int] | None:

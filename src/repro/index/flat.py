@@ -261,7 +261,12 @@ class FlatStartIndex(BPlusTree):
         item is pulled, and the next leaf in the chain is pinned as
         soon as a page's entries are exhausted — even when that leaf
         holds no in-range keys — exactly as the pointer scan reads one
-        node past the range to discover its end.
+        node past the range to discover its end.  Each leaf is read
+        under :meth:`~repro.index.staleness.StaleGuard.probe_guard`,
+        so a ``mark_stale`` landing while the generator is suspended
+        makes the next leaf access raise
+        :class:`~repro.index.staleness.StaleIndexError` rather than
+        silently yielding pre-retirement entries.
         """
         leaves = self.level_pages[0] if self.level_pages else []
         if not leaves:
@@ -271,11 +276,12 @@ class FlatStartIndex(BPlusTree):
         cut_hi = bisect_right if include_hi else bisect_left
         first = True
         while True:
-            keys, values = self._leaf_entries(leaves[position])
-            start = cut_lo(keys, lo) if first else 0
-            stop = cut_hi(keys, hi)
-            for slot in range(start, stop):
-                yield keys[slot], values[slot]
+            with self.probe_guard():
+                keys, values = self._leaf_entries(leaves[position])
+                start = cut_lo(keys, lo) if first else 0
+                stop = cut_hi(keys, hi)
+                batch = list(zip(keys[start:stop], values[start:stop]))
+            yield from batch
             if stop < len(keys):
                 return
             position += 1
@@ -289,25 +295,28 @@ class FlatStartIndex(BPlusTree):
         The INLJN fast path: same pages, same pins, same order as a
         fully-consumed ``range_scan(lo, hi)``, but each page
         contributes one binary-search cut and one array-slice extend
-        instead of a per-entry generator step.
+        instead of a per-entry generator step.  Eager, so the whole
+        probe runs under one
+        :meth:`~repro.index.staleness.StaleGuard.probe_guard` window.
         """
-        leaves = self.level_pages[0] if self.level_pages else []
-        out: list[int] = []
-        if not leaves:
-            return out
-        position = self._descend_position(lo)
-        first = True
-        while True:
-            keys, values = self._leaf_entries(leaves[position])
-            start = bisect_left(keys, lo) if first else 0
-            stop = bisect_right(keys, hi)
-            out.extend(values[start:stop])
-            if stop < len(keys):
+        with self.probe_guard():
+            leaves = self.level_pages[0] if self.level_pages else []
+            out: list[int] = []
+            if not leaves:
                 return out
-            position += 1
-            if position >= len(leaves):
-                return out
-            first = False
+            position = self._descend_position(lo)
+            first = True
+            while True:
+                keys, values = self._leaf_entries(leaves[position])
+                start = bisect_left(keys, lo) if first else 0
+                stop = bisect_right(keys, hi)
+                out.extend(values[start:stop])
+                if stop < len(keys):
+                    return out
+                position += 1
+                if position >= len(leaves):
+                    return out
+                first = False
 
     def __repr__(self) -> str:
         return (

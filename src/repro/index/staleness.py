@@ -13,14 +13,25 @@ The guard exists for everyone *else*: a caller holding a reference to
 the pre-update index must get :class:`StaleIndexError` — loudly, on
 the next probe — rather than silently wrong (pre-update) answers.
 
-Retirement and probing are *atomic*: each probe entry point wraps its
-whole body in :meth:`StaleGuard.probe_guard`, and :meth:`mark_stale`
-takes the same lock, so an index cannot be retired between the
-freshness check and the probe work (the classic check-then-act TOCTOU
-— a concurrent updater marking the index stale mid-probe would
-otherwise let that probe return pre-update answers without an error).
-A retire issued while a probe is in flight blocks until the probe
-finishes; every probe started after :meth:`mark_stale` returns raises.
+Retirement and probing are *atomic*: eager probe entry points wrap
+their whole body in :meth:`StaleGuard.probe_guard`, and
+:meth:`mark_stale` takes the same lock, so an index cannot be retired
+between the freshness check and the probe work (the classic
+check-then-act TOCTOU — a concurrent updater marking the index stale
+mid-probe would otherwise let that probe return pre-update answers
+without an error).  A retire issued while a probe holds the guard
+blocks until it finishes; every probe started after
+:meth:`mark_stale` returns raises.
+
+Lazy scans (the ``range_scan`` generators) cannot hold the guard
+across consumer pulls, so they hold it *page-at-a-time*: each leaf's
+entries are collected under the guard, and the walk to the next leaf
+re-checks freshness.  The guarantee there is page-granular — a retire
+landing while the generator is suspended makes the very next leaf
+access raise :class:`StaleIndexError`; entries already produced were
+all read while the index was fresh (the scan behaves as if it had
+reached its current page boundary before the retire), and a scan can
+never silently run to completion across a retirement.
 """
 
 from __future__ import annotations
@@ -79,12 +90,13 @@ class StaleGuard:
     def probe_guard(self) -> Iterator[None]:
         """Atomic freshness-check-plus-probe window.
 
-        Probe entry points wrap their whole body in this context
+        Eager probe entry points wrap their whole body in this context
         manager: the staleness check and the probe happen under one
-        lock, so :meth:`mark_stale` cannot slip in between them.  The
-        lock is reentrant — probes that recurse into other guarded
-        probes of the same index (e.g. a range scan walking leaves)
-        re-enter freely.
+        lock, so :meth:`mark_stale` cannot slip in between them.  Lazy
+        scan generators re-enter it for every leaf they touch, which
+        re-runs the freshness check at each page boundary.  The lock
+        is reentrant — probes that recurse into other guarded probes
+        of the same index re-enter freely.
         """
         with self._ensure_lock():
             self._check_fresh()

@@ -18,10 +18,19 @@ builds every admitted query a **session**:
 * a per-query :class:`~repro.obs.tracer.Tracer` (the shared tracer's
   span stack is not thread-safe).
 
-The *prepare* phase — draining a document's pending update log and
-snapshotting set fingerprints — mutates shared storage, so it runs
-under a per-document lock; the *execute* phase (the joins) runs fully
-concurrently.  Overload and tenant limits are handled by the
+Sessions are *views*, not snapshots: a session reads the shared page
+table live, so any in-place mutation of a document's pages while one
+of its queries is executing could produce a torn mix of old and new
+pages.  The service therefore gates mutation on a per-document
+reader/writer latch: every admitted query holds a *reader* slot on
+its document for the whole execute phase, and the two mutation paths
+— the *prepare* phase when it drains a non-empty pending-update log,
+and :meth:`QueryService.exclusive` — run under the global storage
+lock **and** wait for the document's readers to drain first.  Prepare
+phases that have nothing to apply never wait, so queries on the same
+document still execute fully concurrently; queries on *other*
+documents are untouched by a document's page patches and keep running
+through an update.  Overload and tenant limits are handled by the
 :class:`~repro.service.admission.AdmissionController`; any
 :class:`~repro.storage.buffer.BufferPoolExhaustedError` that still
 escapes a session pool is converted into a typed
@@ -114,6 +123,45 @@ def _derived_seed(base_seed: int, document: str, path: str) -> int:
     return zlib.crc32(f"{base_seed}:{document}:{path}".encode())
 
 
+class _DocGate:
+    """Reader latch for one document's shared pages.
+
+    Execute phases hold a reader slot; mutation paths (update-draining
+    prepares, :meth:`QueryService.exclusive`) wait for readers to
+    drain *while holding the service storage lock*, which blocks new
+    readers from registering — so draining always terminates, and a
+    steady query stream cannot starve an update (writer preference by
+    construction).
+    """
+
+    __slots__ = ("_cond", "_readers")
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition(threading.Lock())
+        self._readers = 0
+
+    @property
+    def readers(self) -> int:
+        with self._cond:
+            return self._readers
+
+    def reader_enter(self) -> None:
+        with self._cond:
+            self._readers += 1
+
+    def reader_exit(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def await_drained(self) -> None:
+        """Block until no execute phase holds this document's pages."""
+        with self._cond:
+            while self._readers:
+                self._cond.wait()
+
+
 class QueryService:
     """Thread-safe multi-tenant query front end over one database.
 
@@ -157,28 +205,40 @@ class QueryService:
         )
         self.plan_cache = PlanCache(plan_cache_size, self.metrics)
         self.chaos = chaos
-        self._doc_locks: dict[str, threading.Lock] = {}
-        self._doc_locks_guard = threading.Lock()
+        #: serializes every shared-storage phase: prepares, exclusive()
+        #: mutation, and the shared-pool flush they both perform
+        self._storage_lock = threading.Lock()
+        self._doc_gates: dict[str, _DocGate] = {}
+        self._doc_gates_guard = threading.Lock()
 
     # ------------------------------------------------------------------
-    def _doc_lock(self, name: str) -> threading.Lock:
-        with self._doc_locks_guard:
-            lock = self._doc_locks.get(name)
-            if lock is None:
-                lock = threading.Lock()
-                self._doc_locks[name] = lock
-            return lock
+    def _doc_gate(self, name: str) -> _DocGate:
+        with self._doc_gates_guard:
+            gate = self._doc_gates.get(name)
+            if gate is None:
+                gate = _DocGate()
+                self._doc_gates[name] = gate
+            return gate
 
     @contextmanager
     def exclusive(self, document: str) -> Iterator[Document]:
-        """Hold a document's prepare lock for out-of-band mutation.
+        """Quiesce ``document`` for out-of-band mutation.
 
-        Updates applied inside this block (``insert_element`` /
-        ``delete_element`` / ``flush``) never interleave with a query's
-        prepare phase; in-flight *execute* phases read their own page
-        snapshots and are unaffected.
+        Holds the storage lock (no prepare phase runs anywhere) and
+        waits for every in-flight *execute* phase on ``document`` to
+        finish before yielding — sessions read the shared page table
+        live, so updates applied inside this block (``insert_element``
+        / ``delete_element`` / ``flush``) would otherwise interleave
+        with a running join's page reads and tear its answers.
+        Queries on other documents keep executing: their pages are
+        untouched by this document's patches.  All out-of-band
+        mutation of a served database must go through this method.
+        Do not nest ``exclusive`` blocks — the storage lock is not
+        reentrant.
         """
-        with self._doc_lock(document):
+        gate = self._doc_gate(document)
+        with self._storage_lock:
+            gate.await_drained()
             yield self.db.document(document)
 
     # ------------------------------------------------------------------
@@ -231,6 +291,10 @@ class QueryService:
             try:
                 outcome = self._run(tenant, document, path, use_cache)
             except BackpressureRejection:
+                # keep the global breakdown consistent with the
+                # per-tenant counters (admission-time rejections bump
+                # both; this is the mid-join conversion path)
+                self.metrics.counter("service.rejected.backpressure").inc()
                 self.metrics.counter(f"service.tenant.{tenant}.rejected").inc()
                 raise
             except Exception:
@@ -253,9 +317,17 @@ class QueryService:
     ) -> QueryOutcome:
         doc = self.db.document(document)
         query = PathQuery(path)
+        gate = self._doc_gate(document)
 
-        # -- prepare: shared-state access under the document lock ------
-        with self._doc_lock(document):
+        # -- prepare: shared-state access under the storage lock -------
+        with self._storage_lock:
+            if doc.store.pending_updates():
+                # draining the log patches this document's pages in
+                # place; an execute phase on the same document reads
+                # those pages live through the shared page table, so
+                # its sessions must finish first (new ones are held
+                # off by the storage lock we already hold)
+                gate.await_drained()
             base_steps = [
                 doc.store.element_set(tag) for tag in query.steps
             ]
@@ -267,45 +339,49 @@ class QueryService:
             key = self._plan_key(doc, path, base_steps)
             session = self._open_session(document, path)
             steps = [step.with_bufmgr(session) for step in base_steps]
+            gate.reader_enter()
 
-        cached: Optional[PlanEntry] = None
-        if use_cache:
-            cached = self.plan_cache.get(key)
-
-        # -- execute: fully concurrent, session-private storage --------
-        tracer = Tracer()
-        pipeline = PathPipeline(
-            session,
-            direction=cached.direction if cached is not None else None,
-            tracer=tracer,
-        )
         try:
-            with tracer.span("service.query", tenant=tenant, path=path):
-                result = pipeline.execute(steps)
-        except BufferPoolExhaustedError as exc:
-            raise BackpressureRejection(
-                f"session pool exhausted mid-join ({exc.num_pages} pages); "
-                "retry with less concurrency",
-                retry_after=self.admission.retry_after,
-            ) from exc
-        finally:
-            session.evict_all()
+            cached: Optional[PlanEntry] = None
+            if use_cache:
+                cached = self.plan_cache.get(key)
 
-        if use_cache and cached is None and len(steps) > 1:
-            self.plan_cache.put(
-                key,
-                PlanEntry(
-                    direction=result.direction,
-                    cells=key[7],
-                    estimated_cost=result.estimated_cost,
-                ),
+            # -- execute: concurrent, reader slot held on the document -
+            tracer = Tracer()
+            pipeline = PathPipeline(
+                session,
+                direction=cached.direction if cached is not None else None,
+                tracer=tracer,
             )
+            try:
+                with tracer.span("service.query", tenant=tenant, path=path):
+                    result = pipeline.execute(steps)
+            except BufferPoolExhaustedError as exc:
+                raise BackpressureRejection(
+                    f"session pool exhausted mid-join ({exc.num_pages} "
+                    "pages); retry with less concurrency",
+                    retry_after=self.admission.retry_after,
+                ) from exc
+            finally:
+                session.evict_all()
 
-        codes = [
-            code
-            for code in result.codes
-            if doc.updatable.node_of(code) is not None
-        ]
+            if use_cache and cached is None and len(steps) > 1:
+                self.plan_cache.put(
+                    key,
+                    PlanEntry(
+                        direction=result.direction,
+                        cells=key[7],
+                        estimated_cost=result.estimated_cost,
+                    ),
+                )
+
+            codes = [
+                code
+                for code in result.codes
+                if doc.updatable.node_of(code) is not None
+            ]
+        finally:
+            gate.reader_exit()
         return QueryOutcome(
             tenant=tenant,
             document=document,

@@ -10,6 +10,11 @@ Requests::
     {"op": "stats"}
     {"op": "close"}
 
+``tenant`` must match ``[A-Za-z0-9_-]{1,64}`` (:data:`TENANT_RE`) —
+tenant names feed dotted metric keys, so the charset keeps one tenant
+from forging another's ``service.tenant.<t>.*`` entries and the cap
+bounds metric cardinality.
+
 Responses always carry ``status``:
 
 * ``{"status": "ok", ...}`` — op-specific payload; a query reply has
@@ -34,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import re
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
@@ -47,6 +53,13 @@ __all__ = ["ContainmentServer", "ServerThread", "MAX_WIRE_CODES"]
 #: result codes included inline in a query response (count is exact;
 #: full result-set paging is out of scope for the line protocol)
 MAX_WIRE_CODES = 1000
+
+#: tenant names accepted at the wire boundary.  Tenant strings are
+#: interpolated into dotted metric names (``service.tenant.<t>.*``),
+#: so a client-supplied name containing a dot (e.g. ``"a.completed"``)
+#: could forge or collide with another tenant's metric keys exposed by
+#: the ``stats`` op; the length cap bounds metric cardinality.
+TENANT_RE = re.compile(r"^[A-Za-z0-9_-]{1,64}$")
 
 
 def _report_summary(report: JoinReport) -> dict[str, object]:
@@ -171,6 +184,11 @@ class ContainmentServer:
             return {
                 "status": "error",
                 "error": "query needs string tenant/document/path",
+            }
+        if not TENANT_RE.match(tenant):
+            return {
+                "status": "error",
+                "error": "invalid tenant: must match [A-Za-z0-9_-]{1,64}",
             }
         loop = asyncio.get_running_loop()
         assert self._executor is not None

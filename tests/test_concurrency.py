@@ -15,6 +15,10 @@ Each class pins one fix:
   probe could pass ``_check_fresh`` and then read pre-update answers
   after a concurrent ``mark_stale``.  Check-and-probe is now one
   critical section.
+* :class:`TestLazyScanRetire` — the lazy ``range_scan`` generators
+  only held the guard during the descent, so a retire landing
+  mid-scan let the leaf-chain walk silently complete with
+  pre-retirement entries; the guard is now taken leaf-at-a-time.
 """
 
 import threading
@@ -22,9 +26,12 @@ import threading
 import pytest
 
 from repro.core.batch import batch_scope, get_batch_size
-from repro.index.flat import flat_enabled, flat_scope
+from repro.index.bptree import BPlusTree
+from repro.index.flat import FlatStartIndex, flat_enabled, flat_scope
 from repro.index.staleness import StaleGuard, StaleIndexError
 from repro.obs.metrics import MetricsRegistry
+from repro.storage.buffer import BufferManager
+from repro.storage.disk import DiskManager
 from repro.storage.sanitize import sanitize_enabled, sanitize_scope
 
 THREADS = 8
@@ -277,3 +284,52 @@ class TestStaleGuardAtomicity:
 
         run_threads([prober] * THREADS + [retirer])
         assert not violations
+
+
+# ----------------------------------------------------------------------
+class TestLazyScanRetire:
+    """A lazy range scan must not silently outlive a retirement.
+
+    ``range_scan`` is a generator, so it cannot hold the probe guard
+    across consumer pulls the way the eager probes do; the fix takes
+    the guard leaf-at-a-time and re-checks freshness before every leaf
+    access.  Pre-fix, only the descent was guarded: a ``mark_stale``
+    landing while the scan was suspended let the leaf-chain walk run
+    to completion and silently yield pre-retirement answers.
+    """
+
+    ENTRIES = 500  # page_size=128 -> ~7 leaf entries/page, many leaves
+
+    def _indexes(self):
+        bufmgr = BufferManager(DiskManager(page_size=128), 32)
+        entries = [(i, i * 10) for i in range(self.ENTRIES)]
+        yield BPlusTree.bulk_load(bufmgr, entries, name="ptr")
+        yield FlatStartIndex.bulk_load(bufmgr, entries, name="flat")
+
+    def test_retire_mid_scan_raises_at_next_leaf(self):
+        for index in self._indexes():
+            scan = index.range_scan(0, 1 << 62)
+            consumed = [next(scan)]
+            index.mark_stale("element set changed mid-scan")
+            with pytest.raises(StaleIndexError):
+                for entry in scan:
+                    consumed.append(entry)
+            # the scan died at the next leaf boundary — everything it
+            # produced was read while the index was still fresh
+            assert 0 < len(consumed) < self.ENTRIES, type(index).__name__
+
+    def test_scan_started_after_retire_raises_on_first_pull(self):
+        for index in self._indexes():
+            index.mark_stale("retired before the scan ran")
+            scan = index.range_scan(0, 1 << 62)
+            with pytest.raises(StaleIndexError):
+                next(scan)
+
+    def test_flat_bulk_probe_after_retire_raises(self):
+        bufmgr = BufferManager(DiskManager(page_size=128), 32)
+        entries = [(i, i * 10) for i in range(self.ENTRIES)]
+        flat = FlatStartIndex.bulk_load(bufmgr, entries, name="flat")
+        assert flat.range_values(0, 50)
+        flat.mark_stale("element set changed")
+        with pytest.raises(StaleIndexError):
+            flat.range_values(0, 50)

@@ -17,7 +17,14 @@ Coverage map:
   queries produce ``JoinReport``s field-for-field identical to the
   same queries run serially, with and without chaos fault injection
   (seed replayable via ``REPRO_CHAOS_SEED``, like the other chaos
-  suites).
+  suites);
+* update/query isolation — sessions read the shared page table live,
+  so ``exclusive()`` and update-draining prepares must quiesce a
+  document's in-flight execute phases before patching pages; every
+  answer produced during an update storm matches some committed
+  version of the document; mid-join backpressure conversion keeps the
+  global and per-tenant rejection counters consistent; the wire
+  rejects tenant names that could forge metric keys.
 """
 
 import dataclasses
@@ -475,3 +482,187 @@ class TestThreadedDifferential:
                 )
             )
         assert runs[0] == runs[1]
+
+
+# ----------------------------------------------------------------------
+class TestUpdateQueryIsolation:
+    """Mutation must quiesce a document's in-flight execute phases.
+
+    Sessions read the shared page table *live* (views, not
+    snapshots), so ``exclusive()`` — and a prepare phase about to
+    drain a non-empty update log — must wait for every execute phase
+    on the document to finish before patching pages, or a running
+    join reads a torn mix of old and new pages.
+    """
+
+    def _blockable_pipeline(self, monkeypatch):
+        """Patch PathPipeline.execute to park on an event mid-query."""
+        from repro.join.pipeline import PathPipeline
+
+        started = threading.Event()
+        release = threading.Event()
+        original = PathPipeline.execute
+
+        def parked_execute(pipeline, steps):
+            started.set()
+            assert release.wait(10.0), "test deadlock: releaser never ran"
+            return original(pipeline, steps)
+
+        monkeypatch.setattr(PathPipeline, "execute", parked_execute)
+        return started, release
+
+    def test_exclusive_waits_for_inflight_execute(self, monkeypatch):
+        db = make_db()
+        service = QueryService(db)
+        started, release = self._blockable_pipeline(monkeypatch)
+        entered = threading.Event()
+        outcomes = {}
+
+        def querier():
+            outcomes["query"] = service.execute("t", "corpus", "//a//b")
+
+        def updater():
+            with service.exclusive("corpus") as doc:
+                entered.set()
+                db.insert_element(doc, 0, "b")
+
+        query_thread = threading.Thread(target=querier)
+        query_thread.start()
+        assert started.wait(5.0)
+        update_thread = threading.Thread(target=updater)
+        update_thread.start()
+        # the query is mid-execute holding a reader slot: exclusive()
+        # must not hand the document over while its pages are being read
+        assert not entered.wait(0.3)
+        release.set()
+        query_thread.join(10.0)
+        update_thread.join(10.0)
+        assert entered.is_set()
+        assert not query_thread.is_alive() and not update_thread.is_alive()
+        assert outcomes["query"].count > 0
+
+    def test_prepare_drain_waits_for_inflight_execute(self, monkeypatch):
+        db = make_db()
+        service = QueryService(db)
+        doc = db.document("corpus")
+        started, release = self._blockable_pipeline(monkeypatch)
+        outcomes = {}
+
+        def first_querier():
+            outcomes["first"] = service.execute("t", "corpus", "//a//b")
+
+        first = threading.Thread(target=first_querier)
+        first.start()
+        assert started.wait(5.0)
+        # an out-of-band update buffered while the first query executes
+        # (the raw API bypasses exclusive(); the prepare-side drain is
+        # the defense): the next query's prepare must wait for the
+        # first to finish before patching pages
+        version = doc.store.version
+        db.insert_element(doc, 0, "b")
+        assert doc.store.pending_updates() > 0
+        done = threading.Event()
+
+        def second_querier():
+            outcomes["second"] = service.execute("t", "corpus", "//a//b")
+            done.set()
+
+        second = threading.Thread(target=second_querier)
+        second.start()
+        assert not done.wait(0.3), "prepare drained under a live reader"
+        release.set()
+        first.join(10.0)
+        second.join(10.0)
+        assert done.is_set()
+        # the second query's prepare applied the buffered update
+        assert doc.store.pending_updates() == 0
+        assert doc.store.version > version
+        assert outcomes["second"].count >= outcomes["first"].count
+
+    def test_updates_never_tear_concurrent_queries(self):
+        db = make_db()
+        service = QueryService(db, max_in_flight=8)
+        path = "//a//b"
+        valid = {frozenset(service.execute("oracle", "corpus", path).codes)}
+        valid_lock = threading.Lock()
+        observed = []
+        observed_lock = threading.Lock()
+        stop = threading.Event()
+
+        def querier():
+            while not stop.is_set():
+                codes = frozenset(
+                    service.execute("q", "corpus", path).codes
+                )
+                with observed_lock:
+                    observed.append(codes)
+
+        def updater():
+            try:
+                for _ in range(5):
+                    with service.exclusive("corpus") as doc:
+                        db.insert_element(doc, 0, "b")
+                    oracle = frozenset(
+                        service.execute("oracle", "corpus", path).codes
+                    )
+                    with valid_lock:
+                        valid.add(oracle)
+            finally:
+                stop.set()
+
+        run_threads([querier] * 3 + [updater])
+        assert observed, "queriers never overlapped the update storm"
+        # every concurrent answer matches some committed version of the
+        # document — a torn page mix would match none of them
+        for codes in observed:
+            assert codes in valid
+
+    def test_midjoin_backpressure_bumps_global_and_tenant(self, monkeypatch):
+        from repro.join.pipeline import PathPipeline
+        from repro.storage.buffer import BufferPoolExhaustedError
+
+        metrics = MetricsRegistry()
+        db = make_db(metrics=metrics)
+        service = QueryService(db, metrics=metrics)
+
+        def exhausted(pipeline, steps):
+            raise BufferPoolExhaustedError(4, "lru")
+
+        monkeypatch.setattr(PathPipeline, "execute", exhausted)
+        with pytest.raises(BackpressureRejection):
+            service.execute("t", "corpus", "//a//b")
+        # the mid-join conversion keeps the global breakdown consistent
+        # with the per-tenant counters (it used to bump only the tenant)
+        assert counter_value(metrics, "service.rejected.backpressure") == 1
+        assert counter_value(metrics, "service.tenant.t.rejected") == 1
+        assert counter_value(metrics, "service.errors") == 0
+        assert counter_value(metrics, "service.tenant.t.completed") == 0
+
+
+# ----------------------------------------------------------------------
+class TestWireTenantValidation:
+    def test_metric_forging_tenant_rejected(self):
+        metrics = MetricsRegistry()
+        db = make_db(metrics=metrics)
+        service = QueryService(db, metrics=metrics)
+        with ServerThread(service) as server:
+            with ServiceClient(port=server.port) as client:
+                forged = client.query(
+                    "corpus", "//a//b", tenant="t.completed"
+                )
+                assert forged["status"] == "error"
+                assert "invalid tenant" in forged["error"]
+
+                for tenant in ("", "a" * 65, "a b", "té"):
+                    response = client.query(
+                        "corpus", "//a//b", tenant=tenant
+                    )
+                    assert response["status"] == "error", tenant
+
+                # nothing reached admission, no metric key was forged
+                stats = client.stats()
+                assert not any(".t.completed." in key for key in stats)
+
+                ok = client.query("corpus", "//a//b", tenant="t-1_ok")
+                assert ok["status"] == "ok"
+                assert client.ping() is True
