@@ -1,9 +1,11 @@
 """Figure 6(g): scalability on single-height datasets.
 
 Dataset sizes grow as ``k * B`` for ``k = 1..8`` (paper: B = 50000; here
-``B`` scales with ``REPRO_BENCH_SCALE``).  The paper's finding: every
-algorithm scales linearly in the data size, and the partitioning
-algorithms stay consistently below MIN_RGN.
+``B`` scales with ``REPRO_BENCH_SCALE``, and ``REPRO_BENCH_PAPER_SIZES=1``
+restores the paper's B outright — the top rung then joins 400k-element
+sets on both sides).  The paper's finding: every algorithm scales
+linearly in the data size, and the partitioning algorithms stay
+consistently below MIN_RGN.
 """
 
 import pytest
@@ -16,7 +18,9 @@ from repro.workloads import synthetic as syn
 from .common import (
     DEFAULT_BUFFER_PAGES,
     DEFAULT_PAGE_SIZE,
+    PAPER_BASE_UNIT,
     SEED,
+    paper_sizes,
     save_result,
     scale,
 )
@@ -26,6 +30,8 @@ ROWS = {}
 
 
 def base_unit() -> int:
+    if paper_sizes():
+        return PAPER_BASE_UNIT
     return max(500, int(6_000 * scale()))
 
 

@@ -1,6 +1,8 @@
 """Figure 6(h): scalability on multiple-height datasets.
 
 The multi-height companion of Figure 6(g), using MHCJ+Rollup.
+``REPRO_BENCH_PAPER_SIZES=1`` restores the paper's B = 50000 base
+unit, climbing to 400k-element sets on both sides.
 """
 
 import pytest
@@ -12,7 +14,9 @@ from repro.workloads import synthetic as syn
 from .common import (
     DEFAULT_BUFFER_PAGES,
     DEFAULT_PAGE_SIZE,
+    PAPER_BASE_UNIT,
     SEED,
+    paper_sizes,
     save_result,
     scale,
 )
@@ -22,6 +26,8 @@ ROWS = {}
 
 
 def base_unit() -> int:
+    if paper_sizes():
+        return PAPER_BASE_UNIT
     return max(500, int(6_000 * scale()))
 
 

@@ -22,8 +22,23 @@ DEFAULT_PAGE_SIZE = 1024
 SEED = 2003  # the year of the paper
 
 
+#: the paper's Figure 6(g)/(h) base unit: sizes grow as k*B, B = 50000,
+#: so the k = 8 rung joins 400k-element sets on both sides
+PAPER_BASE_UNIT = 50_000
+
+
 def scale() -> float:
     return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def paper_sizes() -> bool:
+    """``REPRO_BENCH_PAPER_SIZES=1`` restores the paper's set sizes.
+
+    The scalability sweeps (Figure 6(g)/(h)) then climb k*B with the
+    paper's B = 50,000 instead of the laptop-scale default — minutes
+    of wall time per sweep, so it is opt-in like ``REPRO_BENCH_SCALE``.
+    """
+    return bool(os.environ.get("REPRO_BENCH_PAPER_SIZES"))
 
 
 def large_size() -> int:

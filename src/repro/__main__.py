@@ -10,8 +10,12 @@ Commands:
   disk image;
 * ``image-query IMAGE //a//b`` — run a path query against a saved
   image (no XML parsing, pure storage-engine work);
+* ``shard-build FILE.xml DIR`` — encode and persist element sets as a
+  sharded corpus (per-shard disk images + shard map; docs/sharding.md);
 * ``bench`` — run an algorithm line-up over a synthetic Table-2
   dataset and (optionally) emit a ``BENCH_*.json`` summary;
+  ``--shards N`` runs it scatter-gather over a level-``l`` sharded
+  layout instead;
 * ``serve`` — run the multi-tenant query server over a loaded corpus
   (see docs/service.md);
 * ``remote-query`` — send one path query to a running server.
@@ -40,6 +44,7 @@ __all__ = [
     "cmd_stats",
     "cmd_save",
     "cmd_image_query",
+    "cmd_shard_build",
     "cmd_bench",
     "cmd_update_bench",
     "cmd_serve",
@@ -239,6 +244,45 @@ def cmd_image_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_shard_build(args: argparse.Namespace) -> int:
+    from .core.binarize import binarize as _binarize
+    from .shard import ShardedCorpus
+
+    tree = _load(args.file)
+    encoding = _binarize(tree)
+    wanted = (
+        [tag.strip() for tag in args.tags.split(",") if tag.strip()]
+        if args.tags
+        else sorted(
+            tag for tag in tree.tag_counts()
+            if not tag.startswith(("@", "#"))
+        )
+    )
+    corpus = ShardedCorpus(
+        encoding.tree_height,
+        args.shards,
+        level=args.level,
+        page_size=args.page_size,
+        buffer_pages=args.buffer_pages,
+    )
+    for tag in wanted:
+        corpus.add_set(
+            tag, [tree.codes[node] for node in tree.iter_by_tag(tag)]
+        )
+    corpus.save(args.directory)
+    print(
+        f"sharded {len(wanted)} element sets over {corpus.num_shards} "
+        f"shards ({corpus.num_slots} level-{corpus.map.level} slots, "
+        f"H={corpus.tree_height}) into {args.directory}"
+    )
+    for index, store in enumerate(corpus.shards):
+        print(
+            f"  shard {index}: {store.disk.num_allocated} pages, "
+            f"{len(corpus.map.slots_of_shard(index))} slots"
+        )
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .experiments.harness import (
         REGION_ALGORITHMS,
@@ -280,6 +324,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         flat_index=args.flat_index,
         sanitize=args.sanitize,
+        shards=args.shards,
+        shard_level=args.shard_level,
     )
 
     have_baseline = any(
@@ -407,7 +453,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from .service import ContainmentServer, QueryService, TenantQuota
 
     metrics = MetricsRegistry()
-    db = ContainmentDatabase(buffer_pages=args.buffer_pages, metrics=metrics)
+    db = ContainmentDatabase(
+        buffer_pages=args.buffer_pages,
+        metrics=metrics,
+        shards=args.shards,
+        shard_level=args.shard_level,
+    )
     if args.file:
         db.load_tree(_load(args.file), name=args.name)
     else:
@@ -448,7 +499,11 @@ def cmd_remote_query(args: argparse.Namespace) -> int:
     from .service import ServiceClient
 
     with ServiceClient(args.host, args.port) as client:
-        response = client.query(args.document, args.path, tenant=args.tenant)
+        # query_all follows continuation cursors, so result sets past
+        # the wire cap still print in full
+        response = client.query_all(
+            args.document, args.path, tenant=args.tenant
+        )
     status = response.get("status")
     if status == "ok":
         for code in response.get("codes", []):
@@ -542,6 +597,26 @@ def main(argv: list[str] | None = None) -> int:
     imq.add_argument("--buffer-pages", type=int, default=64)
     imq.set_defaults(func=cmd_image_query)
 
+    shb = sub.add_parser(
+        "shard-build",
+        help="persist element sets as a sharded corpus directory",
+    )
+    shb.add_argument("file")
+    shb.add_argument("directory")
+    shb.add_argument(
+        "--shards", type=int, default=2, help="number of shards (>= 1)"
+    )
+    shb.add_argument(
+        "--level", type=int, default=None,
+        help="VPJ partitioning level l (default: auto from height/shards)",
+    )
+    shb.add_argument("--page-size", type=int, default=1024)
+    shb.add_argument("--buffer-pages", type=int, default=64)
+    shb.add_argument(
+        "--tags", default="", help="comma-separated (default: all)"
+    )
+    shb.set_defaults(func=cmd_shard_build)
+
     bch = sub.add_parser(
         "bench", help="run an algorithm line-up over a synthetic dataset"
     )
@@ -592,6 +667,16 @@ def main(argv: list[str] | None = None) -> int:
         help="run under the view-lifetime sanitizer: borrowed page "
         "views are tracked and use-after-unpin raises "
         "(default: REPRO_SANITIZE or off)",
+    )
+    bch.add_argument(
+        "--shards", type=int, default=0,
+        help="run the line-up scatter-gather over a level-l sharded "
+        "layout (0 = unsharded; merged reports are shard-count-"
+        "invariant, see docs/sharding.md)",
+    )
+    bch.add_argument(
+        "--shard-level", type=int, default=None,
+        help="VPJ partitioning level l for --shards (default: auto)",
     )
     bch.set_defaults(func=cmd_bench)
 
@@ -657,6 +742,15 @@ def main(argv: list[str] | None = None) -> int:
     srv.add_argument(
         "--plan-cache", type=int, default=128,
         help="plan cache capacity (0 disables)",
+    )
+    srv.add_argument(
+        "--shards", type=int, default=0,
+        help="serve queries scatter-gather over a sharded layout "
+        "(0 = session pipelines)",
+    )
+    srv.add_argument(
+        "--shard-level", type=int, default=None,
+        help="VPJ partitioning level l for --shards (default: auto)",
     )
     srv.set_defaults(func=cmd_serve)
 

@@ -27,7 +27,10 @@ Example::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .shard.corpus import ShardedCorpus
 
 from .core.codec import ContainmentCodec, MutableEncoding, get_codec
 from .datatree.node import DataTree, NodeView
@@ -108,6 +111,8 @@ class ContainmentDatabase:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         codec: "str | ContainmentCodec" = "pbitree",
+        shards: int = 0,
+        shard_level: Optional[int] = None,
     ) -> None:
         """``optimizer`` selects the default planning mode: ``"rule"``
         (the paper's Table 1) or ``"cost"`` (the Section 6 cost-based
@@ -128,6 +133,16 @@ class ContainmentDatabase:
         ``metrics`` attaches live disk counters and accumulates one
         set of join counters per executed operator.  Both default to
         disabled (no overhead).
+
+        ``shards > 0`` lays each queried document's element sets out
+        as a level-``shard_level`` :class:`~repro.shard.corpus.
+        ShardedCorpus` (built lazily per tag, invalidated by updates)
+        and evaluates pure descendant chains scatter-gather through a
+        :class:`~repro.shard.executor.ShardedJoinExecutor` instead of
+        the single-engine pipeline.  Slot joins run inline here — the
+        library never spawns processes behind a caller's back; use
+        :func:`repro.experiments.harness.run_lineup` or the service
+        tier for shard-parallel execution.
         """
         if optimizer not in ("rule", "cost"):
             raise ValueError(f"unknown optimizer mode {optimizer!r}")
@@ -148,6 +163,14 @@ class ContainmentDatabase:
         self._cost_optimizer = CostBasedOptimizer()
         self._documents: dict[str, Document] = {}
         self._rtree_indexes: dict[tuple[str, str], RTree] = {}
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
+        self.shards = shards
+        self.shard_level = shard_level
+        #: per-document sharded layouts, built lazily and dropped
+        #: wholesale on update (rebuild-on-next-query; incremental
+        #: shard maintenance is future work)
+        self._shard_corpora: dict[str, "ShardedCorpus"] = {}
 
     # ------------------------------------------------------------------
     # loading
@@ -232,6 +255,85 @@ class ContainmentDatabase:
         )
 
     # ------------------------------------------------------------------
+    # sharded layout
+    # ------------------------------------------------------------------
+    def shard_corpus(self, document: Document) -> "ShardedCorpus":
+        """The document's sharded layout, built lazily (``shards > 0``).
+
+        Element sets are scattered per tag on first use; an update to
+        the document drops the whole corpus (rebuilt on next query).
+        """
+        from .shard.corpus import ShardedCorpus
+
+        if self.shards <= 0:
+            raise ValueError("database was not opened with shards > 0")
+        corpus = self._shard_corpora.get(document.name)
+        if corpus is None:
+            corpus = ShardedCorpus(
+                document.tree_height,
+                self.shards,
+                level=self.shard_level,
+                page_size=self.disk.page_size,
+                buffer_pages=self.bufmgr.num_pages,
+                policy=self.bufmgr.policy,
+            )
+            self._shard_corpora[document.name] = corpus
+        return corpus
+
+    def _shard_set(self, document: Document, tag: str) -> str:
+        """Ensure ``tag``'s element set is scattered; returns the tag."""
+        corpus = self.shard_corpus(document)
+        if tag not in corpus.tags:
+            elements = self.element_set(document, tag)
+            corpus.add_set(tag, [int(code) for code in elements.scan()])
+        return tag
+
+    def _query_sharded(self, document: Document, path: str) -> QueryResult:
+        """Evaluate a descendant chain scatter-gather over the shards.
+
+        Top-down only: each step joins the previous step's matches
+        (scattered transiently) against the next tag's sharded set;
+        the merged per-step reports are shard-count-invariant.
+        """
+        from .shard.executor import ShardedJoinExecutor
+
+        query = PathQuery(path)
+        corpus = self.shard_corpus(document)
+        executor = ShardedJoinExecutor(corpus, workers=1)
+        for tag in query.steps:
+            self._shard_set(document, tag)
+        reports: list[JoinReport] = []
+        with self.tracer.span("query.sharded", path=path):
+            current: "str | list[int]" = query.steps[0]
+            for step_index, tag in enumerate(query.steps[1:], start=1):
+                report, pairs = executor.run(
+                    "MHCJ+Rollup",
+                    current,
+                    tag,
+                    dataset=f"{document.name}.step{step_index}",
+                    buffer_pages=self.bufmgr.num_pages,
+                    page_size=self.disk.page_size,
+                    collect=True,
+                    tracer=self.tracer,
+                )
+                reports.append(report)
+                assert pairs is not None
+                current = sorted({d_code for _a_code, d_code in pairs})
+        if isinstance(current, str):
+            codes: list[int] = sorted(
+                int(code) for code in self.element_set(document, current).scan()
+            )
+        else:
+            codes = current
+        if self.metrics is not None:
+            for report in reports:
+                self.metrics.record_report(report, dataset=document.name)
+        return QueryResult(
+            nodes=self._decode(document, codes),
+            reports=reports,
+        )
+
+    # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
     def query(
@@ -254,6 +356,11 @@ class ContainmentDatabase:
 
         if self._is_extended_path(path):
             return self._query_extended(document, path)
+        if self.shards > 0 and direction in (None, "top-down"):
+            # sharded evaluation is top-down by construction; an
+            # explicit bottom-up request falls through to the
+            # single-engine pipeline
+            return self._query_sharded(document, path)
         query = PathQuery(path)
         steps = [self.element_set(document, tag) for tag in query.steps]
         if len(steps) == 1:
@@ -385,17 +492,22 @@ class ContainmentDatabase:
         """
         node = document.updatable.insert_child(parent, tag, text)
         self._invalidate_rtrees(document)
+        self._invalidate_shards(document)
         return node
 
     def delete_element(self, document: Document, node: int) -> int:
         removed = document.updatable.delete_subtree(node)
         if removed:
             self._invalidate_rtrees(document)
+            self._invalidate_shards(document)
         return removed
 
     def _invalidate_rtrees(self, document: Document) -> None:
         for key in [k for k in self._rtree_indexes if k[0] == document.name]:
             del self._rtree_indexes[key]
+
+    def _invalidate_shards(self, document: Document) -> None:
+        self._shard_corpora.pop(document.name, None)
 
     # ------------------------------------------------------------------
     @property

@@ -265,6 +265,8 @@ def run_lineup(
     batch_size: Optional[int] = None,
     flat_index: Optional[bool] = None,
     sanitize: Optional[bool] = None,
+    shards: int = 0,
+    shard_level: Optional[int] = None,
 ) -> LineupResult:
     """Run the standard line-up over one dataset, each algorithm cold.
 
@@ -305,6 +307,15 @@ def run_lineup(
     wall time changes.  The effective bit is recorded as the
     ``sanitize.enabled`` gauge and shipped to line-up workers
     explicitly.
+
+    ``shards > 0`` runs every algorithm scatter-gather over a
+    :class:`~repro.shard.corpus.ShardedCorpus` partitioned at
+    ``shard_level`` (default: :func:`~repro.shard.corpus.
+    default_shard_level`); ``workers`` then fans *slots* (not
+    algorithms) over the pool.  Merged reports are shard-count
+    invariant — ``shards=1`` vs ``shards=N`` is a differential oracle
+    — but intentionally differ from an unsharded run (each slot runs
+    cold on a private bench; see :mod:`repro.shard.executor`).
     """
     if algorithms is None:
         if single_height is None:
@@ -320,6 +331,13 @@ def run_lineup(
         metrics.gauge("batch.size").set(float(batch_size))
         metrics.gauge("flat.index").set(1.0 if flat_index else 0.0)
         metrics.gauge("sanitize.enabled").set(1.0 if sanitize else 0.0)
+    if shards > 0:
+        return _run_lineup_sharded(
+            dataset_name, a_codes, d_codes, tree_height, buffer_pages,
+            page_size, algorithms, collect, faults, retry, tracer, metrics,
+            workers, parallel_mode, algorithm_workers, batch_size,
+            flat_index, sanitize, shards, shard_level,
+        )
     if workers > 1:
         return _run_lineup_parallel(
             dataset_name, a_codes, d_codes, tree_height, buffer_pages,
@@ -474,6 +492,80 @@ def _run_lineup_parallel(
             fan_span.__exit__(None, None, None)
     if metrics is not None:
         _record_merged_gauges(metrics, payloads)
+    _check_counts(dataset_name, lineup, counts)
+    return lineup
+
+
+def _run_lineup_sharded(
+    dataset_name: str,
+    a_codes: Sequence[int],
+    d_codes: Sequence[int],
+    tree_height: int,
+    buffer_pages: int,
+    page_size: int,
+    algorithms: Sequence[str],
+    collect: bool,
+    faults: "FaultInjector | FaultConfig | None",
+    retry: Optional[RetryPolicy],
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+    workers: int,
+    parallel_mode: Optional[str],
+    algorithm_workers: int,
+    batch_size: int,
+    flat_index: bool,
+    sanitize: bool,
+    shards: int,
+    shard_level: Optional[int],
+) -> LineupResult:
+    """Run the line-up scatter-gather over a sharded corpus.
+
+    Each algorithm runs slot-by-slot through one
+    :class:`~repro.shard.executor.ShardedJoinExecutor`; the corpus is
+    built once and reused across algorithms (slot extraction happens
+    per run, but its I/O is charged to the corpus engines, not the
+    reports — see the executor's accounting contract).
+    """
+    from ..shard.corpus import ShardedCorpus
+    from ..shard.executor import ShardedJoinExecutor
+
+    if isinstance(faults, FaultInjector):
+        raise ValueError(
+            "a live FaultInjector cannot be shipped to slot workers; "
+            "pass its FaultConfig instead (each worker seeds a fresh "
+            "injector, matching a serial run on a fresh bench)"
+        )
+    corpus = ShardedCorpus(
+        tree_height, shards, level=shard_level, page_size=page_size
+    )
+    corpus.add_set("A", list(a_codes))
+    corpus.add_set("D", list(d_codes))
+    executor = ShardedJoinExecutor(
+        corpus, workers=workers, parallel_mode=parallel_mode
+    )
+    lineup = LineupResult(dataset=dataset_name)
+    counts = set()
+    for name in algorithms:
+        report, _pairs = executor.run(
+            name,
+            "A",
+            "D",
+            dataset=dataset_name,
+            buffer_pages=buffer_pages,
+            page_size=page_size,
+            collect=collect,
+            faults=faults,
+            retry=retry,
+            tracer=tracer,
+            algorithm_workers=algorithm_workers,
+            batch_size=batch_size,
+            flat_index=flat_index,
+            sanitize=sanitize,
+        )
+        lineup.results.append(AlgorithmResult(name=name, report=report))
+        counts.add(report.result_count)
+        if metrics is not None:
+            metrics.record_report(report, dataset=dataset_name)
     _check_counts(dataset_name, lineup, counts)
     return lineup
 

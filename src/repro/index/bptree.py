@@ -21,6 +21,7 @@ top-down insertion with node splits.
 
 from __future__ import annotations
 
+import copy
 import struct
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
@@ -92,6 +93,30 @@ class BPlusTree(StaleGuard):
         self.level_pages: list[list[int]] = []
         #: children grouped under each bulk-built internal node
         self.bulk_fanout = 0
+
+    # ------------------------------------------------------------------
+    # session views
+    # ------------------------------------------------------------------
+    def session_view(self, bufmgr: BufferManager) -> "BPlusTree":
+        """A read-only rebinding of this index onto another buffer pool.
+
+        The view shares the base index's pages (same disk, same page
+        ids) but pins them through ``bufmgr`` — a session's private
+        pool — so concurrent probes from different sessions never race
+        on the owning document's shared pool.  Views are probe-only by
+        convention: never insert into, delete from, or destroy one.
+        Staleness is shared with the base via ``_stale_source``: when
+        the update pipeline retires the base, every view raises too.
+        """
+        view = copy.copy(self)
+        view.bufmgr = bufmgr
+        view._stale_source = self
+        view._reset_session_caches()
+        return view
+
+    def _reset_session_caches(self) -> None:
+        """Drop decoded-page caches so a view decodes via its own pool."""
+        self._node_cache = {}
 
     # ------------------------------------------------------------------
     # node (de)serialisation

@@ -170,6 +170,11 @@ class FlatStartIndex(BPlusTree):
         #: page id -> separator-key column of one internal page
         self._flat_keys: dict[int, list[int]] = {}
 
+    def _reset_session_caches(self) -> None:
+        super()._reset_session_caches()
+        self._flat_leaves = {}
+        self._flat_keys = {}
+
     # -- static-ness ----------------------------------------------------
     def insert(self, key: int, value: int) -> None:
         raise TypeError(
@@ -349,6 +354,11 @@ class FlatIntervalTree(IntervalTree):
         self._flat_lists: dict[
             int, tuple[list[int], list[int], list[int]]
         ] = {}
+
+    def _reset_session_caches(self) -> None:
+        super()._reset_session_caches()
+        self._flat_nodes = {}
+        self._flat_lists = {}
 
     # -- flat page decode (pin accounting identical to pointer path) ----
     def _read_node(self, index: int) -> tuple[int, ...]:

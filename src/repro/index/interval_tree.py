@@ -18,6 +18,7 @@ plus the pages of the reported list prefixes.
 
 from __future__ import annotations
 
+import copy
 import struct
 from operator import itemgetter
 from typing import Iterator, Sequence, cast
@@ -62,6 +63,29 @@ class IntervalTree(StaleGuard):
         # interval lists: one heap file, each node's lists stored as
         # contiguous record runs (start, end, payload)
         self._lists: HeapFile | None = None
+
+    # ------------------------------------------------------------------
+    # session views
+    # ------------------------------------------------------------------
+    def session_view(self, bufmgr: BufferManager) -> "IntervalTree":
+        """A read-only rebinding of this index onto another buffer pool.
+
+        Shares the base tree's node pages and interval-list heap (same
+        disk, same page ids) but pins them through ``bufmgr``, so a
+        session's stabbing probes never touch the owning document's
+        shared pool.  Probe-only by convention; staleness delegates to
+        the base via ``_stale_source``.
+        """
+        view = copy.copy(self)
+        view.bufmgr = bufmgr
+        view._stale_source = self
+        if self._lists is not None:
+            view._lists = self._lists.view(bufmgr)
+        view._reset_session_caches()
+        return view
+
+    def _reset_session_caches(self) -> None:
+        """Hook for static subclasses with decoded-page caches."""
 
     # ------------------------------------------------------------------
     # construction

@@ -32,6 +32,13 @@ access raise :class:`StaleIndexError`; entries already produced were
 all read while the index was fresh (the scan behaves as if it had
 reached its current page boundary before the retire), and a scan can
 never silently run to completion across a retirement.
+
+Session views (``session_view`` on the index classes) share their
+base index's staleness state through ``_stale_source``: every guard
+operation delegates to the *root* of the source chain, so views and
+base take the same probe lock and a ``mark_stale`` on any of them
+retires all of them atomically.  A view probing after its base was
+retired raises exactly like the base would.
 """
 
 from __future__ import annotations
@@ -62,29 +69,41 @@ class StaleGuard:
 
     _stale_reason: Optional[str] = None
     _probe_lock: Optional[threading.RLock] = None
+    #: set on session views — guard state delegates to the base index
+    _stale_source: Optional["StaleGuard"] = None
+
+    def _guard_root(self) -> "StaleGuard":
+        """The index owning the guard state (self, or the view's base)."""
+        root: StaleGuard = self
+        while root._stale_source is not None:
+            root = root._stale_source
+        return root
 
     def _ensure_lock(self) -> threading.RLock:
-        lock = self._probe_lock
+        root = self._guard_root()
+        lock = root._probe_lock
         if lock is None:
             with _guard_init_lock:
-                lock = self._probe_lock
+                lock = root._probe_lock
                 if lock is None:
                     lock = threading.RLock()
-                    self._probe_lock = lock
+                    root._probe_lock = lock
         return lock
 
     @property
     def is_stale(self) -> bool:
-        return self._stale_reason is not None
+        return self._guard_root()._stale_reason is not None
 
     def mark_stale(self, reason: str) -> None:
         """Invalidate this index; it must be rebuilt, not probed.
 
         Blocks until any in-flight probe completes, so a probe either
         finishes against the still-fresh index or never starts.
+        Retiring a session view retires its base (and all sibling
+        views) too — they share one guard.
         """
         with self._ensure_lock():
-            self._stale_reason = reason
+            self._guard_root()._stale_reason = reason
 
     @contextmanager
     def probe_guard(self) -> Iterator[None]:
@@ -103,9 +122,10 @@ class StaleGuard:
             yield
 
     def _check_fresh(self) -> None:
-        if self._stale_reason is not None:
+        reason = self._guard_root()._stale_reason
+        if reason is not None:
             raise StaleIndexError(
-                f"{type(self).__name__} is stale ({self._stale_reason}); "
+                f"{type(self).__name__} is stale ({reason}); "
                 "static indexes are invalidate-and-rebuild — fetch a fresh "
                 "one from its owner instead of probing this reference"
             )

@@ -47,12 +47,15 @@ from ..storage.faults import (
 __all__ = [
     "TaskResult",
     "LineupTaskResult",
+    "SlotTaskResult",
     "MemJoinTask",
     "HeightProbeTask",
     "LineupTask",
+    "SlotJoinTask",
     "run_memjoin_task",
     "run_height_probe_task",
     "run_lineup_task",
+    "run_slot_join_task",
     "fault_to_payload",
     "fault_from_payload",
 ]
@@ -76,6 +79,29 @@ class LineupTaskResult(TypedDict):
 
     #: finished report (``trace`` detached), or ``None`` when faulted
     report: Optional[Any]
+    #: structured :func:`fault_to_payload` payload, or ``None``
+    fault: Optional[dict[str, Any]]
+    #: worker tracer output as JSON lines, or ``None`` when untraced
+    trace: Optional[str]
+    #: final buffer-pool gauges of the worker's bench
+    buffer: dict[str, float]
+    #: injected-fault tallies of the worker's bench, or ``None``
+    fault_stats: Optional[dict[str, int]]
+
+
+class SlotTaskResult(TypedDict):
+    """One level-``l`` slot's cold run inside a sharded join.
+
+    Identical to :class:`LineupTaskResult` plus the emitted pairs —
+    the gather half of scatter-gather ships results back when the
+    parent collects (the line-up path never does; the sharded query
+    path in :mod:`repro.db` and the service tier do).
+    """
+
+    #: finished report (``trace`` detached), or ``None`` when faulted
+    report: Optional[Any]
+    #: emitted pairs, or ``None`` when the parent only counts
+    pairs: Optional[list[tuple[int, int]]]
     #: structured :func:`fault_to_payload` payload, or ``None``
     fault: Optional[dict[str, Any]]
     #: worker tracer output as JSON lines, or ``None`` when untraced
@@ -428,6 +454,114 @@ def run_lineup_task(task: LineupTask) -> LineupTaskResult:
     report.trace = None
     return LineupTaskResult(
         report=report,
+        fault=None,
+        trace=trace_to_jsonl(tracer) if tracer is not None else None,
+        buffer=buffer_gauges(),
+        fault_stats=fault_stats(),
+    )
+
+
+# ---------------------------------------------------------------------------
+# sharded joins: one level-l slot, cold, on a worker-private bench
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class SlotJoinTask:
+    """One level-``l`` slot of a sharded scatter-gather join.
+
+    Same contract as :class:`LineupTask` — the worker builds its own
+    complete workbench from the shipped slot codes, mirrors the
+    parent's batch/flat/sanitize switches, and sends structured fault
+    payloads — plus the emitted pairs travel back when ``collect`` is
+    set.  ``label`` feeds heap names and the trace span; it must be
+    derived from the *slot* alone (never the shard or worker), so the
+    slot's report is identical however slots are grouped or scheduled.
+    """
+
+    label: str
+    algorithm: str
+    a_codes: list[int]
+    d_codes: list[int]
+    tree_height: int
+    buffer_pages: int
+    page_size: int
+    collect: bool
+    faults: Optional[FaultConfig]
+    retry: Optional[RetryPolicy]
+    traced: bool
+    algorithm_workers: int = 1
+    batch_size: int = batch.DEFAULT_BATCH_SIZE
+    flat_index: bool = False
+    sanitize: bool = False
+
+
+def run_slot_join_task(task: SlotJoinTask) -> SlotTaskResult:
+    """Run one slot's join cold on a fresh workbench (worker side)."""
+    # imported lazily for the same circularity reason as run_lineup_task
+    from ..experiments.harness import (
+        Workbench,
+        make_algorithm,
+        materialize,
+        run_algorithm,
+    )
+    from ..join.base import JoinSink
+
+    batch.set_batch_size(task.batch_size)
+    flat.set_flat_enabled(task.flat_index)
+    sanitize_module.set_sanitize_enabled(task.sanitize)
+    bench = Workbench.create(
+        task.buffer_pages, task.page_size, faults=task.faults, retry=task.retry
+    )
+    ancestors = materialize(
+        bench.bufmgr, task.a_codes, task.tree_height, f"{task.label}.A"
+    )
+    descendants = materialize(
+        bench.bufmgr, task.d_codes, task.tree_height, f"{task.label}.D"
+    )
+    algorithm = make_algorithm(task.algorithm, workers=task.algorithm_workers)
+    sink = JoinSink("collect" if task.collect else "count")
+    tracer = Tracer() if task.traced else None
+
+    def buffer_gauges() -> dict[str, float]:
+        return {
+            "hits": float(bench.bufmgr.hits),
+            "misses": float(bench.bufmgr.misses),
+            "resident": float(bench.bufmgr.num_resident),
+            "pinned": float(bench.bufmgr.num_pinned),
+        }
+
+    def fault_stats() -> Optional[dict[str, int]]:
+        injector = bench.disk.faults
+        if injector is None:
+            return None
+        stats = injector.stats
+        return {
+            "read_errors": stats.read_errors,
+            "write_errors": stats.write_errors,
+            "torn_reads": stats.torn_reads,
+            "latency_events": stats.latency_events,
+            "scheduled_fired": stats.scheduled_fired,
+        }
+
+    try:
+        report = run_algorithm(
+            algorithm, ancestors, descendants, sink, tracer=tracer
+        )
+    except StorageFault as fault:
+        return SlotTaskResult(
+            report=None,
+            pairs=None,
+            fault=fault_to_payload(fault),
+            trace=trace_to_jsonl(tracer) if tracer is not None else None,
+            buffer=buffer_gauges(),
+            fault_stats=fault_stats(),
+        )
+    report.trace = None
+    pairs: Optional[list[tuple[int, int]]] = None
+    if task.collect:
+        pairs = [(int(a_code), int(d_code)) for a_code, d_code in sink.pairs]
+    return SlotTaskResult(
+        report=report,
+        pairs=pairs,
         fault=None,
         trace=trace_to_jsonl(tracer) if tracer is not None else None,
         buffer=buffer_gauges(),

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import json
 import socket
-from typing import Optional
+from typing import Iterator, Optional
 
 __all__ = ["ServiceClient", "ServiceProtocolError", "connect"]
 
@@ -61,6 +61,68 @@ class ServiceClient:
         return self._call(
             {"op": "query", "tenant": tenant, "document": document, "path": path}
         )
+
+    def page(self, cursor: str) -> dict[str, object]:
+        """Fetch the next page of a paged result set (raw response)."""
+        return self._call({"op": "page", "cursor": cursor})
+
+    def query_all(
+        self,
+        document: str,
+        path: str,
+        tenant: str = "default",
+    ) -> dict[str, object]:
+        """Like :meth:`query` but follows continuation cursors.
+
+        The returned response carries the *complete* ``codes`` list
+        and no ``cursor`` key, no matter how far past the wire cap the
+        result set runs.  Non-``ok`` first responses are returned
+        as-is (rejections stay typed and retryable); a page fetch that
+        fails mid-iteration raises :class:`ServiceProtocolError` — the
+        result would otherwise be silently truncated.
+        """
+        response = self.query(document, path, tenant=tenant)
+        if response.get("status") != "ok":
+            return response
+        codes = list(response.get("codes") or [])
+        cursor = response.get("cursor")
+        while isinstance(cursor, str):
+            page = self.page(cursor)
+            if page.get("status") != "ok":
+                raise ServiceProtocolError(
+                    f"page fetch failed mid-result: {page.get('error')}"
+                )
+            codes.extend(page.get("codes") or [])
+            cursor = page.get("cursor")
+        response["codes"] = codes
+        response.pop("cursor", None)
+        return response
+
+    def iter_codes(
+        self,
+        document: str,
+        path: str,
+        tenant: str = "default",
+    ) -> Iterator[int]:
+        """Stream a query's codes page by page (constant client memory).
+
+        Raises :class:`ServiceProtocolError` when the query itself is
+        rejected or errors — an iterator cannot return a typed
+        rejection, so callers who need retry semantics use
+        :meth:`query` / :meth:`query_all` instead.
+        """
+        response = self.query(document, path, tenant=tenant)
+        while True:
+            if response.get("status") != "ok":
+                raise ServiceProtocolError(
+                    f"query failed: {response.get('error')}"
+                )
+            for code in response.get("codes") or []:
+                yield int(code)
+            cursor = response.get("cursor")
+            if not isinstance(cursor, str):
+                return
+            response = self.page(cursor)
 
     def ping(self) -> bool:
         return self._call({"op": "ping"}).get("status") == "ok"

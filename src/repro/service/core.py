@@ -44,11 +44,26 @@ given query always draws the same fault stream no matter how many
 other queries run beside it — fault behaviour is replayable under
 concurrency, which the differential suite relies on.
 
-Known v1 limitation: the service plans from set metadata only and
-does not probe shared persistent indexes (B+-tree / interval tree) —
-index probes pin through the owning document's shared pool, which is
-not safe across sessions.  Index-accelerated service queries need
-per-session index views, a follow-up.
+Index-accelerated queries: when a document has persistent indexes
+(B+-tree / interval tree), the prepare phase peeks them under the
+storage lock and the execute phase probes **session views**
+(``session_view``) — the same index pages rebound through the
+session's private buffer pool, with staleness delegated to the base
+index — so index probes never pin through the owning document's
+shared pool and are session-safe.  (This closes the v1 limitation of
+planning from set metadata only.)
+
+Sharded mode: when the underlying database was opened with
+``shards > 0``, queries run scatter-gather over the document's
+:class:`~repro.shard.corpus.ShardedCorpus` instead of a session
+pipeline.  Slot inputs are extracted from the per-shard engines
+during the *prepare* phase (under the storage lock — the shard pools
+are shared state like everything else touched there) and each slot
+then joins on a cold worker-private bench, so the execute phase
+needs no shared pages at all: sessions route probes to the owning
+shards by construction.  Chaos seeds derive per (document, path)
+first and per slot second, keeping fault streams replayable and
+shard-count-invariant.
 """
 
 from __future__ import annotations
@@ -64,9 +79,11 @@ from ..core import batch as batch_module
 from ..datatree.paths import PathQuery
 from ..db import ContainmentDatabase, Document
 from ..index import flat as flat_module
-from ..join.base import JoinReport
+from ..index.bptree import BPlusTree
+from ..index.interval_tree import IntervalTree
+from ..join.base import JoinAlgorithm, JoinReport
 from ..join.pipeline import PathPipeline
-from ..join.planner import SetProperties
+from ..join.planner import SetProperties, choose_algorithm
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Tracer
 from ..storage.buffer import BufferManager, BufferPoolExhaustedError
@@ -243,20 +260,29 @@ class QueryService:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _step_properties(elements: ElementSet) -> SetProperties:
+    def _step_properties(
+        elements: ElementSet,
+        start_index: Optional[BPlusTree] = None,
+        interval_index: Optional[IntervalTree] = None,
+    ) -> SetProperties:
         single = None
         if elements.known_heights is not None and len(elements.known_heights) == 1:
             single = next(iter(elements.known_heights))
         return SetProperties(
             sorted=elements.sorted_by == SortOrder.START,
+            start_index=start_index,
+            interval_index=interval_index,
             single_height=single,
         )
 
     def _plan_key(
-        self, document: Document, path: str, steps: list[ElementSet]
+        self,
+        document: Document,
+        path: str,
+        steps: list[ElementSet],
+        props: list[SetProperties],
     ) -> PlanKey:
         fingerprints = tuple(step_fingerprint(step) for step in steps)
-        props = [self._step_properties(step) for step in steps]
         cells = tuple(
             table1_cell(a, d) for a, d in zip(props, props[1:])
         )
@@ -315,6 +341,8 @@ class QueryService:
     def _run(
         self, tenant: str, document: str, path: str, use_cache: bool
     ) -> QueryOutcome:
+        if self.db.shards > 0:
+            return self._run_sharded(tenant, document, path)
         doc = self.db.document(document)
         query = PathQuery(path)
         gate = self._doc_gate(document)
@@ -331,15 +359,55 @@ class QueryService:
             base_steps = [
                 doc.store.element_set(tag) for tag in query.steps
             ]
+            # the pending log is drained by now, so the peeks are pure
+            # cache reads: they surface whichever persistent indexes
+            # survived the updates, never build one
+            base_props = [
+                self._step_properties(
+                    step,
+                    start_index=doc.store.peek_start_index(tag),
+                    interval_index=doc.store.peek_interval_index(tag),
+                )
+                for tag, step in zip(query.steps, base_steps)
+            ]
             # session pools read the disk page table directly, so any
             # corpus page still dirty in the shared pool must hit the
             # table first (write-back is charged to the shared ledger,
             # not to any session's report)
             self.db.bufmgr.flush_all()
-            key = self._plan_key(doc, path, base_steps)
+            key = self._plan_key(doc, path, base_steps, base_props)
             session = self._open_session(document, path)
             steps = [step.with_bufmgr(session) for step in base_steps]
+            # rebind every surfaced index through the session pool too:
+            # probing the base index would pin pages in the shared pool
+            # from a concurrent execute phase (and charge the wrong
+            # ledger).  Views delegate staleness to the base index.
+            props_by_id = {
+                id(step): SetProperties(
+                    sorted=props.sorted,
+                    start_index=(
+                        props.start_index.session_view(session)
+                        if props.start_index is not None
+                        else None
+                    ),
+                    interval_index=(
+                        props.interval_index.session_view(session)
+                        if props.interval_index is not None
+                        else None
+                    ),
+                    single_height=props.single_height,
+                )
+                for step, props in zip(steps, base_props)
+            }
             gate.reader_enter()
+
+        def _factory(a_set: ElementSet, d_set: ElementSet) -> JoinAlgorithm:
+            return choose_algorithm(
+                a_set,
+                d_set,
+                props_by_id.get(id(a_set)),
+                props_by_id.get(id(d_set)),
+            )
 
         try:
             cached: Optional[PlanEntry] = None
@@ -350,6 +418,7 @@ class QueryService:
             tracer = Tracer()
             pipeline = PathPipeline(
                 session,
+                algorithm_factory=_factory,
                 direction=cached.direction if cached is not None else None,
                 tracer=tracer,
             )
@@ -391,6 +460,133 @@ class QueryService:
             cache_hit=cached is not None,
             planning_io=result.planning_io,
             reports=result.reports,
+            tracer=tracer,
+        )
+
+    def _run_sharded(self, tenant: str, document: str, path: str) -> QueryOutcome:
+        """Scatter-gather execution when the database is sharded.
+
+        The prepare phase extracts every slot input from the per-shard
+        engines under the storage lock (the shard pools are shared
+        state, exactly like the main pool); each slot then joins on a
+        cold worker-private bench, so the execute phase needs no
+        shared pages at all.  The reader slot is still held: the final
+        liveness filter reads the document's live updatable tree.
+        """
+        from ..shard.executor import ShardedJoinExecutor, SlotInputs
+
+        doc = self.db.document(document)
+        query = PathQuery(path)
+        gate = self._doc_gate(document)
+
+        # -- prepare: shared-state access under the storage lock -------
+        with self._storage_lock:
+            if doc.store.pending_updates():
+                gate.await_drained()
+            # scattering a tag reads its element set through the
+            # shared pool; updates already dropped any stale corpus
+            self.db.bufmgr.flush_all()
+            corpus = self.db.shard_corpus(doc)
+            for tag in query.steps:
+                self.db._shard_set(doc, tag)
+            single_codes: Optional[list[int]] = None
+            anchor: Optional[SlotInputs] = None
+            descendant_inputs: list[SlotInputs] = []
+            if len(query.steps) == 1:
+                single_codes = sorted(
+                    int(code)
+                    for code in doc.store.element_set(query.steps[0]).scan()
+                )
+            else:
+                anchor = SlotInputs(
+                    tuple(
+                        tuple(corpus.slot_ancestor_codes(query.steps[0], slot))
+                        for slot in range(corpus.num_slots)
+                    )
+                )
+                descendant_inputs = [
+                    SlotInputs(
+                        tuple(
+                            tuple(corpus.slot_descendant_codes(tag, slot))
+                            for slot in range(corpus.num_slots)
+                        )
+                    )
+                    for tag in query.steps[1:]
+                ]
+            gate.reader_enter()
+
+        chaos_base: Optional[FaultConfig] = None
+        if self.chaos is not None:
+            chaos_base = FaultConfig(
+                seed=_derived_seed(self.chaos.seed, document, path),
+                read_error_rate=self.chaos.read_error_rate,
+                write_error_rate=self.chaos.write_error_rate,
+                torn_page_rate=self.chaos.torn_page_rate,
+                latency_rate=self.chaos.latency_rate,
+                latency_seconds=self.chaos.latency_seconds,
+            )
+
+        try:
+            # -- execute: slot benches are worker-private; inline here
+            # (the service's own thread pool is the concurrency layer —
+            # the library never spawns processes behind the caller)
+            tracer = Tracer()
+            reports: list[JoinReport] = []
+            executor = ShardedJoinExecutor(corpus, workers=1)
+            try:
+                with tracer.span(
+                    "service.query", tenant=tenant, path=path, sharded=True
+                ):
+                    if single_codes is not None:
+                        codes = single_codes
+                    else:
+                        assert anchor is not None
+                        survivors: list[int] = []
+                        current: "SlotInputs | list[int]" = anchor
+                        for step_index, descendants in enumerate(
+                            descendant_inputs, start=1
+                        ):
+                            report, pairs = executor.run(
+                                "MHCJ+Rollup",
+                                current,
+                                descendants,
+                                dataset=f"{document}.step{step_index}",
+                                buffer_pages=self.session_pages,
+                                page_size=self.db.disk.page_size,
+                                collect=True,
+                                faults=chaos_base,
+                                tracer=tracer,
+                            )
+                            reports.append(report)
+                            assert pairs is not None
+                            survivors = sorted(
+                                {d_code for _a_code, d_code in pairs}
+                            )
+                            current = survivors
+                        codes = survivors
+            except BufferPoolExhaustedError as exc:
+                raise BackpressureRejection(
+                    f"slot bench pool exhausted mid-join ({exc.num_pages} "
+                    "pages); retry with less concurrency",
+                    retry_after=self.admission.retry_after,
+                ) from exc
+
+            codes = [
+                code
+                for code in codes
+                if doc.updatable.node_of(code) is not None
+            ]
+        finally:
+            gate.reader_exit()
+        return QueryOutcome(
+            tenant=tenant,
+            document=document,
+            path=path,
+            codes=codes,
+            direction="top-down",
+            cache_hit=False,
+            planning_io=0,
+            reports=reports,
             tracer=tracer,
         )
 

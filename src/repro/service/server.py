@@ -6,6 +6,7 @@ response object per line, UTF-8):
 Requests::
 
     {"op": "query", "tenant": "t1", "document": "doc", "path": "//a//b"}
+    {"op": "page", "cursor": "c0"}
     {"op": "ping"}
     {"op": "stats"}
     {"op": "close"}
@@ -18,9 +19,15 @@ bounds metric cardinality.
 Responses always carry ``status``:
 
 * ``{"status": "ok", ...}`` — op-specific payload; a query reply has
-  ``count``, ``codes`` (capped at ``MAX_WIRE_CODES``), ``direction``,
-  ``cache_hit``, ``planning_io``, ``wall_seconds`` and a per-step
-  ``reports`` summary;
+  ``count`` (exact), ``codes`` (the first ``MAX_WIRE_CODES``),
+  ``direction``, ``cache_hit``, ``planning_io``, ``wall_seconds`` and
+  a per-step ``reports`` summary.  When the result set overflows the
+  cap, the reply also carries a ``cursor`` token: each ``page`` op
+  drains the next ``MAX_WIRE_CODES`` codes and repeats the token
+  until the set is exhausted (the final page omits ``cursor``).
+  Cursors are connection-scoped, at most :data:`MAX_CURSORS` live at
+  once (oldest evicted first), and die with the connection —
+  continuation is a courtesy window, not a durable snapshot handle;
 * ``{"status": "rejected", "code": "backpressure"|"quota",
   "retry_after": seconds, "error": msg}`` — typed backpressure, the
   client should retry after the hint;
@@ -48,11 +55,48 @@ from ..join.base import JoinReport
 from .admission import ServiceRejection
 from .core import QueryOutcome, QueryService
 
-__all__ = ["ContainmentServer", "ServerThread", "MAX_WIRE_CODES"]
+__all__ = ["ContainmentServer", "ServerThread", "MAX_CURSORS", "MAX_WIRE_CODES"]
 
-#: result codes included inline in a query response (count is exact;
-#: full result-set paging is out of scope for the line protocol)
+#: result codes included inline in a query (or page) response; larger
+#: result sets continue through connection-scoped ``page`` cursors
 MAX_WIRE_CODES = 1000
+
+#: paging cursors kept per connection; opening more evicts the oldest
+#: (bounds the undelivered-codes memory a client can park serverside)
+MAX_CURSORS = 8
+
+
+class _ConnectionState:
+    """Per-connection paging state: cursor token -> undelivered codes."""
+
+    __slots__ = ("cursors", "_next_token")
+
+    def __init__(self) -> None:
+        self.cursors: dict[str, list[int]] = {}
+        self._next_token = 0
+
+    def park(self, codes: list[int]) -> str:
+        """Stash overflow codes; returns the continuation token."""
+        token = f"c{self._next_token}"
+        self._next_token += 1
+        self.cursors[token] = codes
+        while len(self.cursors) > MAX_CURSORS:
+            self.cursors.pop(next(iter(self.cursors)))
+        return token
+
+    def page(self, token: str) -> tuple[list[int], bool]:
+        """Next chunk for ``token`` plus whether more pages remain.
+
+        Raises :class:`KeyError` for unknown (or evicted) tokens.  A
+        token with remaining codes is re-parked under the same name,
+        which also refreshes its eviction recency.
+        """
+        remaining = self.cursors.pop(token)
+        chunk = remaining[:MAX_WIRE_CODES]
+        rest = remaining[MAX_WIRE_CODES:]
+        if rest:
+            self.cursors[token] = rest
+        return chunk, bool(rest)
 
 #: tenant names accepted at the wire boundary.  Tenant strings are
 #: interpolated into dotted metric names (``service.tenant.<t>.*``),
@@ -71,8 +115,10 @@ def _report_summary(report: JoinReport) -> dict[str, object]:
     }
 
 
-def _ok_payload(outcome: QueryOutcome) -> dict[str, object]:
-    return {
+def _ok_payload(
+    outcome: QueryOutcome, state: _ConnectionState
+) -> dict[str, object]:
+    payload: dict[str, object] = {
         "status": "ok",
         "count": outcome.count,
         "codes": outcome.codes[:MAX_WIRE_CODES],
@@ -82,6 +128,9 @@ def _ok_payload(outcome: QueryOutcome) -> dict[str, object]:
         "wall_seconds": outcome.wall_seconds,
         "reports": [_report_summary(r) for r in outcome.reports],
     }
+    if outcome.count > MAX_WIRE_CODES:
+        payload["cursor"] = state.park(outcome.codes[MAX_WIRE_CODES:])
+    return payload
 
 
 class ContainmentServer:
@@ -139,12 +188,13 @@ class ContainmentServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        state = _ConnectionState()
         try:
             while True:
                 line = await reader.readline()
                 if not line:
                     break
-                response = await self._dispatch(line)
+                response = await self._dispatch(line, state)
                 if response is None:  # clean close requested
                     break
                 writer.write(
@@ -160,7 +210,9 @@ class ContainmentServer:
             except (ConnectionError, OSError, asyncio.CancelledError):
                 pass
 
-    async def _dispatch(self, line: bytes) -> Optional[dict[str, object]]:
+    async def _dispatch(
+        self, line: bytes, state: _ConnectionState
+    ) -> Optional[dict[str, object]]:
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
@@ -174,6 +226,22 @@ class ContainmentServer:
             return {"status": "ok", "pong": True}
         if op == "stats":
             return {"status": "ok", "stats": self.service.stats()}
+        if op == "page":
+            token = request.get("cursor")
+            if not isinstance(token, str) or token not in state.cursors:
+                return {
+                    "status": "error",
+                    "error": f"unknown cursor {token!r} (expired or evicted)",
+                }
+            chunk, more = state.page(token)
+            payload: dict[str, object] = {
+                "status": "ok",
+                "codes": chunk,
+                "count": len(chunk),
+            }
+            if more:
+                payload["cursor"] = token
+            return payload
         if op != "query":
             return {"status": "error", "error": f"unknown op {op!r}"}
         tenant = request.get("tenant", "default")
@@ -205,7 +273,7 @@ class ContainmentServer:
             }
         except Exception as exc:  # noqa: BLE001 - the wire boundary
             return {"status": "error", "error": f"{type(exc).__name__}: {exc}"}
-        return _ok_payload(outcome)
+        return _ok_payload(outcome, state)
 
 
 class ServerThread:

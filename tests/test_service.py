@@ -666,3 +666,235 @@ class TestWireTenantValidation:
                 ok = client.query("corpus", "//a//b", tenant="t-1_ok")
                 assert ok["status"] == "ok"
                 assert client.ping() is True
+
+
+# ----------------------------------------------------------------------
+class TestResultPaging:
+    """Result sets past MAX_WIRE_CODES continue via connection cursors."""
+
+    def test_overflow_query_pages_transparently(self, monkeypatch):
+        import repro.service.server as server_module
+
+        monkeypatch.setattr(server_module, "MAX_WIRE_CODES", 30)
+        db = make_db()
+        service = QueryService(db)
+        expected = sorted(service.execute("oracle", "corpus", "//a").codes)
+        with ServerThread(service) as server:
+            with ServiceClient(port=server.port) as client:
+                raw = client.query("corpus", "//a")
+                assert raw["status"] == "ok"
+                assert raw["count"] == len(expected)
+                assert len(raw["codes"]) == 30
+                assert isinstance(raw["cursor"], str)
+
+                full = client.query_all("corpus", "//a")
+                assert sorted(full["codes"]) == expected
+                assert full["count"] == len(full["codes"])
+                assert "cursor" not in full
+
+                streamed = list(client.iter_codes("corpus", "//a"))
+                assert streamed == full["codes"]
+
+    def test_small_results_carry_no_cursor(self):
+        db = make_db()
+        service = QueryService(db)
+        with ServerThread(service) as server:
+            with ServiceClient(port=server.port) as client:
+                response = client.query("corpus", "//a//b//c")
+                assert response["status"] == "ok"
+                assert "cursor" not in response
+                assert response["count"] == len(response["codes"])
+                # query_all is a no-op passthrough for unpaged results
+                assert client.query_all("corpus", "//a//b//c")[
+                    "codes"
+                ] == response["codes"]
+
+    def test_unknown_cursor_is_a_typed_error(self):
+        db = make_db()
+        service = QueryService(db)
+        with ServerThread(service) as server:
+            with ServiceClient(port=server.port) as client:
+                response = client.page("c999")
+                assert response["status"] == "error"
+                assert "unknown cursor" in response["error"]
+                assert client.ping() is True  # connection survives
+
+    def test_cursor_eviction_bounds_parked_memory(self, monkeypatch):
+        import repro.service.server as server_module
+
+        monkeypatch.setattr(server_module, "MAX_WIRE_CODES", 10)
+        monkeypatch.setattr(server_module, "MAX_CURSORS", 2)
+        db = make_db()
+        service = QueryService(db)
+        with ServerThread(service) as server:
+            with ServiceClient(port=server.port) as client:
+                tokens = [
+                    client.query("corpus", "//a")["cursor"] for _ in range(3)
+                ]
+                evicted = client.page(tokens[0])
+                assert evicted["status"] == "error"
+                live = client.page(tokens[-1])
+                assert live["status"] == "ok"
+
+    def test_cursors_are_connection_scoped(self, monkeypatch):
+        import repro.service.server as server_module
+
+        monkeypatch.setattr(server_module, "MAX_WIRE_CODES", 10)
+        db = make_db()
+        service = QueryService(db)
+        with ServerThread(service) as server:
+            with ServiceClient(port=server.port) as one:
+                token = one.query("corpus", "//a")["cursor"]
+                with ServiceClient(port=server.port) as two:
+                    stolen = two.page(token)
+                    assert stolen["status"] == "error"
+                mine = one.page(token)
+                assert mine["status"] == "ok"
+
+
+# ----------------------------------------------------------------------
+class TestSessionIndexViews:
+    """Persistent indexes probe through session pools (the v1 gap)."""
+
+    def make_indexed_db(self):
+        db = make_db()
+        doc = db.document("corpus")
+        db.create_start_index(doc, "b")
+        db.create_interval_index(doc, "a")
+        db.bufmgr.flush_all()
+        return db
+
+    def test_indexed_plan_reaches_the_service(self):
+        db = self.make_indexed_db()
+        service = QueryService(db)
+        outcome = service.execute("t", "corpus", "//a//b")
+        assert [r.algorithm for r in outcome.reports] == ["INLJN"]
+
+        plain = QueryService(make_db())
+        baseline = plain.execute("t", "corpus", "//a//b")
+        assert [r.algorithm for r in baseline.reports] == ["MHCJ+Rollup"]
+        assert sorted(outcome.codes) == sorted(baseline.codes)
+
+    def test_concurrent_indexed_queries_match_serial(self):
+        db = self.make_indexed_db()
+        service = QueryService(db, max_in_flight=8, plan_cache_size=0)
+        serial = {
+            path: service.execute("serial", "corpus", path)
+            for path in PATHS
+        }
+        outcomes = {}
+        lock = threading.Lock()
+
+        def worker(path):
+            def run():
+                outcome = service.execute("conc", "corpus", path)
+                with lock:
+                    outcomes[path] = outcome
+
+            return run
+
+        run_threads([worker(path) for path in PATHS] * 2)
+        for path in PATHS:
+            assert outcomes[path].codes == serial[path].codes
+            assert [
+                normalize(r) for r in outcomes[path].reports
+            ] == [normalize(r) for r in serial[path].reports]
+
+    def test_update_under_indexes_stays_correct(self):
+        db = self.make_indexed_db()
+        service = QueryService(db)
+        doc = db.document("corpus")
+        indexed = service.execute("t", "corpus", "//a//b")
+        assert indexed.reports[0].algorithm == "INLJN"
+        with service.exclusive("corpus") as locked:
+            db.insert_element(locked, 0, "a")
+        after = service.execute("t", "corpus", "//a//b")
+        # the insert retires a's interval index (it is static); the
+        # next prepare peeks the survivors and re-plans — no stale
+        # probe, and the new element is visible
+        assert doc.store.peek_interval_index("a") is None
+        assert after.cache_hit is False
+        plain = QueryService(make_db())
+        baseline = plain.execute("t", "corpus", "//a//b")
+        assert len(after.codes) >= len(baseline.codes)
+        assert set(baseline.codes) <= set(after.codes)
+
+
+# ----------------------------------------------------------------------
+class TestShardedService:
+    """Sharded execution through the service tier."""
+
+    def make_sharded(self, shards, **kwargs):
+        db = ContainmentDatabase(buffer_pages=64, shards=shards)
+        db.load_tree(random_tree(800, max_fanout=5, seed=7), name="corpus")
+        return QueryService(db, **kwargs)
+
+    def test_parity_with_unsharded_service(self):
+        plain = QueryService(make_db())
+        sharded = self.make_sharded(2)
+        for path in PATHS + ["//a"]:
+            expect = sorted(plain.execute("t", "corpus", path).codes)
+            got = sorted(sharded.execute("t", "corpus", path).codes)
+            assert got == expect, path
+
+    def test_reports_invariant_across_shard_counts(self):
+        two = self.make_sharded(2)
+        four = self.make_sharded(4)
+        for path in PATHS:
+            a = two.execute("t", "corpus", path)
+            b = four.execute("t", "corpus", path)
+            assert a.codes == b.codes
+            assert [normalize(r) for r in a.reports] == [
+                normalize(r) for r in b.reports
+            ]
+
+    def test_concurrent_sharded_queries_match_serial(self):
+        service = self.make_sharded(2, max_in_flight=8)
+        serial = {
+            path: service.execute("serial", "corpus", path) for path in PATHS
+        }
+        outcomes = {}
+        lock = threading.Lock()
+
+        def worker(path):
+            def run():
+                outcome = service.execute("conc", "corpus", path)
+                with lock:
+                    outcomes[path] = outcome
+
+            return run
+
+        run_threads([worker(path) for path in PATHS] * 2)
+        for path in PATHS:
+            assert outcomes[path].codes == serial[path].codes
+            assert [normalize(r) for r in outcomes[path].reports] == [
+                normalize(r) for r in serial[path].reports
+            ]
+
+    def test_sharded_chaos_is_replayable(self):
+        chaos = FaultConfig(seed=CHAOS_SEED, read_error_rate=0.01)
+        service = self.make_sharded(4, chaos=chaos)
+        first = service.execute("t", "corpus", "//a//b")
+        second = service.execute("t", "corpus", "//a//b")
+        assert first.codes == second.codes
+        assert [normalize(r) for r in first.reports] == [
+            normalize(r) for r in second.reports
+        ]
+
+    def test_sharded_update_then_query(self):
+        service = self.make_sharded(2)
+        before = service.execute("t", "corpus", "//a").count
+        with service.exclusive("corpus") as doc:
+            service.db.insert_element(doc, doc.tree.root, "a")
+        after = service.execute("t", "corpus", "//a")
+        assert after.count == before + 1
+
+    def test_sharded_queries_over_the_wire(self):
+        service = self.make_sharded(2)
+        plain = QueryService(make_db())
+        with ServerThread(service) as server:
+            with ServiceClient(port=server.port) as client:
+                response = client.query_all("corpus", "//a//b")
+                assert response["status"] == "ok"
+        expect = sorted(plain.execute("t", "corpus", "//a//b").codes)
+        assert sorted(response["codes"]) == expect
